@@ -1,0 +1,68 @@
+// Command acrmodel explores the §5 performance/reliability model directly:
+// given a machine and application point, it prints the optimal checkpoint
+// period, total execution time, utilization, and undetected-SDC probability
+// for the three resilience schemes, plus the Figure 1 and Figure 7 sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acr/internal/expt"
+	"acr/internal/model"
+)
+
+func main() {
+	var (
+		w       = flag.Float64("work", 24*3600, "total computation time W in seconds")
+		delta   = flag.Float64("delta", 15, "checkpoint time in seconds")
+		rh      = flag.Float64("rh", 30, "hard-error restart time in seconds")
+		rs      = flag.Float64("rs", 10, "SDC restart time in seconds")
+		sockets = flag.Int("sockets", 16384, "sockets per replica")
+		mtbf    = flag.Float64("mtbf-years", 50, "per-socket hard-error MTBF in years")
+		fit     = flag.Float64("fit", 100, "per-socket SDC rate in FIT")
+		sweeps  = flag.Bool("sweeps", false, "also print the Figure 1 and Figure 7 sweeps")
+	)
+	flag.Parse()
+
+	p := model.Params{
+		W:                   *w,
+		Delta:               *delta,
+		RH:                  *rh,
+		RS:                  *rs,
+		SocketsPerReplica:   *sockets,
+		HardMTBFSocketYears: *mtbf,
+		SDCFITPerSocket:     *fit,
+	}
+	fmt.Printf("machine: %d sockets/replica, hard MTBF %.3g s, SDC MTBF %.3g s\n",
+		p.SocketsPerReplica, p.HardMTBF(), p.SDCMTBF())
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "scheme", "tau*(s)", "T(s)", "utilization", "P(undet SDC)")
+	for _, s := range model.Schemes() {
+		tau, util, err := p.Utilization(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrmodel:", err)
+			os.Exit(1)
+		}
+		total, err := p.TotalTime(s, tau)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrmodel:", err)
+			os.Exit(1)
+		}
+		und, err := p.UndetectedSDCProb(s, tau)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrmodel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %10.1f %12.0f %12.4f %12.5f\n", s, tau, total, util, und)
+	}
+	if *sweeps {
+		fmt.Println()
+		expt.FprintFig1(os.Stdout)
+		fmt.Println()
+		if err := expt.FprintFig7(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "acrmodel:", err)
+			os.Exit(1)
+		}
+	}
+}

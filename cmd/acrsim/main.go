@@ -1,0 +1,92 @@
+// Command acrsim regenerates the paper's tables and figures. Model- and
+// network-driven figures (1, 6, 7, 8, 9, 10, 11, 12) evaluate instantly;
+// Figure 5 executes a live replicated run with an injected failure per
+// resilience scheme.
+//
+// Usage:
+//
+//	acrsim -fig 8        # one figure
+//	acrsim -table 2      # Table 2
+//	acrsim -all          # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acr/internal/expt"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1, 4, 5, 6, 7, 8, 9, 10, 11, 12)")
+	table := flag.Int("table", 0, "table number to regenerate (2)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation studies")
+	asCSV := flag.Bool("csv", false, "emit the figure as CSV instead of a formatted table (with -fig)")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(n int) error {
+		if *asCSV {
+			return expt.WriteCSV(w, n)
+		}
+		switch n {
+		case 1:
+			expt.FprintFig1(w)
+			return nil
+		case 4:
+			expt.FprintFig4(w)
+			return nil
+		case 5:
+			return expt.FprintFig5(w)
+		case 6:
+			expt.FprintFig6(w)
+			return nil
+		case 7:
+			return expt.FprintFig7(w)
+		case 8:
+			return expt.FprintFig8(w)
+		case 9:
+			return expt.FprintFig9(w)
+		case 10:
+			return expt.FprintFig10(w)
+		case 11:
+			return expt.FprintFig11(w)
+		case 12:
+			return expt.FprintFig12(w)
+		default:
+			return fmt.Errorf("unknown figure %d", n)
+		}
+	}
+
+	switch {
+	case *all:
+		expt.FprintTable2(w)
+		for _, n := range []int{1, 4, 6, 7, 8, 9, 10, 11, 12, 5} {
+			if err := run(n); err != nil {
+				fmt.Fprintln(os.Stderr, "acrsim:", err)
+				os.Exit(1)
+			}
+		}
+		if err := expt.FprintAblations(w); err != nil {
+			fmt.Fprintln(os.Stderr, "acrsim:", err)
+			os.Exit(1)
+		}
+	case *ablations:
+		if err := expt.FprintAblations(w); err != nil {
+			fmt.Fprintln(os.Stderr, "acrsim:", err)
+			os.Exit(1)
+		}
+	case *table == 2:
+		expt.FprintTable2(w)
+	case *fig != 0:
+		if err := run(*fig); err != nil {
+			fmt.Fprintln(os.Stderr, "acrsim:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

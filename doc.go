@@ -1,0 +1,13 @@
+// Package acr is a Go reproduction of "ACR: Automatic Checkpoint/Restart
+// for Soft and Hard Error Protection" (Ni, Meneses, Jain, Kalé; SC '13):
+// a fault-tolerance framework that runs an application as two replicas,
+// takes coordinated in-memory checkpoints, detects silent data corruption
+// by comparing buddy checkpoints, recovers from fail-stop errors under
+// three resilience schemes, and adapts the checkpoint interval to the
+// observed failure rate.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation.
+package acr

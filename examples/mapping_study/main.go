@@ -1,0 +1,51 @@
+// Mapping study: how replica placement on the torus decides the cost of
+// checkpoint exchange (§4.2, Figures 6 and 8). For each BG/P allocation,
+// print the bottleneck link load and the resulting Jacobi3D checkpoint
+// transfer time under the default, column, mixed, and checksum variants.
+//
+//	go run ./examples/mapping_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acr/internal/apps"
+	"acr/internal/netsim"
+	"acr/internal/topology"
+)
+
+func main() {
+	spec, err := apps.SpecByName("Jacobi3D Charm++")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bytesPerNode := spec.CheckpointBytesPerCore * topology.CoresPerNode
+	fmt.Printf("%8s %10s | %22s | %22s | %22s | %10s\n",
+		"cores/R", "torus", "default (load, time)", "mixed-2 (load, time)", "column (load, time)", "checksum")
+	for _, cores := range []int{1024, 2048, 4096, 16384, 65536} {
+		alloc, err := topology.NewAllocation(cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%8d %4dx%dx%d |", cores, alloc.Torus.DX, alloc.Torus.DY, alloc.Torus.DZ)
+		for _, v := range []struct {
+			scheme topology.Scheme
+			chunk  int
+		}{{topology.DefaultScheme, 0}, {topology.MixedScheme, 2}, {topology.ColumnScheme, 0}} {
+			m, err := topology.NewMapping(alloc.Torus, v.scheme, v.chunk)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nm := netsim.New(m, netsim.BGPParams())
+			cost := nm.Checkpoint(bytesPerNode, netsim.FullCheckpoint, false)
+			line += fmt.Sprintf(" load %3d, %6.3fs      |", m.MaxBuddyLinkLoad(), cost.Transfer)
+		}
+		mDef, _ := topology.NewMapping(alloc.Torus, topology.DefaultScheme, 0)
+		ck := netsim.New(mDef, netsim.BGPParams()).Checkpoint(bytesPerNode, netsim.Checksum, false)
+		line += fmt.Sprintf(" %8.3fs", ck.Total())
+		fmt.Println(line)
+	}
+	fmt.Println("\nthe default mapping's bottleneck equals DZ/2 and saturates once Z hits 32 —")
+	fmt.Println("exactly the 1K->4K growth and >=4K flatness of Figure 8; column stays at 1.")
+}

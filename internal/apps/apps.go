@@ -1,0 +1,169 @@
+// Package apps contains Go ports of the paper's five mini-applications
+// (§6.1, Table 2): Jacobi3D (in both the message-driven and the AMPI/MPI
+// programming model), HPCCG, a LULESH-style hydrodynamics proxy, LeanMD,
+// and miniMD. Each app is a runtime.Program — deterministic, fully pup-able
+// and restartable — so the same binary state can be checkpointed, compared
+// across replicas, corrupted by the SDC injector, and restored by ACR.
+//
+// The package also carries the Table 2 configuration data used by the
+// large-scale figure reproductions: per-core checkpoint footprints and the
+// memory-layout class (contiguous vs scattered) that drive the netsim cost
+// model for Figures 8-11.
+package apps
+
+import (
+	"fmt"
+
+	"acr/internal/runtime"
+)
+
+// Model identifies the programming model an app variant is written in.
+type Model int
+
+// Programming models (§6.1 uses Charm++ and MPI via AMPI).
+const (
+	MessageDriven Model = iota // Charm++-style: explicit sends + any-receive
+	AMPI                       // MPI-style: ranks with blocking Send/Recv/Allreduce
+)
+
+func (m Model) String() string {
+	switch m {
+	case MessageDriven:
+		return "charm"
+	case AMPI:
+		return "ampi"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Spec describes one Table 2 mini-app variant for the figure harness.
+type Spec struct {
+	// Name as used in the figures ("Jacobi3D Charm++", "HPCCG", ...).
+	Name string
+	// Model is the programming model of the variant.
+	Model Model
+	// Config is the Table 2 per-core configuration string.
+	Config string
+	// CheckpointBytesPerCore is the serialized user-state footprint under
+	// the paper's per-core configuration.
+	CheckpointBytesPerCore float64
+	// HighMemoryPressure mirrors Table 2's memory-pressure column.
+	HighMemoryPressure bool
+	// Scattered marks checkpoint data spread across many small objects
+	// (the MD apps), which inflates serialization time (§6.2).
+	Scattered bool
+	// Factory builds a laptop-scale instance of the app for live runs:
+	// iters iterations on whatever machine shape the runtime provides.
+	Factory func(iters int) runtime.Factory
+}
+
+// Table2 returns the six app variants evaluated in Figures 8 and 10, in
+// the paper's order (a-f): Jacobi3D Charm++, LULESH, LeanMD, Jacobi3D
+// AMPI, HPCCG, miniMD.
+func Table2() []Spec {
+	const f8 = 8 // bytes per float64
+	return []Spec{
+		{
+			Name:  "Jacobi3D Charm++",
+			Model: MessageDriven,
+			// 64x64x128 grid points per core, one live grid checkpointed.
+			Config:                 "64*64*128 grid points",
+			CheckpointBytesPerCore: 64 * 64 * 128 * f8,
+			HighMemoryPressure:     true,
+			Factory:                JacobiFactory,
+		},
+		{
+			Name:  "LULESH",
+			Model: MessageDriven,
+			// 32x32x64 mesh elements per core with element- and
+			// node-centred fields: a deeper structure than Jacobi,
+			// hence the larger serialization cost observed in §6.2.
+			Config:                 "32*32*64 mesh elements",
+			CheckpointBytesPerCore: 32 * 32 * 64 * f8 * 9,
+			HighMemoryPressure:     true,
+			Factory:                LuleshFactory,
+		},
+		{
+			Name:  "LeanMD",
+			Model: MessageDriven,
+			// 4000 atoms per core: position+velocity+force, scattered
+			// across per-cell objects.
+			Config:                 "4000 atoms",
+			CheckpointBytesPerCore: 4000 * f8 * 9,
+			Scattered:              true,
+			Factory:                LeanMDFactory,
+		},
+		{
+			Name:                   "Jacobi3D AMPI",
+			Model:                  AMPI,
+			Config:                 "64*64*128 grid points",
+			CheckpointBytesPerCore: 64 * 64 * 128 * f8,
+			HighMemoryPressure:     true,
+			Factory:                JacobiAMPIFactory,
+		},
+		{
+			Name:  "HPCCG",
+			Model: AMPI,
+			// 40x40x40 rows per core; the CG state (x, r, p, Ap, b) plus
+			// the 27-point matrix diagonal band kept in the checkpoint.
+			Config:                 "40*40*40 grid points",
+			CheckpointBytesPerCore: 40 * 40 * 40 * f8 * 9,
+			HighMemoryPressure:     true,
+			Factory:                HPCCGFactory,
+		},
+		{
+			Name:                   "miniMD",
+			Model:                  AMPI,
+			Config:                 "1000 atoms",
+			CheckpointBytesPerCore: 1000 * f8 * 9,
+			Scattered:              true,
+			Factory:                MiniMDFactory,
+		},
+	}
+}
+
+// SpecByName returns the Table 2 spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Table2() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("apps: unknown app %q", name)
+}
+
+// grid3 factors n into a near-cubic px*py*pz = n decomposition with
+// px <= py <= pz.
+func grid3(n int) (px, py, pz int) {
+	px, py, pz = 1, 1, n
+	best := n * n
+	for x := 1; x*x*x <= n; x++ {
+		if n%x != 0 {
+			continue
+		}
+		rem := n / x
+		for y := x; y*y <= rem; y++ {
+			if rem%y != 0 {
+				continue
+			}
+			z := rem / y
+			spread := (z - x) * (z - x)
+			if spread < best {
+				best = spread
+				px, py, pz = x, y, z
+			}
+		}
+	}
+	return px, py, pz
+}
+
+// grid2 factors n into px*py = n with px <= py as square as possible.
+func grid2(n int) (px, py int) {
+	px, py = 1, n
+	for x := 1; x*x <= n; x++ {
+		if n%x == 0 {
+			px, py = x, n/x
+		}
+	}
+	return px, py
+}

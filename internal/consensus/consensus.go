@@ -1,0 +1,284 @@
+// Package consensus implements ACR's automatic checkpoint decision protocol
+// (§2.2): the mechanism that turns "checkpoint now, please" into a globally
+// consistent cut without synchronizing the application.
+//
+// Every task periodically reports its progress (Phase 1). When a checkpoint
+// is requested, tasks that are at the progress frontier pause as they
+// report, while stragglers keep running (Phase 2); once the frontier
+// stabilizes, its value is the checkpoint iteration (Phase 3), every task
+// runs exactly up to it and pauses, and when all participants are parked
+// the checkpoint can be taken (Phase 4). Because a task only sends messages
+// for iteration k while *executing* iteration k, a cut at which every task
+// has finished iteration K and not started K+1 has no in-flight messages —
+// the hang scenario described in §2.2 cannot occur.
+//
+// The Coordinator implements runtime.Gate, so plugging it into a Machine is
+// all that is needed to steer an application.
+package consensus
+
+import (
+	"fmt"
+	"sync"
+
+	"acr/internal/runtime"
+)
+
+// Phase is the protocol state.
+type Phase int
+
+// Protocol phases (named after Figure 3).
+const (
+	// Idle: progress is recorded, nobody pauses.
+	Idle Phase = iota
+	// Deciding: a checkpoint was requested; frontier tasks pause as they
+	// report while the maximum progress is established (Phases 2-3 of
+	// Figure 3 merge here because the tracker sees all reports).
+	Deciding
+	// Ready: every participant is parked at the checkpoint iteration
+	// (Phase 4); the caller may capture state, then Release.
+	Ready
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Deciding:
+		return "deciding"
+	case Ready:
+		return "ready"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Scope selects which replicas participate in a round.
+type Scope [2]bool
+
+// BothReplicas is the normal periodic-checkpoint scope.
+var BothReplicas = Scope{true, true}
+
+// OnlyReplica returns a scope containing a single replica (used by the
+// medium and weak recovery schemes, which checkpoint just the healthy
+// replica).
+func OnlyReplica(rep int) Scope {
+	var s Scope
+	s[rep] = true
+	return s
+}
+
+// Coordinator tracks progress and coordinates checkpoint cuts. It is safe
+// for concurrent use and implements runtime.Gate.
+type Coordinator struct {
+	mu sync.Mutex
+
+	nodesPerReplica int
+	tasksPerNode    int
+
+	phase      Phase
+	scope      Scope
+	target     int // frontier / decided checkpoint iteration
+	last       map[runtime.Addr]int
+	done       map[runtime.Addr]bool
+	parked     map[runtime.Addr]chan struct{}
+	parkedIter map[runtime.Addr]int
+	readyCh    chan int
+}
+
+// New returns a coordinator for a machine with the given shape.
+func New(nodesPerReplica, tasksPerNode int) *Coordinator {
+	return &Coordinator{
+		nodesPerReplica: nodesPerReplica,
+		tasksPerNode:    tasksPerNode,
+		last:            make(map[runtime.Addr]int),
+		done:            make(map[runtime.Addr]bool),
+		parked:          make(map[runtime.Addr]chan struct{}),
+		parkedIter:      make(map[runtime.Addr]int),
+	}
+}
+
+// Phase returns the current protocol phase.
+func (c *Coordinator) Phase() Phase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phase
+}
+
+// Progress returns the last reported iteration of a task (-1 if none).
+func (c *Coordinator) Progress(addr runtime.Addr) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it, ok := c.last[addr]; ok {
+		return it
+	}
+	return -1
+}
+
+// MaxProgress returns the maximum reported progress within the scope (-1 if
+// nothing was reported).
+func (c *Coordinator) MaxProgress(scope Scope) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxProgressLocked(scope)
+}
+
+func (c *Coordinator) maxProgressLocked(scope Scope) int {
+	m := -1
+	for addr, it := range c.last {
+		if scope[addr.Replica] && it > m {
+			m = it
+		}
+	}
+	return m
+}
+
+// Report implements runtime.Gate. Tasks report the iteration they just
+// finished (with state already advanced per the runtime contract).
+func (c *Coordinator) Report(addr runtime.Addr, iter int) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last[addr] = iter
+	if c.phase != Deciding || !c.scope[addr.Replica] {
+		return nil
+	}
+	if iter < c.target {
+		return nil // straggler: run on toward the cut
+	}
+	// Frontier task: park it. A report beyond the current frontier
+	// raises the target and releases everyone parked below it.
+	if iter > c.target {
+		c.target = iter
+		for a, ch := range c.parked {
+			if c.parkedIter[a] < c.target {
+				close(ch)
+				delete(c.parked, a)
+				delete(c.parkedIter, a)
+			}
+		}
+	}
+	ch := make(chan struct{})
+	c.parked[addr] = ch
+	c.parkedIter[addr] = iter
+	c.checkReadyLocked()
+	return ch
+}
+
+// Done implements runtime.Gate: the task finished the whole job. Completed
+// tasks count as parked for every future cut.
+func (c *Coordinator) Done(addr runtime.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[addr] = true
+	if c.phase == Deciding {
+		c.checkReadyLocked()
+	}
+}
+
+// Undone clears completion marks for a replica (after it is rolled back).
+func (c *Coordinator) Undone(rep int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr := range c.done {
+		if addr.Replica == rep {
+			delete(c.done, addr)
+		}
+	}
+}
+
+// ForgetProgress drops recorded progress for a replica (call when rolling
+// it back, so stale frontier values do not inflate the next cut).
+func (c *Coordinator) ForgetProgress(rep int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr := range c.last {
+		if addr.Replica == rep {
+			delete(c.last, addr)
+		}
+	}
+}
+
+func (c *Coordinator) checkReadyLocked() {
+	want := 0
+	have := 0
+	for rep := 0; rep < 2; rep++ {
+		if !c.scope[rep] {
+			continue
+		}
+		want += c.nodesPerReplica * c.tasksPerNode
+		for n := 0; n < c.nodesPerReplica; n++ {
+			for t := 0; t < c.tasksPerNode; t++ {
+				addr := runtime.Addr{Replica: rep, Node: n, Task: t}
+				if c.done[addr] {
+					have++
+				} else if it, ok := c.parkedIter[addr]; ok && it >= c.target {
+					have++
+				}
+			}
+		}
+	}
+	if want > 0 && have == want {
+		c.phase = Ready
+		ch := c.readyCh
+		c.readyCh = nil
+		if ch != nil {
+			ch <- c.target
+			close(ch)
+		}
+	}
+}
+
+// Request begins a checkpoint round over the scope. The returned channel
+// delivers the decided checkpoint iteration once every participant is
+// parked (Phase 4). Exactly one round may be active at a time.
+func (c *Coordinator) Request(scope Scope) (<-chan int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != Idle {
+		return nil, fmt.Errorf("consensus: round already active (phase %v)", c.phase)
+	}
+	if !scope[0] && !scope[1] {
+		return nil, fmt.Errorf("consensus: empty scope")
+	}
+	c.phase = Deciding
+	c.scope = scope
+	// The cut is one past the maximum reported progress. Any task is
+	// executing at most (its last report + 1) <= target, so no task is
+	// ever stranded beyond the cut waiting for input from a parked
+	// neighbour; every participant runs through iteration target —
+	// emitting all its messages for iterations <= target on the way —
+	// and parks when it reports target. (Tasks must report every
+	// iteration; sparse reporting is handled by the escalation path in
+	// Report.)
+	c.target = c.maxProgressLocked(scope) + 1
+	ch := make(chan int, 1)
+	c.readyCh = ch
+	// Everything may already be quiescent (all tasks done).
+	c.checkReadyLocked()
+	return ch, nil
+}
+
+// Release ends the round: every parked task resumes and the coordinator
+// returns to Idle. It is also safe to call to abort a round mid-decision
+// (e.g. when a failure interrupts checkpointing).
+func (c *Coordinator) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for a, ch := range c.parked {
+		close(ch)
+		delete(c.parked, a)
+		delete(c.parkedIter, a)
+	}
+	if c.readyCh != nil {
+		close(c.readyCh)
+		c.readyCh = nil
+	}
+	c.phase = Idle
+}
+
+// ParkedCount returns how many tasks are currently parked.
+func (c *Coordinator) ParkedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.parked)
+}
+
+var _ runtime.Gate = (*Coordinator)(nil)

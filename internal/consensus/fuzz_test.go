@@ -1,0 +1,157 @@
+package consensus
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"acr/internal/runtime"
+)
+
+// Model-level fuzz of the coordinator, without a machine: goroutines
+// emulate tasks that report strictly increasing iterations and obey the
+// gate (blocking on returned channels), in random interleavings. The
+// protocol invariants must hold in every schedule:
+//
+//  1. a requested round terminates (Ready fires);
+//  2. the decided target is at least every pre-request report;
+//  3. at Ready, every non-done participant is parked at >= target;
+//  4. after Release, all tasks run on unimpeded.
+func TestCoordinatorFuzz(t *testing.T) {
+	f := func(seed int64, nodesRaw, tasksRaw uint8) bool {
+		nodes := int(nodesRaw)%3 + 1
+		tasks := int(tasksRaw)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		c := New(nodes, tasks)
+
+		total := 2 * nodes * tasks
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		// Emulated tasks: report 0,1,2,... until stopped; block when the
+		// gate says so.
+		_ = rng
+		for rep := 0; rep < 2; rep++ {
+			for n := 0; n < nodes; n++ {
+				for tk := 0; tk < tasks; tk++ {
+					addr := runtime.Addr{Replica: rep, Node: n, Task: tk}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for iter := 0; ; iter++ {
+							ch := c.Report(addr, iter)
+							if ch != nil {
+								select {
+								case <-ch:
+								case <-stop:
+									return
+								}
+							}
+							select {
+							case <-stop:
+								return
+							default:
+							}
+						}
+					}()
+				}
+			}
+		}
+
+		ok := true
+		for round := 0; round < 3 && ok; round++ {
+			before := c.MaxProgress(BothReplicas)
+			ready, err := c.Request(BothReplicas)
+			if err != nil {
+				ok = false
+				break
+			}
+			target := <-ready // invariant 1: must terminate
+			if target < before {
+				ok = false // invariant 2
+			}
+			// Invariant 3: every participant parked at >= target.
+			c.mu.Lock()
+			parked := len(c.parkedIter)
+			for a, it := range c.parkedIter {
+				if it < target {
+					ok = false
+				}
+				_ = a
+			}
+			if parked != total {
+				ok = false
+			}
+			c.mu.Unlock()
+			c.Release()
+		}
+		close(stop)
+		c.Release() // idempotent; frees any stragglers
+		wg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorTargetMonotone: across consecutive rounds the decided
+// target never regresses (progress only moves forward).
+func TestCoordinatorTargetMonotone(t *testing.T) {
+	c := New(1, 2)
+	addrs := []runtime.Addr{
+		{Replica: 0, Node: 0, Task: 0},
+		{Replica: 0, Node: 0, Task: 1},
+		{Replica: 1, Node: 0, Task: 0},
+		{Replica: 1, Node: 0, Task: 1},
+	}
+	iter := make(map[runtime.Addr]int)
+	last := -1
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 20; round++ {
+		// Random quiescent progress before the request.
+		for _, a := range addrs {
+			steps := rng.Intn(4)
+			for s := 0; s < steps; s++ {
+				if ch := c.Report(a, iter[a]); ch != nil {
+					t.Fatal("idle report must not park")
+				}
+				iter[a]++
+			}
+		}
+		ready, err := c.Request(BothReplicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive every task to the cut synchronously, respecting the gate
+		// contract: a parked task reports nothing further.
+		parked := map[runtime.Addr]bool{}
+		for {
+			select {
+			case target := <-ready:
+				if target < last {
+					t.Fatalf("target regressed: %d after %d", target, last)
+				}
+				last = target
+				c.Release()
+				goto next
+			default:
+			}
+			for _, a := range addrs {
+				if parked[a] {
+					continue
+				}
+				if ch := c.Report(a, iter[a]); ch != nil {
+					parked[a] = true
+					continue
+				}
+				iter[a]++
+			}
+		}
+	next:
+		// After release, parked tasks resume from their parked iteration.
+		for _, a := range addrs {
+			iter[a]++
+		}
+	}
+}

@@ -1,0 +1,425 @@
+// Package core implements ACR itself: the automatic checkpoint/restart
+// framework of the paper. It drives a replicated application on the
+// message-driven runtime, takes coordinated in-memory checkpoints through
+// the §2.2 consensus protocol, detects silent data corruption by comparing
+// buddy checkpoints (byte-for-byte or by Fletcher checksum, §4.2), recovers
+// from fail-stop hard errors under the strong / medium / weak resilience
+// schemes (§2.3), and adapts the checkpoint interval to the observed
+// failure stream (§2.2).
+//
+// The Controller is application- and user-oblivious: applications only
+// implement runtime.Program (a Run loop plus a Pup method) and call
+// ctx.Progress once per iteration.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"acr/internal/consensus"
+	"acr/internal/failure"
+	"acr/internal/runtime"
+	"acr/internal/trace"
+)
+
+// Scheme is one of ACR's three resilience levels (§2.3).
+type Scheme int
+
+// Resilience schemes.
+const (
+	// Strong rolls the crashed replica back to the previous verified
+	// checkpoint: 100% SDC protection, maximal rework.
+	Strong Scheme = iota
+	// Medium forces an immediate checkpoint of the healthy replica and
+	// restarts the crashed replica from it: no rework, but SDC between
+	// the previous and the forced checkpoint goes undetected.
+	Medium
+	// Weak waits for the next periodic checkpoint and recovers the
+	// crashed replica from it: zero recovery overhead, a full checkpoint
+	// period without SDC protection.
+	Weak
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Strong:
+		return "strong"
+	case Medium:
+		return "medium"
+	case Weak:
+		return "weak"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Comparison selects the SDC-detection data exchange (§4.2).
+type Comparison int
+
+// Comparison methods.
+const (
+	// FullCompare ships the whole checkpoint to the buddy and compares
+	// byte by byte (precise mismatch attribution, mapping-sensitive
+	// network cost at scale).
+	FullCompare Comparison = iota
+	// ChecksumCompare ships only a position-dependent Fletcher checksum.
+	ChecksumCompare
+)
+
+func (c Comparison) String() string {
+	switch c {
+	case FullCompare:
+		return "full"
+	case ChecksumCompare:
+		return "checksum"
+	}
+	return fmt.Sprintf("Comparison(%d)", int(c))
+}
+
+// Estimator selects the failure-rate model behind the adaptive interval
+// (§2.2: "fit the actual observed failures during application execution to
+// a certain distribution").
+type Estimator int
+
+// Estimators.
+const (
+	// TrendEstimator fits a power-law (Crow-AMSAA) trend to the failure
+	// times and uses the current intensity — responsive to a globally
+	// decreasing or increasing rate. The default.
+	TrendEstimator Estimator = iota
+	// MeanEstimator uses the plain average inter-failure time — the
+	// classical stationary assumption.
+	MeanEstimator
+	// WeibullEstimator fits an i.i.d. Weibull renewal process to the
+	// gaps and uses the reciprocal hazard at the current failure-free
+	// age.
+	WeibullEstimator
+)
+
+func (e Estimator) String() string {
+	switch e {
+	case TrendEstimator:
+		return "trend"
+	case MeanEstimator:
+		return "mean"
+	case WeibullEstimator:
+		return "weibull"
+	}
+	return fmt.Sprintf("Estimator(%d)", int(e))
+}
+
+// Config describes an ACR job.
+type Config struct {
+	// Machine shape.
+	NodesPerReplica int
+	TasksPerNode    int
+	Spares          int
+	// Factory builds the application tasks.
+	Factory runtime.Factory
+	// Scheme is the resilience level.
+	Scheme Scheme
+	// Comparison is the SDC-detection method.
+	Comparison Comparison
+	// RelTol is the relative float tolerance for FullCompare (§4.1);
+	// ignored by ChecksumCompare, which is exact by construction.
+	RelTol float64
+	// CheckpointInterval is the base period between automatic
+	// checkpoints. Zero disables periodic checkpointing (hard-error-only
+	// mode, Figure 5a).
+	CheckpointInterval time.Duration
+	// Adaptive re-derives the interval from the observed failure rate
+	// after every failure (§2.2): tau = sqrt(2 * delta * MTBF_current),
+	// clamped to [MinInterval, MaxInterval].
+	Adaptive    bool
+	MinInterval time.Duration
+	MaxInterval time.Duration
+	// Estimator selects how the current MTBF is derived from the failure
+	// history in Adaptive mode.
+	Estimator Estimator
+	// SemiBlocking releases the application as soon as the local
+	// checkpoint capture completes and performs the inter-replica
+	// comparison while the application runs — the asynchronous
+	// checkpointing optimization of §4.2 [27]. Corruption found by the
+	// overlapped comparison still rolls both replicas back to the
+	// previous verified checkpoint; the application merely loses the
+	// work it did during the comparison window.
+	SemiBlocking bool
+	// Heartbeat failure detection parameters (see runtime.Config).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Timeline, if non-nil, receives checkpoint/failure/restart events.
+	Timeline *trace.Timeline
+	// MailboxCap forwards to runtime.Config.
+	MailboxCap int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.NodesPerReplica <= 0 || c.TasksPerNode <= 0:
+		return fmt.Errorf("core: invalid machine shape %dx%d", c.NodesPerReplica, c.TasksPerNode)
+	case c.Factory == nil:
+		return fmt.Errorf("core: Factory is required")
+	case c.Scheme < Strong || c.Scheme > Weak:
+		return fmt.Errorf("core: unknown scheme %d", c.Scheme)
+	case c.RelTol < 0:
+		return fmt.Errorf("core: negative RelTol")
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = c.CheckpointInterval / 8
+		if c.MinInterval <= 0 {
+			c.MinInterval = time.Millisecond
+		}
+	}
+	if c.MaxInterval <= 0 {
+		c.MaxInterval = 8 * c.CheckpointInterval
+		if c.MaxInterval <= 0 {
+			c.MaxInterval = time.Hour
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Checkpoints     int // committed checkpoint rounds
+	SDCDetected     int // mismatches that forced a double rollback
+	HardErrors      int // fail-stop failures recovered
+	Rollbacks       int // replica restarts from a checkpoint (any cause)
+	SparesUsed      int
+	AbortedRounds   int // checkpoint rounds interrupted by failures
+	Predicted       int // checkpoints taken on failure predictions (§2.2)
+	FinalInterval   time.Duration
+	CheckpointTimes []time.Duration // wall duration of each committed round
+	// BlockedTimes is the wall duration the application was actually
+	// paused per round; equals CheckpointTimes when blocking, and only
+	// the capture time under SemiBlocking.
+	BlockedTimes []time.Duration
+	Elapsed      time.Duration
+}
+
+// snapshot is one coordinated checkpoint: [node][task] packed states, one
+// copy per replica (each node stores its own local checkpoint; the buddy's
+// copy doubles as the remote checkpoint, §2.1).
+type snapshot struct {
+	data [2][][][]byte
+	when time.Time
+}
+
+func newSnapshotShell(nodes, tasks int) *snapshot {
+	s := &snapshot{}
+	for rep := 0; rep < 2; rep++ {
+		s.data[rep] = make([][][]byte, nodes)
+		for n := range s.data[rep] {
+			s.data[rep][n] = make([][]byte, tasks)
+		}
+	}
+	return s
+}
+
+// Controller runs an ACR job.
+type Controller struct {
+	cfg     Config
+	machine *runtime.Machine
+	coord   *consensus.Coordinator
+
+	committed *snapshot // last verified (or trusted) checkpoint; nil = job start
+	history   failure.History
+	interval  time.Duration
+	start     time.Time
+	stats     Stats
+
+	// pendingWeak[rep] marks a crashed replica awaiting weak-scheme
+	// recovery at the next periodic checkpoint.
+	pendingWeak [2]bool
+	// pendingSDC queues safe-point corruption injections: at the next
+	// checkpoint round, just before packing, one random bit of the
+	// task's user data is flipped (§6.1). Guarded by sdcMu: injections
+	// may arrive from other goroutines while the run loop drains them.
+	sdcMu      sync.Mutex
+	pendingSDC []runtime.Addr
+	// injectSeed drives deterministic corruption placement.
+	injectSeed int64
+
+	waitErr   chan error
+	predictCh chan struct{}
+}
+
+// New builds a controller. Call Run to execute the job.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	coord := consensus.New(cfg.NodesPerReplica, cfg.TasksPerNode)
+	m, err := runtime.NewMachine(runtime.Config{
+		NodesPerReplica:   cfg.NodesPerReplica,
+		TasksPerNode:      cfg.TasksPerNode,
+		Spares:            cfg.Spares,
+		Factory:           cfg.Factory,
+		Gate:              coord,
+		MailboxCap:        cfg.MailboxCap,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:        cfg,
+		machine:    m,
+		coord:      coord,
+		interval:   cfg.CheckpointInterval,
+		injectSeed: 1,
+		waitErr:    make(chan error, 1),
+		predictCh:  make(chan struct{}, 8),
+	}, nil
+}
+
+// PredictFailure notifies ACR of an anticipated hard error (an online
+// failure predictor's output, §2.2): the controller schedules an immediate
+// dynamic checkpoint, so that if the predicted failure materializes the
+// rework window is nearly empty. Safe to call from any goroutine.
+func (c *Controller) PredictFailure() {
+	select {
+	case c.predictCh <- struct{}{}:
+	default: // a prediction is already queued; one checkpoint suffices
+	}
+}
+
+// Machine exposes the underlying runtime machine (for tests and demos).
+func (c *Controller) Machine() *runtime.Machine { return c.machine }
+
+// InjectSDCAtNextCheckpoint schedules a single-bit corruption of the given
+// task's user data at the next checkpoint round (applied at the quiescent
+// point just before packing, which makes the injection race-free while
+// preserving the paper's semantics: corrupted state enters the local
+// checkpoint and is caught — or missed — by the comparison).
+func (c *Controller) InjectSDCAtNextCheckpoint(addr runtime.Addr) {
+	c.sdcMu.Lock()
+	c.pendingSDC = append(c.pendingSDC, addr)
+	c.sdcMu.Unlock()
+}
+
+// KillNode injects a fail-stop error (for tests/demos without an external
+// failure plan).
+func (c *Controller) KillNode(rep, node int) { c.machine.Kill(rep, node) }
+
+func (c *Controller) now() float64 { return time.Since(c.start).Seconds() }
+
+func (c *Controller) mark(k trace.Kind, detail string) {
+	if c.cfg.Timeline != nil {
+		c.cfg.Timeline.Add(c.now(), k, detail)
+	}
+}
+
+// Run executes the job to completion, handling failures per the configured
+// scheme. It returns the run statistics and the first unrecoverable error,
+// if any.
+func (c *Controller) Run() (Stats, error) {
+	c.start = time.Now()
+	c.machine.Start()
+	go func() { c.waitErr <- c.machine.Wait() }()
+
+	err := c.eventLoop()
+	c.machine.Stop()
+	c.stats.FinalInterval = c.interval
+	c.stats.Elapsed = time.Since(c.start)
+	return c.stats, err
+}
+
+func (c *Controller) eventLoop() error {
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	arm := func() {
+		if c.cfg.CheckpointInterval <= 0 {
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		timer = time.NewTimer(c.interval)
+		timerC = timer.C
+	}
+	arm()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	for {
+		select {
+		case err := <-c.waitErr:
+			if err != nil {
+				return err
+			}
+			if c.machine.Done() {
+				return nil
+			}
+			// Stale completion: the job finished but was rolled back
+			// since; re-arm the waiter.
+			go func() { c.waitErr <- c.machine.Wait() }()
+		case f := <-c.machine.Failures():
+			if err := c.handleFailure(f); err != nil {
+				return err
+			}
+			arm()
+		case <-timerC:
+			if err := c.checkpointRound(); err != nil {
+				return err
+			}
+			arm()
+		case <-c.predictCh:
+			c.stats.Predicted++
+			c.mark(trace.Progress, "failure predicted: dynamic checkpoint")
+			if err := c.checkpointRound(); err != nil {
+				return err
+			}
+			arm()
+		}
+	}
+}
+
+// adaptInterval re-derives the checkpoint period from the failure history
+// using the Young/Daly first-order optimum with the *current* fitted MTBF.
+func (c *Controller) adaptInterval() {
+	if !c.cfg.Adaptive {
+		return
+	}
+	var mtbf float64
+	var ok bool
+	switch c.cfg.Estimator {
+	case MeanEstimator:
+		mtbf, ok = c.history.MeanMTBF()
+	case WeibullEstimator:
+		mtbf, ok = c.history.WeibullMTBF(c.now())
+	default:
+		mtbf, ok = c.history.CurrentMTBF(c.now())
+	}
+	if !ok {
+		return
+	}
+	delta := c.avgCheckpointSeconds()
+	tau := math.Sqrt(2 * delta * mtbf)
+	d := time.Duration(tau * float64(time.Second))
+	if d < c.cfg.MinInterval {
+		d = c.cfg.MinInterval
+	}
+	if d > c.cfg.MaxInterval {
+		d = c.cfg.MaxInterval
+	}
+	c.interval = d
+}
+
+func (c *Controller) avgCheckpointSeconds() float64 {
+	if len(c.stats.CheckpointTimes) == 0 {
+		// No measurement yet: assume the configured interval targets
+		// ~1% overhead.
+		return c.cfg.CheckpointInterval.Seconds() / 100
+	}
+	var sum time.Duration
+	for _, d := range c.stats.CheckpointTimes {
+		sum += d
+	}
+	return (sum / time.Duration(len(c.stats.CheckpointTimes))).Seconds()
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"acr/internal/runtime"
+)
+
+// TestSemiBlockingCheckpointing: the §4.2 asynchronous-checkpointing
+// extension must preserve all correctness properties — SDC detection,
+// rollback, exact recovery — while pausing the application only for the
+// local capture.
+func TestSemiBlockingCheckpointing(t *testing.T) {
+	cfg := baseConfig(2, 2, 4000)
+	cfg.SemiBlocking = true
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.InjectSDCAtNextCheckpoint(runtime.Addr{Replica: 0, Node: 0, Task: 1})
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SDCDetected == 0 {
+		t.Fatal("semi-blocking comparison missed the injected corruption")
+	}
+	if stats.Checkpoints == 0 {
+		t.Fatal("no checkpoints committed")
+	}
+	if len(stats.BlockedTimes) != stats.Checkpoints {
+		t.Fatalf("blocked-time records %d != checkpoints %d", len(stats.BlockedTimes), stats.Checkpoints)
+	}
+	for i, bt := range stats.BlockedTimes {
+		if bt > stats.CheckpointTimes[i] {
+			t.Fatalf("round %d: blocked %v exceeds total %v", i, bt, stats.CheckpointTimes[i])
+		}
+	}
+	verifyFinalState(t, ctrl, 2, 2, 4000)
+}
+
+func TestSemiBlockingWithHardError(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.SemiBlocking = true
+	cfg.Scheme = Weak
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(12 * time.Millisecond)
+		ctrl.KillNode(0, 0)
+	}()
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HardErrors != 1 {
+		t.Fatalf("hard errors = %d, want 1", stats.HardErrors)
+	}
+	verifyFinalState(t, ctrl, 2, 2, 8000)
+}
+
+// TestPredictedCheckpoint: a failure prediction triggers an immediate
+// dynamic checkpoint even with periodic checkpointing disabled, so the
+// subsequent failure loses (almost) no work.
+func TestPredictedCheckpoint(t *testing.T) {
+	cfg := baseConfig(2, 1, 20000)
+	cfg.Scheme = Strong
+	cfg.CheckpointInterval = 0 // no periodic cadence at all
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		ctrl.PredictFailure()
+		time.Sleep(30 * time.Millisecond)
+		ctrl.KillNode(1, 0) // the prediction comes true
+	}()
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Predicted != 1 {
+		t.Fatalf("predicted checkpoints = %d, want 1", stats.Predicted)
+	}
+	// The dynamic checkpoint either commits or — if the kill raced into
+	// the round under scheduler load — aborts it; both prove the
+	// prediction drove a round.
+	if stats.Checkpoints < 1 && stats.AbortedRounds < 1 {
+		t.Fatal("prediction should have produced a checkpoint round")
+	}
+	if stats.HardErrors != 1 {
+		t.Fatalf("hard errors = %d, want 1", stats.HardErrors)
+	}
+	verifyFinalState(t, ctrl, 2, 1, 20000)
+}
+
+func TestPredictionCoalesces(t *testing.T) {
+	ctrl, err := New(baseConfig(1, 1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flooding predictions before Run must not panic or block; the
+	// channel coalesces beyond its buffer.
+	for i := 0; i < 100; i++ {
+		ctrl.PredictFailure()
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Predicted == 0 {
+		t.Fatal("queued predictions were lost entirely")
+	}
+}

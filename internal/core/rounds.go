@@ -1,0 +1,386 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"acr/internal/checksum"
+	"acr/internal/consensus"
+	"acr/internal/failure"
+	"acr/internal/pup"
+	"acr/internal/runtime"
+	"acr/internal/trace"
+)
+
+// checkpointRound performs one automatic checkpoint: weak-scheme recovery
+// if one is pending, otherwise a coordinated two-replica checkpoint with
+// SDC detection.
+func (c *Controller) checkpointRound() error {
+	switch {
+	case c.pendingWeak[0] && c.pendingWeak[1]:
+		// Both replicas lost nodes before recovery: fall back to the
+		// previous checkpoint (§2.3, weak scheme's failure case).
+		c.pendingWeak[0], c.pendingWeak[1] = false, false
+		c.mark(trace.Restart, "double failure: rollback to previous checkpoint")
+		return c.rollbackBoth()
+	case c.pendingWeak[0]:
+		return c.recoveryCheckpoint(0)
+	case c.pendingWeak[1]:
+		return c.recoveryCheckpoint(1)
+	}
+	return c.normalRound()
+}
+
+// normalRound checkpoints both replicas and cross-checks buddies.
+func (c *Controller) normalRound() error {
+	began := time.Now()
+	ready, err := c.coord.Request(consensus.BothReplicas)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint request: %w", err)
+	}
+	ok, err := c.awaitReady(ready)
+	if err != nil || !ok {
+		return err
+	}
+	// All tasks are parked (or done): apply any scheduled SDC
+	// injections, then capture both replicas.
+	c.applyPendingSDC(consensus.BothReplicas)
+	snap, err := c.captureBoth()
+	if err != nil {
+		c.coord.Release()
+		return err
+	}
+	blocked := time.Since(began)
+	if c.cfg.SemiBlocking {
+		// Asynchronous checkpointing (§4.2 [27]): the application
+		// resumes as soon as the local capture is done; the exchange
+		// and comparison overlap with execution. The tolerance-aware
+		// live-state comparison is unavailable here (the state is
+		// moving again), so the captured bytes are compared directly.
+		c.coord.Release()
+	}
+	mismatch, err := c.compare(snap)
+	if err != nil {
+		if !c.cfg.SemiBlocking {
+			c.coord.Release()
+		}
+		return err
+	}
+	if mismatch != "" {
+		// Silent data corruption: both replicas roll back to the
+		// previous safely stored checkpoint (§2.1). Under semi-blocking
+		// the application also loses the overlap window it just ran.
+		c.stats.SDCDetected++
+		c.mark(trace.Failure, "sdc detected: "+mismatch)
+		if !c.cfg.SemiBlocking {
+			c.coord.Release()
+		}
+		return c.rollbackBoth()
+	}
+	c.commit(snap, began)
+	c.stats.BlockedTimes = append(c.stats.BlockedTimes, blocked)
+	if !c.cfg.SemiBlocking {
+		c.coord.Release()
+	}
+	return nil
+}
+
+// recoveryCheckpoint is the weak-scheme recovery: the healthy replica
+// checkpoints, and the crashed replica is restored from it (Figure 5d).
+// The same path implements the medium scheme's forced checkpoint when
+// called directly from handleFailure (Figure 5c).
+func (c *Controller) recoveryCheckpoint(crashed int) error {
+	healthy := 1 - crashed
+	began := time.Now()
+	ready, err := c.coord.Request(consensus.OnlyReplica(healthy))
+	if err != nil {
+		return fmt.Errorf("core: recovery checkpoint request: %w", err)
+	}
+	ok, err := c.awaitReady(ready)
+	if err != nil || !ok {
+		return err
+	}
+	c.applyPendingSDC(consensus.OnlyReplica(healthy))
+	snap := newSnapshotShell(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)
+	snap.when = time.Now()
+	for n := 0; n < c.cfg.NodesPerReplica; n++ {
+		for t := 0; t < c.cfg.TasksPerNode; t++ {
+			data, err := c.machine.PackTask(runtime.Addr{Replica: healthy, Node: n, Task: t})
+			if err != nil {
+				c.coord.Release()
+				return fmt.Errorf("core: pack healthy replica: %w", err)
+			}
+			// The healthy node's local checkpoint is simultaneously the
+			// remote checkpoint of its buddy in the crashed replica:
+			// "sends the checkpoint to the crashed replica" (§2.3).
+			snap.data[healthy][n][t] = data
+			snap.data[crashed][n][t] = data
+		}
+	}
+	// This checkpoint is trusted without comparison: SDC that struck the
+	// healthy replica since the last verified checkpoint is undetectable
+	// here — the medium/weak vulnerability window of §2.3 and Figure 7b.
+	c.committed = snap
+	c.stats.Checkpoints++
+	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
+	c.mark(trace.Checkpoint, fmt.Sprintf("recovery checkpoint by replica %d", healthy))
+	// Restore the crashed replica from the fresh checkpoint.
+	if err := c.restartReplicaFrom(crashed, snap); err != nil {
+		c.coord.Release()
+		return err
+	}
+	c.mark(trace.Restart, fmt.Sprintf("replica %d restored from replica %d's checkpoint", crashed, healthy))
+	c.pendingWeak[crashed] = false
+	c.coord.Release()
+	return nil
+}
+
+// awaitReady waits for the consensus cut while staying responsive to
+// failures and job completion. It returns ok=false when the round was
+// aborted (a failure won the race and was handled).
+func (c *Controller) awaitReady(ready <-chan int) (bool, error) {
+	wait := c.waitErr
+	for {
+		select {
+		case <-ready:
+			return true, nil
+		case f := <-c.machine.Failures():
+			// A hard error interrupts the round: abort, recover, retry
+			// at the next period.
+			c.stats.AbortedRounds++
+			c.coord.Release()
+			if err := c.handleFailure(f); err != nil {
+				return false, err
+			}
+			return false, nil
+		case err := <-wait:
+			if err != nil {
+				c.coord.Release()
+				return false, err
+			}
+			// Job completed: the cut is trivially ready (completed
+			// tasks count as parked), so it will fire momentarily.
+			// Hand the completion signal back for the event loop and
+			// stop watching it here.
+			go func() { c.waitErr <- c.machine.Wait() }()
+			wait = nil
+		}
+	}
+}
+
+// captureBoth packs every task of both replicas while parked.
+func (c *Controller) captureBoth() (*snapshot, error) {
+	snap := newSnapshotShell(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)
+	snap.when = time.Now()
+	for rep := 0; rep < 2; rep++ {
+		for n := 0; n < c.cfg.NodesPerReplica; n++ {
+			for t := 0; t < c.cfg.TasksPerNode; t++ {
+				data, err := c.machine.PackTask(runtime.Addr{Replica: rep, Node: n, Task: t})
+				if err != nil {
+					return nil, fmt.Errorf("core: pack r%d/n%d/t%d: %w", rep, n, t, err)
+				}
+				snap.data[rep][n][t] = data
+			}
+		}
+	}
+	return snap, nil
+}
+
+// compare cross-checks buddy checkpoints and returns a description of the
+// first mismatch ("" when clean).
+func (c *Controller) compare(snap *snapshot) (string, error) {
+	for n := 0; n < c.cfg.NodesPerReplica; n++ {
+		for t := 0; t < c.cfg.TasksPerNode; t++ {
+			local := snap.data[1][n][t]  // replica 2's local checkpoint
+			remote := snap.data[0][n][t] // buddy's checkpoint, shipped over
+			switch c.cfg.Comparison {
+			case ChecksumCompare:
+				if checksum.Fletcher64(remote) != checksum.Fletcher64(local) {
+					return fmt.Sprintf("checksum mismatch at n%d/t%d", n, t), nil
+				}
+			case FullCompare:
+				if c.cfg.RelTol == 0 || c.cfg.SemiBlocking {
+					// Exact comparison on the captured bytes. The
+					// tolerance-aware checker needs the live state to
+					// be quiescent, so semi-blocking mode always
+					// compares captures.
+					if !bytes.Equal(remote, local) {
+						return fmt.Sprintf("byte mismatch at n%d/t%d", n, t), nil
+					}
+					continue
+				}
+				// Tolerance-aware comparison via the checker PUPer
+				// against replica 2's live (parked) state.
+				res, err := c.machine.CheckTask(runtime.Addr{Replica: 1, Node: n, Task: t}, remote, c.cfg.RelTol)
+				if err != nil {
+					return fmt.Sprintf("structural divergence at n%d/t%d: %v", n, t, err), nil
+				}
+				if !res.Match {
+					return fmt.Sprintf("mismatch at n%d/t%d: %v", n, t, res.Mismatches[0]), nil
+				}
+			}
+		}
+	}
+	return "", nil
+}
+
+func (c *Controller) commit(snap *snapshot, began time.Time) {
+	c.committed = snap
+	c.stats.Checkpoints++
+	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
+	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed", c.stats.Checkpoints))
+}
+
+// handleFailure recovers from one detected fail-stop error per the
+// configured scheme.
+func (c *Controller) handleFailure(f runtime.Failure) error {
+	if c.machine.Alive(f.Replica, f.Node) {
+		// False suspicion (the node answered after all): ignore.
+		return nil
+	}
+	c.stats.HardErrors++
+	c.history.Record(c.now())
+	c.mark(trace.Failure, fmt.Sprintf("hard error r%d/n%d", f.Replica, f.Node))
+	c.adaptInterval()
+
+	if err := c.machine.ReplaceWithSpare(f.Replica, f.Node); err != nil {
+		return fmt.Errorf("core: unrecoverable hard error at r%d/n%d: %w", f.Replica, f.Node, err)
+	}
+	c.stats.SparesUsed++
+
+	other := 1 - f.Replica
+	if c.pendingWeak[f.Replica] {
+		// Another node of an already-crashed replica: the pending
+		// recovery will restore the whole replica anyway.
+		return nil
+	}
+	if c.pendingWeak[other] {
+		// Both replicas have now lost nodes before recovery completed:
+		// roll everything back to the previous checkpoint (§2.3).
+		c.pendingWeak[other] = false
+		c.mark(trace.Restart, "failure in healthy replica during pending recovery")
+		return c.rollbackBoth()
+	}
+
+	switch c.cfg.Scheme {
+	case Strong:
+		// Roll the crashed replica back to the previous checkpoint; the
+		// restarting node's state comes from its buddy's local
+		// checkpoint, every other node uses its own (§2.3). The healthy
+		// replica keeps running and waits at the next checkpoint for
+		// the crashed replica to catch up (Figure 4a).
+		c.mark(trace.Restart, fmt.Sprintf("strong: replica %d rolls back", f.Replica))
+		return c.rollbackReplica(f.Replica)
+	case Medium:
+		// Force an immediate checkpoint in the healthy replica and
+		// restart the crashed replica from it (Figure 4b).
+		c.mark(trace.Restart, fmt.Sprintf("medium: immediate checkpoint by replica %d", other))
+		c.pendingWeak[f.Replica] = true // reuse the recovery path
+		return c.recoveryCheckpoint(f.Replica)
+	case Weak:
+		// Do nothing now; the next periodic checkpoint doubles as the
+		// recovery source (Figure 4c).
+		c.pendingWeak[f.Replica] = true
+		return nil
+	}
+	return fmt.Errorf("core: unknown scheme %v", c.cfg.Scheme)
+}
+
+// rollbackReplica restarts one replica from the committed checkpoint (or
+// from the beginning when none exists).
+func (c *Controller) rollbackReplica(rep int) error {
+	c.machine.StopReplica(rep)
+	c.coord.ForgetProgress(rep)
+	c.coord.Undone(rep)
+	var ckpts [][][]byte
+	if c.committed != nil {
+		ckpts = c.committed.data[rep]
+	} else {
+		ckpts = emptySet(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)
+	}
+	if err := c.machine.RestartReplica(rep, ckpts); err != nil {
+		return fmt.Errorf("core: restart replica %d: %w", rep, err)
+	}
+	c.stats.Rollbacks++
+	return nil
+}
+
+// restartReplicaFrom restarts a replica from a specific snapshot (the
+// medium/weak recovery transfer).
+func (c *Controller) restartReplicaFrom(rep int, snap *snapshot) error {
+	c.machine.StopReplica(rep)
+	c.coord.ForgetProgress(rep)
+	c.coord.Undone(rep)
+	if err := c.machine.RestartReplica(rep, snap.data[rep]); err != nil {
+		return fmt.Errorf("core: restart replica %d: %w", rep, err)
+	}
+	c.stats.Rollbacks++
+	return nil
+}
+
+func (c *Controller) rollbackBoth() error {
+	for rep := 0; rep < 2; rep++ {
+		if err := c.rollbackReplica(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emptySet(nodes, tasks int) [][][]byte {
+	out := make([][][]byte, nodes)
+	for n := range out {
+		out[n] = make([][]byte, tasks)
+	}
+	return out
+}
+
+// applyPendingSDC flips one random bit in each scheduled task's user data.
+// Injection happens at the quiescent point just before packing, emulating
+// the paper's injector (§6.1) without racing the application.
+func (c *Controller) applyPendingSDC(scope consensus.Scope) {
+	c.sdcMu.Lock()
+	pending := c.pendingSDC
+	c.pendingSDC = nil
+	c.sdcMu.Unlock()
+	var rest []runtime.Addr
+	for _, addr := range pending {
+		if !scope[addr.Replica] {
+			rest = append(rest, addr)
+			continue
+		}
+		c.corruptTask(addr)
+	}
+	if len(rest) > 0 {
+		c.sdcMu.Lock()
+		c.pendingSDC = append(rest, c.pendingSDC...)
+		c.sdcMu.Unlock()
+	}
+}
+
+// corruptTask flips one random non-structural bit in the task's pup'd
+// state: pack, flip, verify the flip still unpacks (retrying bits that land
+// in length prefixes), then write the corrupted state back into the live
+// program.
+func (c *Controller) corruptTask(addr runtime.Addr) {
+	rng := rand.New(rand.NewSource(c.injectSeed))
+	c.injectSeed++
+	c.machine.CorruptTask(addr, func(p pup.Pupable) {
+		data, err := pup.Pack(p)
+		if err != nil || len(data) == 0 {
+			return
+		}
+		probe := c.cfg.Factory(addr)
+		for attempt := 0; attempt < 64; attempt++ {
+			i, b := failure.FlipBit(data, rng)
+			if pup.Unpack(data, probe) == nil {
+				_ = pup.Unpack(data, p)
+				c.mark(trace.Progress, fmt.Sprintf("sdc injected at %v byte %d bit %d", addr, i, b))
+				return
+			}
+			data[i] ^= 1 << b // structural hit: restore and retry
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveBeatsFixedUnderBurstyFailures(t *testing.T) {
+	ad, fx := AdaptiveVsFixed(DefaultAdaptiveAblationConfig())
+	if ad.Policy != "adaptive" || fx.Policy != "fixed" {
+		t.Fatal("policies mislabelled")
+	}
+	if ad.UsefulFraction <= 0 || ad.UsefulFraction > 1 || fx.UsefulFraction <= 0 || fx.UsefulFraction > 1 {
+		t.Fatalf("useful fractions out of range: %v / %v", ad.UsefulFraction, fx.UsefulFraction)
+	}
+	// The §2.2 claim (and [4, 20]): dynamic scheduling beats a fixed
+	// interval when the failure rate is non-stationary.
+	if ad.UsefulFraction < fx.UsefulFraction {
+		t.Errorf("adaptive (%.4f) should not lose to fixed (%.4f) under k=0.6 failures",
+			ad.UsefulFraction, fx.UsefulFraction)
+	}
+	// Adaptive trades denser early checkpoints for less rework.
+	if ad.ReworkSeconds >= fx.ReworkSeconds {
+		t.Errorf("adaptive rework (%.1fs) should be below fixed (%.1fs)",
+			ad.ReworkSeconds, fx.ReworkSeconds)
+	}
+}
+
+func TestAdaptiveEquivalentUnderPoisson(t *testing.T) {
+	// Under a stationary (k=1) process the fixed Young/Daly interval is
+	// already optimal; adaptive must not be much worse.
+	cfg := DefaultAdaptiveAblationConfig()
+	cfg.Shape = 1.0
+	ad, fx := AdaptiveVsFixed(cfg)
+	if diff := fx.UsefulFraction - ad.UsefulFraction; diff > 0.01 {
+		t.Errorf("adaptive should be within 1%% of fixed under Poisson failures, gap %.4f", diff)
+	}
+}
+
+func TestDualVsTMRSweep(t *testing.T) {
+	rows, cross, err := DualVsTMRSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatal("sweep too short")
+	}
+	// Dual wins at the paper's operating points (<= 10K FIT).
+	for _, r := range rows {
+		if r.FIT <= 1e4 && r.TMRWins {
+			t.Errorf("TMR should not win at %v FIT", r.FIT)
+		}
+	}
+	// TMR wins at the top of the sweep.
+	if !rows[len(rows)-1].TMRWins {
+		t.Error("TMR should win at 3M FIT")
+	}
+	// The crossover lies inside the sweep and separates the regimes.
+	if cross <= 1e4 || cross > 3e6 {
+		t.Errorf("crossover %.0f FIT outside the expected band", cross)
+	}
+	// Dual utilization decreases with FIT; TMR stays nearly flat.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DualUtil > rows[i-1].DualUtil+1e-9 {
+			t.Error("dual utilization should fall as SDC rate grows")
+		}
+	}
+	// TMR utilization is nearly insensitive to the SDC rate while the
+	// per-corruption vote cost is amortized (up to ~1e5 FIT); beyond
+	// that even voting pays, but far less than re-execution does.
+	var tmrAt10, tmrAt1e5 float64
+	for _, r := range rows {
+		if r.FIT == 10 {
+			tmrAt10 = r.TMRUtil
+		}
+		if r.FIT == 1e5 {
+			tmrAt1e5 = r.TMRUtil
+		}
+	}
+	if tmrAt10-tmrAt1e5 > 0.02 {
+		t.Errorf("TMR utilization should be nearly flat to 1e5 FIT: %.3f -> %.3f", tmrAt10, tmrAt1e5)
+	}
+}
+
+func TestSemiBlockingAblation(t *testing.T) {
+	rows, err := SemiBlockingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 apps, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SemiSeconds >= r.BlockingSeconds {
+			t.Errorf("%s: overlapping must reduce the pause", r.App)
+		}
+		if r.HiddenFraction <= 0 || r.HiddenFraction >= 1 {
+			t.Errorf("%s: hidden fraction %v out of (0,1)", r.App, r.HiddenFraction)
+		}
+	}
+	// High-memory-pressure apps hide the most (transfer dominates).
+	byName := map[string]SemiBlockingRow{}
+	for _, r := range rows {
+		byName[r.App] = r
+	}
+	if byName["Jacobi3D Charm++"].HiddenFraction < 0.8 {
+		t.Errorf("Jacobi3D should hide most of the round: %v", byName["Jacobi3D Charm++"].HiddenFraction)
+	}
+}
+
+func TestDiskAblation(t *testing.T) {
+	pts, err := DiskAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 4 {
+		t.Fatal("sweep too short")
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// Disk checkpointing wins small, loses big (§1).
+	if first.DiskUtil <= first.ACRUtil {
+		t.Error("disk should win at 4K sockets")
+	}
+	if last.ACRUtil <= last.DiskUtil {
+		t.Errorf("ACR (%.3f) should beat disk (%.3f) at 1M sockets", last.ACRUtil, last.DiskUtil)
+	}
+	// Disk delta grows linearly with sockets.
+	if last.DiskDelta < first.DiskDelta*100 {
+		t.Error("disk delta should grow ~linearly with the machine")
+	}
+}
+
+func TestFprintAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FprintAblations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation D", "crossover", "adaptive", "TMR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

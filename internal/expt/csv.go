@@ -1,0 +1,187 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"acr/internal/model"
+)
+
+// CSV emitters: machine-readable counterparts of the Fprint renderers, one
+// row per plotted point, suitable for gnuplot/pandas. Only the
+// deterministic (model/network) figures have CSV forms; the live Figure 5
+// runs are event logs, not series.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteFig1CSV emits the Figure 1 surfaces.
+func WriteFig1CSV(w io.Writer) error {
+	var rows [][]string
+	for _, p := range Fig1() {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Sockets), f(p.FIT),
+			f(p.NoFTUtil), f(p.NoFTVuln),
+			f(p.CkptUtil), f(p.CkptVuln),
+			f(p.ACRUtil), f(p.ACRVuln),
+		})
+	}
+	return writeCSV(w, []string{"sockets", "fit", "noft_util", "noft_vuln", "ckpt_util", "ckpt_vuln", "acr_util", "acr_vuln"}, rows)
+}
+
+// WriteFig4CSV emits the per-scheme progress series.
+func WriteFig4CSV(w io.Writer) error {
+	var rows [][]string
+	for _, s := range Fig4() {
+		for i := range s.Times {
+			rows = append(rows, []string{
+				s.Scheme.String(), f(s.Times[i]), f(s.Progress1[i]), f(s.Progress2[i]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"scheme", "time", "progress_replica1", "progress_replica2"}, rows)
+}
+
+// WriteFig6CSV emits the mapping link-load summary.
+func WriteFig6CSV(w io.Writer) error {
+	var rows [][]string
+	for _, r := range Fig6() {
+		rows = append(rows, []string{r.Scheme.String(), strconv.Itoa(r.MaxLinkLoad), strconv.Itoa(r.TotalLinkHops)})
+	}
+	return writeCSV(w, []string{"mapping", "max_link_load", "total_link_hops"}, rows)
+}
+
+// WriteFig7CSV emits both Figure 7 panels.
+func WriteFig7CSV(w io.Writer) error {
+	rows7, err := Fig7()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range rows7 {
+		for _, sch := range model.Schemes() {
+			rows = append(rows, []string{
+				strconv.Itoa(r.SocketsPerReplica), f(r.Delta), sch.String(),
+				f(r.Tau[sch]), f(r.Util[sch]), f(r.Undetected[sch]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"sockets_per_replica", "delta_s", "scheme", "tau_s", "utilization", "undetected_sdc_prob"}, rows)
+}
+
+// WriteFig8CSV emits the checkpoint-overhead decomposition.
+func WriteFig8CSV(w io.Writer) error {
+	rows8, err := Fig8()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range rows8 {
+		rows = append(rows, []string{
+			r.App, strconv.Itoa(r.CoresPerReplica), r.Variant,
+			f(r.Cost.Local), f(r.Cost.Transfer), f(r.Cost.Compare), f(r.Cost.Total()),
+		})
+	}
+	return writeCSV(w, []string{"app", "cores_per_replica", "variant", "local_s", "transfer_s", "compare_s", "total_s"}, rows)
+}
+
+// WriteFig9CSV emits the forward-path overheads.
+func WriteFig9CSV(w io.Writer) error {
+	return writeOverheadCSV(w, Fig9)
+}
+
+// WriteFig11CSV emits the overall overheads.
+func WriteFig11CSV(w io.Writer) error {
+	return writeOverheadCSV(w, Fig11)
+}
+
+func writeOverheadCSV(w io.Writer, gen func() ([]OverheadRow, error)) error {
+	data, err := gen()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range data {
+		rows = append(rows, []string{
+			r.App, strconv.Itoa(r.SocketsPerReplica), r.Scheme.String(), r.Variant,
+			f(r.Delta), f(r.Tau), f(r.OverheadPct),
+		})
+	}
+	return writeCSV(w, []string{"app", "sockets_per_replica", "scheme", "variant", "delta_s", "tau_s", "overhead_pct"}, rows)
+}
+
+// WriteFig10CSV emits the restart-overhead decomposition.
+func WriteFig10CSV(w io.Writer) error {
+	rows10, err := Fig10()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range rows10 {
+		rows = append(rows, []string{
+			r.App, strconv.Itoa(r.CoresPerReplica), r.Variant,
+			f(r.Cost.Transfer), f(r.Cost.Reconstruction), f(r.Cost.Total()),
+		})
+	}
+	return writeCSV(w, []string{"app", "cores_per_replica", "variant", "transfer_s", "reconstruction_s", "total_s"}, rows)
+}
+
+// WriteFig12CSV emits the adaptivity run's checkpoint/failure series.
+func WriteFig12CSV(w io.Writer) error {
+	res, err := Fig12(DefaultFig12Config())
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, t := range res.CheckpointTimes {
+		rows = append(rows, []string{"checkpoint", f(t), ""})
+	}
+	for _, t := range res.FailureTimes {
+		rows = append(rows, []string{"failure", f(t), ""})
+	}
+	for _, tp := range res.TauTrace {
+		rows = append(rows, []string{"tau", f(tp.Time), f(tp.Tau)})
+	}
+	return writeCSV(w, []string{"event", "time_s", "value"}, rows)
+}
+
+// WriteCSV dispatches a figure number to its CSV emitter.
+func WriteCSV(w io.Writer, fig int) error {
+	switch fig {
+	case 1:
+		return WriteFig1CSV(w)
+	case 4:
+		return WriteFig4CSV(w)
+	case 6:
+		return WriteFig6CSV(w)
+	case 7:
+		return WriteFig7CSV(w)
+	case 8:
+		return WriteFig8CSV(w)
+	case 9:
+		return WriteFig9CSV(w)
+	case 10:
+		return WriteFig10CSV(w)
+	case 11:
+		return WriteFig11CSV(w)
+	case 12:
+		return WriteFig12CSV(w)
+	default:
+		return fmt.Errorf("expt: no CSV form for figure %d", fig)
+	}
+}

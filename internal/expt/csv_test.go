@@ -1,0 +1,116 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// parseCSV reads back an emitted CSV and returns header + rows.
+func parseCSV(t *testing.T, buf *bytes.Buffer) ([]string, [][]string) {
+	t.Helper()
+	r := csv.NewReader(buf)
+	all, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatal("CSV has no data rows")
+	}
+	return all[0], all[1:]
+}
+
+func TestCSVAllFigures(t *testing.T) {
+	wantRows := map[int]int{
+		1:  len(Fig1Sockets()) * len(Fig1FITs()),
+		6:  3,
+		7:  len(Fig7Sockets()) * len(Fig7Deltas()) * 3,
+		8:  6 * len(Fig8Cores()) * len(Fig8Variants()),
+		9:  len(Fig9Apps()) * len(Fig9Sockets()) * len(Fig9Variants()) * 3,
+		10: 6 * len(Fig8Cores()) * 4,
+		11: len(Fig9Apps()) * len(Fig9Sockets()) * len(Fig9Variants()) * 3,
+	}
+	for fig, want := range wantRows {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, fig); err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+		header, rows := parseCSV(t, &buf)
+		if len(rows) != want {
+			t.Errorf("fig %d: %d rows, want %d", fig, len(rows), want)
+		}
+		for i, row := range rows {
+			if len(row) != len(header) {
+				t.Fatalf("fig %d row %d: %d fields, header has %d", fig, i, len(row), len(header))
+			}
+		}
+	}
+}
+
+func TestCSVFig1Parseable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig1CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, rows := parseCSV(t, &buf)
+	for _, row := range rows {
+		for col := 2; col < 8; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("column %d not numeric: %q", col, row[col])
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("utilization/vulnerability %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestCSVFig12Events(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 12); err != nil {
+		t.Fatal(err)
+	}
+	_, rows := parseCSV(t, &buf)
+	kinds := map[string]int{}
+	for _, row := range rows {
+		kinds[row[0]]++
+	}
+	if kinds["failure"] != 19 {
+		t.Errorf("failures in CSV = %d, want 19", kinds["failure"])
+	}
+	if kinds["checkpoint"] < 10 || kinds["tau"] == 0 {
+		t.Errorf("CSV incomplete: %v", kinds)
+	}
+}
+
+func TestCSVFig4Series(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	_, rows := parseCSV(t, &buf)
+	schemes := map[string]int{}
+	for _, row := range rows {
+		schemes[row[0]]++
+	}
+	if len(schemes) != 3 {
+		t.Fatalf("expected three schemes, got %v", schemes)
+	}
+	for sch, n := range schemes {
+		if n < 50 {
+			t.Errorf("%s series too short: %d samples", sch, n)
+		}
+	}
+}
+
+func TestCSVUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, 99); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+	if err := WriteCSV(&buf, 5); err == nil {
+		t.Fatal("figure 5 has no CSV form")
+	}
+}

@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"acr/internal/model"
+)
+
+// Fig1Point is one cell of the Figure 1 surfaces: utilization and
+// SDC vulnerability for a 120-hour job at a given machine size and
+// per-socket SDC rate, under the three protection regimes.
+type Fig1Point struct {
+	Sockets int
+	FIT     float64
+
+	NoFTUtil float64
+	NoFTVuln float64
+	CkptUtil float64
+	CkptVuln float64
+	ACRUtil  float64
+	ACRVuln  float64 // always 0: strong resilience detects everything
+}
+
+// Fig1Sockets are the x-axis socket counts of Figure 1 (4K to 1M).
+func Fig1Sockets() []int { return []int{4096, 16384, 65536, 262144, 1048576} }
+
+// Fig1FITs are the SDC-rate axis values of Figure 1 (1 to 10000 FIT).
+func Fig1FITs() []float64 { return []float64{1, 100, 10000} }
+
+// Fig1 computes the three Figure 1 surfaces for a 120-hour job.
+func Fig1() []Fig1Point {
+	var out []Fig1Point
+	for _, s := range Fig1Sockets() {
+		for _, fit := range Fig1FITs() {
+			b := model.BaselineParams{
+				W:                   120 * 3600,
+				Delta:               60,
+				RH:                  30,
+				Sockets:             s,
+				HardMTBFSocketYears: 50,
+				SDCFITPerSocket:     fit,
+			}
+			noftT := b.NoFTTime()
+			_, ckptT := b.CheckpointOnlyTime()
+			out = append(out, Fig1Point{
+				Sockets:  s,
+				FIT:      fit,
+				NoFTUtil: b.NoFTUtilization(),
+				NoFTVuln: b.Vulnerability(noftT),
+				CkptUtil: b.CheckpointOnlyUtilization(),
+				CkptVuln: b.Vulnerability(ckptT),
+				ACRUtil:  b.ACRUtilization(),
+				ACRVuln:  0,
+			})
+		}
+	}
+	return out
+}
+
+// FprintFig1 renders the Figure 1 surfaces.
+func FprintFig1(w io.Writer) {
+	writeHeader(w, "Figure 1: utilization and vulnerability, 120 h job (no FT / ckpt-only / ACR)")
+	fmt.Fprintf(w, "%10s %8s | %9s %9s | %9s %9s | %9s %9s\n",
+		"sockets", "FIT", "noFT-util", "noFT-vuln", "ckpt-util", "ckpt-vuln", "acr-util", "acr-vuln")
+	for _, p := range Fig1() {
+		fmt.Fprintf(w, "%10d %8.0f | %9.3f %9.3f | %9.3f %9.3f | %9.3f %9.3f\n",
+			p.Sockets, p.FIT, p.NoFTUtil, p.NoFTVuln, p.CkptUtil, p.CkptVuln, p.ACRUtil, p.ACRVuln)
+	}
+}

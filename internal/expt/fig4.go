@@ -1,0 +1,188 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"acr/internal/model"
+)
+
+// Figure 4 shows the progress-versus-time charts of the three resilience
+// schemes around one hard error. This reproduction integrates the same
+// dynamics on a virtual clock: both replicas advance at unit rate, pause
+// delta for every coordinated checkpoint, and react to a crash of replica 2
+// per the scheme:
+//
+//   - strong: replica 2 rolls back to the last checkpoint and re-executes;
+//     replica 1, having reached the next checkpoint period, waits for it;
+//   - medium: replica 1 checkpoints immediately and replica 2 resumes from
+//     replica 1's progress after the transfer;
+//   - weak: replica 2 idles until replica 1's next periodic checkpoint and
+//     resumes from there.
+
+// Fig4Config parameterizes the progress-chart runs.
+type Fig4Config struct {
+	Work     float64 // total progress units to complete
+	Tau      float64 // checkpoint period (progress units between cuts)
+	Delta    float64 // checkpoint pause
+	Recovery float64 // checkpoint transfer + restart time
+	CrashAt  float64 // time of the hard error in replica 2
+	SampleDt float64 // chart sampling step
+}
+
+// DefaultFig4Config mirrors the figure's qualitative setup: the crash lands
+// mid-period so strong has substantial rework.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{Work: 100, Tau: 20, Delta: 1, Recovery: 2, CrashAt: 33, SampleDt: 0.5}
+}
+
+// Fig4Series is the sampled progress of both replicas for one scheme.
+type Fig4Series struct {
+	Scheme     model.Scheme
+	Times      []float64
+	Progress1  []float64 // healthy replica
+	Progress2  []float64 // crashed replica
+	Completion float64   // time both replicas finish Work
+	Rework     float64   // progress units re-executed by replica 2
+}
+
+// fig4state integrates one scheme's dynamics with explicit piecewise
+// simulation. Progress advances at rate 1 except during checkpoint pauses,
+// recovery idle windows, and post-rollback re-execution (which IS progress,
+// but repeated — accounted as rework).
+func fig4run(cfg Fig4Config, scheme model.Scheme) Fig4Series {
+	s := Fig4Series{Scheme: scheme}
+	type rep struct {
+		progress float64
+		idleTill float64 // absolute time until which the replica is paused
+	}
+	r1 := &rep{}
+	r2 := &rep{}
+	lastCkptProgress := 0.0
+	nextCkptProgress := cfg.Tau
+	crashed := false
+	recovered := true
+	var crashHandledAt float64
+	_ = crashHandledAt
+
+	dt := cfg.SampleDt
+	record := func(t float64) {
+		s.Times = append(s.Times, t)
+		s.Progress1 = append(s.Progress1, r1.progress)
+		s.Progress2 = append(s.Progress2, r2.progress)
+	}
+	record(0)
+	for t := dt; t < 100000; t += dt {
+		// Crash event.
+		if !crashed && t >= cfg.CrashAt {
+			crashed = true
+			recovered = false
+			switch scheme {
+			case model.Strong:
+				// Replica 2 rolls back to the last checkpoint and
+				// restarts after Recovery (one buddy-to-spare message).
+				s.Rework += r2.progress - lastCkptProgress
+				r2.progress = lastCkptProgress
+				r2.idleTill = t + cfg.Recovery
+				recovered = true // re-executes on its own from here
+			case model.Medium:
+				// Replica 1 checkpoints immediately; replica 2 resumes
+				// from replica 1's progress after delta + Recovery.
+				r1.idleTill = t + cfg.Delta
+				lastCkptProgress = r1.progress
+				r2.progress = r1.progress
+				r2.idleTill = t + cfg.Delta + cfg.Recovery
+				recovered = true
+			case model.Weak:
+				// Replica 2 idles; recovery happens at the next
+				// periodic checkpoint of replica 1.
+				r2.idleTill = 1e18
+			}
+		}
+		// Weak-scheme deferred recovery: when replica 1 reaches the next
+		// checkpoint boundary, it ships the checkpoint.
+		if crashed && !recovered && scheme == model.Weak && r1.progress >= nextCkptProgress {
+			r1.idleTill = t + cfg.Delta
+			lastCkptProgress = r1.progress
+			r2.progress = r1.progress
+			r2.idleTill = t + cfg.Delta + cfg.Recovery
+			recovered = true
+			nextCkptProgress += cfg.Tau
+		}
+		// Periodic coordinated checkpoints: both replicas must reach the
+		// boundary; the slower one gates the cut (replica 1 waits parked
+		// at the boundary — the strong scheme's "replica 1 waits").
+		if recovered && r1.progress >= nextCkptProgress && r2.progress >= nextCkptProgress {
+			lastCkptProgress = nextCkptProgress
+			nextCkptProgress += cfg.Tau
+			r1.idleTill = t + cfg.Delta
+			r2.idleTill = t + cfg.Delta
+		}
+		// Advance.
+		advance := func(r *rep, gate bool) {
+			if t < r.idleTill {
+				return
+			}
+			// Parked at the checkpoint boundary waiting for the buddy.
+			if gate && recovered && r.progress >= nextCkptProgress {
+				return
+			}
+			if r.progress < cfg.Work {
+				r.progress += dt
+			}
+		}
+		advance(r1, true)
+		advance(r2, true)
+		record(t)
+		if r1.progress >= cfg.Work && r2.progress >= cfg.Work {
+			s.Completion = t
+			break
+		}
+	}
+	return s
+}
+
+// Fig4 produces the three progress charts.
+func Fig4() []Fig4Series {
+	cfg := DefaultFig4Config()
+	out := make([]Fig4Series, 0, 3)
+	for _, sch := range model.Schemes() {
+		out = append(out, fig4run(cfg, sch))
+	}
+	return out
+}
+
+// sparkline renders a progress series as an ASCII strip of height 1 using
+// eighth steps.
+func sparkline(vals []float64, maxVal float64, width int) string {
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	step := len(vals) / width
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(vals); i += step {
+		frac := vals[i] / maxVal
+		idx := int(frac * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// FprintFig4 renders the three progress charts.
+func FprintFig4(w io.Writer) {
+	writeHeader(w, "Figure 4: replica progress around one hard error (crash in replica 2)")
+	cfg := DefaultFig4Config()
+	for _, s := range Fig4() {
+		fmt.Fprintf(w, "%-7s completion=%.1f rework=%.1f\n", s.Scheme, s.Completion, s.Rework)
+		fmt.Fprintf(w, "  replica1 %s\n", sparkline(s.Progress1, cfg.Work, 100))
+		fmt.Fprintf(w, "  replica2 %s\n", sparkline(s.Progress2, cfg.Work, 100))
+	}
+}

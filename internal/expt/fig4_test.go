@@ -1,0 +1,101 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acr/internal/model"
+)
+
+func fig4ByScheme(t *testing.T) map[model.Scheme]Fig4Series {
+	t.Helper()
+	out := map[model.Scheme]Fig4Series{}
+	for _, s := range Fig4() {
+		if s.Completion == 0 {
+			t.Fatalf("%v never completed", s.Scheme)
+		}
+		out[s.Scheme] = s
+	}
+	if len(out) != 3 {
+		t.Fatal("missing schemes")
+	}
+	return out
+}
+
+// The Figure 4 narrative: strong re-executes the most and finishes last;
+// weak does no rework and (with large rework times) finishes first;
+// medium sits between, also with no re-execution.
+func TestFig4SchemeOrdering(t *testing.T) {
+	s := fig4ByScheme(t)
+	if s[model.Strong].Rework <= 0 {
+		t.Error("strong must re-execute work")
+	}
+	if s[model.Medium].Rework != 0 || s[model.Weak].Rework != 0 {
+		t.Error("medium and weak must avoid re-execution")
+	}
+	if !(s[model.Strong].Completion > s[model.Medium].Completion) {
+		t.Errorf("strong (%.1f) should finish after medium (%.1f)",
+			s[model.Strong].Completion, s[model.Medium].Completion)
+	}
+	if s[model.Weak].Completion > s[model.Strong].Completion {
+		t.Errorf("weak (%.1f) should not finish after strong (%.1f)",
+			s[model.Weak].Completion, s[model.Strong].Completion)
+	}
+}
+
+// Progress curves are monotone except for the strong scheme's single
+// rollback of replica 2.
+func TestFig4ProgressShape(t *testing.T) {
+	s := fig4ByScheme(t)
+	countDrops := func(vals []float64) int {
+		drops := 0
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1]-1e-12 {
+				drops++
+			}
+		}
+		return drops
+	}
+	for sch, ser := range s {
+		if countDrops(ser.Progress1) != 0 {
+			t.Errorf("%v: healthy replica progress must be monotone", sch)
+		}
+	}
+	if countDrops(s[model.Strong].Progress2) != 1 {
+		t.Error("strong: crashed replica must roll back exactly once")
+	}
+	if countDrops(s[model.Medium].Progress2) != 0 {
+		t.Error("medium: crashed replica resumes from the healthy replica's progress (no visible drop below it)")
+	}
+	// Weak: replica 2 flatlines between the crash and the next periodic
+	// checkpoint of replica 1.
+	weak := s[model.Weak]
+	cfg := DefaultFig4Config()
+	flat := 0
+	for i := 1; i < len(weak.Times); i++ {
+		if weak.Times[i] > cfg.CrashAt && weak.Progress2[i] == weak.Progress2[i-1] && weak.Progress2[i] < cfg.Work {
+			flat++
+		}
+	}
+	if float64(flat)*cfg.SampleDt < cfg.Tau/4 {
+		t.Errorf("weak: crashed replica should idle a substantial window, flat samples = %d", flat)
+	}
+	// Both replicas end at full progress everywhere.
+	for sch, ser := range s {
+		if ser.Progress1[len(ser.Progress1)-1] < cfg.Work || ser.Progress2[len(ser.Progress2)-1] < cfg.Work {
+			t.Errorf("%v: replicas did not both finish", sch)
+		}
+	}
+}
+
+func TestFprintFig4(t *testing.T) {
+	var buf bytes.Buffer
+	FprintFig4(&buf)
+	out := buf.String()
+	for _, want := range []string{"strong", "medium", "weak", "replica1", "replica2", "rework"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 4 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"acr/internal/topology"
+)
+
+// Fig6Row summarizes the inter-replica checkpoint traffic of one mapping
+// scheme on the 512-node (8x8x8) torus of Figure 6.
+type Fig6Row struct {
+	Scheme        topology.Scheme
+	Chunk         int
+	MaxLinkLoad   int
+	TotalLinkHops int
+	// Histogram maps a per-link message count to the number of links
+	// carrying exactly that count (the link labels of Figure 6).
+	Histogram map[int]int
+}
+
+// Fig6 computes the link-load structure of the three mappings.
+func Fig6() []Fig6Row {
+	tr, err := topology.NewTorus(8, 8, 8)
+	if err != nil {
+		panic(err) // static dimensions
+	}
+	cases := []struct {
+		scheme topology.Scheme
+		chunk  int
+	}{
+		{topology.DefaultScheme, 0},
+		{topology.ColumnScheme, 0},
+		{topology.MixedScheme, 2},
+	}
+	var out []Fig6Row
+	for _, c := range cases {
+		m, err := topology.NewMapping(tr, c.scheme, c.chunk)
+		if err != nil {
+			panic(err)
+		}
+		loads := m.BuddyLoads(1)
+		out = append(out, Fig6Row{
+			Scheme:        c.scheme,
+			Chunk:         c.chunk,
+			MaxLinkLoad:   loads.Max(),
+			TotalLinkHops: loads.Total(),
+			Histogram:     loads.Histogram(),
+		})
+	}
+	return out
+}
+
+// FprintFig6 renders the mapping comparison.
+func FprintFig6(w io.Writer) {
+	writeHeader(w, "Figure 6: inter-replica link loads on an 8x8x8 torus (512 nodes)")
+	for _, r := range Fig6() {
+		fmt.Fprintf(w, "%-8s mapping: max link load %d, total link-hops %d, link-load histogram:",
+			r.Scheme, r.MaxLinkLoad, r.TotalLinkHops)
+		keys := make([]int, 0, len(r.Histogram))
+		for k := range r.Histogram {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %dx%d", r.Histogram[k], k)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,89 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"acr/internal/model"
+)
+
+// Fig7Row is one x-axis point of Figure 7: per-scheme utilization and
+// undetected-SDC probability for one socket count and checkpoint time.
+type Fig7Row struct {
+	SocketsPerReplica int
+	Delta             float64 // seconds
+
+	Tau        map[model.Scheme]float64
+	Util       map[model.Scheme]float64
+	Undetected map[model.Scheme]float64
+}
+
+// Fig7Sockets are the x-axis values (1K to 256K sockets per replica).
+func Fig7Sockets() []int {
+	return []int{1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144}
+}
+
+// Fig7Deltas are the two checkpoint times of Figure 7 (15 s and 180 s).
+func Fig7Deltas() []float64 { return []float64{15, 180} }
+
+// Fig7 evaluates the §5 model at every Figure 7 point: MH = 50 years per
+// socket, SDC rate 100 FIT per socket, 24-hour job.
+func Fig7() ([]Fig7Row, error) {
+	var out []Fig7Row
+	for _, delta := range Fig7Deltas() {
+		for _, s := range Fig7Sockets() {
+			p := model.Params{
+				W:                   24 * 3600,
+				Delta:               delta,
+				RH:                  30,
+				RS:                  10,
+				SocketsPerReplica:   s,
+				HardMTBFSocketYears: 50,
+				SDCFITPerSocket:     100,
+			}
+			row := Fig7Row{
+				SocketsPerReplica: s,
+				Delta:             delta,
+				Tau:               map[model.Scheme]float64{},
+				Util:              map[model.Scheme]float64{},
+				Undetected:        map[model.Scheme]float64{},
+			}
+			for _, sch := range model.Schemes() {
+				tau, util, err := p.Utilization(sch)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 at %d sockets delta %.0f: %w", s, delta, err)
+				}
+				und, err := p.UndetectedSDCProb(sch, tau)
+				if err != nil {
+					return nil, err
+				}
+				row.Tau[sch] = tau
+				row.Util[sch] = util
+				row.Undetected[sch] = und
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// FprintFig7 renders both panels of Figure 7.
+func FprintFig7(w io.Writer) error {
+	rows, err := Fig7()
+	if err != nil {
+		return err
+	}
+	writeHeader(w, "Figure 7a: utilization at the optimal checkpoint period (MH=50y/socket, SDC=100 FIT)")
+	fmt.Fprintf(w, "%8s %6s | %8s %8s %8s\n", "sockets", "delta", "strong", "medium", "weak")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %5.0fs | %8.3f %8.3f %8.3f\n",
+			r.SocketsPerReplica, r.Delta, r.Util[model.Strong], r.Util[model.Medium], r.Util[model.Weak])
+	}
+	writeHeader(w, "Figure 7b: probability of undetected SDC (24 h job)")
+	fmt.Fprintf(w, "%8s %6s | %10s %10s %10s\n", "sockets", "delta", "strong", "medium", "weak")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %5.0fs | %10.4f %10.4f %10.4f\n",
+			r.SocketsPerReplica, r.Delta, r.Undetected[model.Strong], r.Undetected[model.Medium], r.Undetected[model.Weak])
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"acr/internal/apps"
+	"acr/internal/model"
+	"acr/internal/netsim"
+	"acr/internal/topology"
+)
+
+// Variant is one of the four checkpoint/exchange configurations the
+// evaluation sweeps: the mapping scheme plus the detection method.
+type Variant struct {
+	Name   string
+	Scheme topology.Scheme
+	Chunk  int
+	Method netsim.Method
+}
+
+// Fig8Variants are the four bars of Figure 8: default, mixed, column
+// (all full-checkpoint exchange) and checksum (mapping-independent).
+func Fig8Variants() []Variant {
+	return []Variant{
+		{Name: "default", Scheme: topology.DefaultScheme, Method: netsim.FullCheckpoint},
+		{Name: "mixed", Scheme: topology.MixedScheme, Chunk: 2, Method: netsim.FullCheckpoint},
+		{Name: "column", Scheme: topology.ColumnScheme, Method: netsim.FullCheckpoint},
+		{Name: "checksum", Scheme: topology.DefaultScheme, Method: netsim.Checksum},
+	}
+}
+
+// Fig8Cores are the per-replica core counts of Figures 8 and 10.
+func Fig8Cores() []int { return []int{1024, 4096, 16384, 65536} }
+
+// variantModel builds the netsim model for a variant at an allocation.
+func variantModel(coresPerReplica int, v Variant) (*netsim.Model, error) {
+	alloc, err := topology.NewAllocation(coresPerReplica)
+	if err != nil {
+		return nil, err
+	}
+	m, err := topology.NewMapping(alloc.Torus, v.Scheme, v.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	return netsim.New(m, netsim.BGPParams()), nil
+}
+
+// Fig8Row is one bar of Figure 8: the single-checkpoint overhead
+// decomposition for one app, allocation, and variant.
+type Fig8Row struct {
+	App             string
+	CoresPerReplica int
+	Variant         string
+	Cost            netsim.CheckpointCost
+}
+
+// Fig8 computes the single-checkpoint overhead for every app variant of
+// Table 2 across allocations and methods.
+func Fig8() ([]Fig8Row, error) {
+	var out []Fig8Row
+	for _, spec := range apps.Table2() {
+		bytesPerNode := spec.CheckpointBytesPerCore * topology.CoresPerNode
+		for _, cores := range Fig8Cores() {
+			for _, v := range Fig8Variants() {
+				nm, err := variantModel(cores, v)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig8Row{
+					App:             spec.Name,
+					CoresPerReplica: cores,
+					Variant:         v.Name,
+					Cost:            nm.Checkpoint(bytesPerNode, v.Method, spec.Scattered),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FprintFig8 renders Figure 8 in the paper's decomposition (local
+// checkpoint / transfer / comparison).
+func FprintFig8(w io.Writer) error {
+	rows, err := Fig8()
+	if err != nil {
+		return err
+	}
+	writeHeader(w, "Figure 8: single-checkpoint overhead decomposition (seconds)")
+	fmt.Fprintf(w, "%-18s %8s %-9s %8s %9s %9s %9s\n",
+		"app", "cores/R", "variant", "local", "transfer", "compare", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8d %-9s %8.3f %9.3f %9.3f %9.3f\n",
+			r.App, r.CoresPerReplica, r.Variant,
+			r.Cost.Local, r.Cost.Transfer, r.Cost.Compare, r.Cost.Total())
+	}
+	return nil
+}
+
+// Fig10Row is one bar of Figure 10: the single-restart overhead
+// decomposition for one app, allocation, and recovery variant.
+type Fig10Row struct {
+	App             string
+	CoresPerReplica int
+	Variant         string // "strong", "medium (default|mixed|column)"
+	Cost            netsim.RestartCost
+}
+
+// Fig10 computes the restart overhead for every app: the strong scheme
+// (one buddy-to-spare message, mapping-insensitive) versus the medium/weak
+// scheme (all-buddies transfer) under the three mappings.
+func Fig10() ([]Fig10Row, error) {
+	variants := []struct {
+		name   string
+		scheme topology.Scheme
+		chunk  int
+		rs     netsim.RestartScheme
+	}{
+		{"strong", topology.DefaultScheme, 0, netsim.StrongRestart},
+		{"medium (default)", topology.DefaultScheme, 0, netsim.MediumRestart},
+		{"medium (mixed)", topology.MixedScheme, 2, netsim.MediumRestart},
+		{"medium (column)", topology.ColumnScheme, 0, netsim.MediumRestart},
+	}
+	var out []Fig10Row
+	for _, spec := range apps.Table2() {
+		bytesPerNode := spec.CheckpointBytesPerCore * topology.CoresPerNode
+		for _, cores := range Fig8Cores() {
+			for _, v := range variants {
+				nm, err := variantModel(cores, Variant{Scheme: v.scheme, Chunk: v.chunk})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig10Row{
+					App:             spec.Name,
+					CoresPerReplica: cores,
+					Variant:         v.name,
+					Cost:            nm.Restart(bytesPerNode, v.rs, spec.Scattered),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FprintFig10 renders Figure 10.
+func FprintFig10(w io.Writer) error {
+	rows, err := Fig10()
+	if err != nil {
+		return err
+	}
+	writeHeader(w, "Figure 10: single-restart overhead decomposition (seconds)")
+	fmt.Fprintf(w, "%-18s %8s %-17s %9s %14s %9s\n",
+		"app", "cores/R", "variant", "transfer", "reconstruction", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8d %-17s %9.3f %14.3f %9.3f\n",
+			r.App, r.CoresPerReplica, r.Variant,
+			r.Cost.Transfer, r.Cost.Reconstruction, r.Cost.Total())
+	}
+	return nil
+}
+
+// Fig9Variants are the bars of Figures 9 and 11: mapping optimization with
+// and without the checksum method.
+func Fig9Variants() []Variant {
+	return []Variant{
+		{Name: "default", Scheme: topology.DefaultScheme, Method: netsim.FullCheckpoint},
+		{Name: "default+checksum", Scheme: topology.DefaultScheme, Method: netsim.Checksum},
+		{Name: "column", Scheme: topology.ColumnScheme, Method: netsim.FullCheckpoint},
+		{Name: "column+checksum", Scheme: topology.ColumnScheme, Method: netsim.Checksum},
+	}
+}
+
+// Fig9Sockets are the per-replica socket counts of Figures 9 and 11.
+func Fig9Sockets() []int { return []int{1024, 4096, 16384} }
+
+// Fig9Apps are the two applications of Figures 9 and 11.
+func Fig9Apps() []string { return []string{"Jacobi3D Charm++", "LeanMD"} }
+
+// OverheadRow is one bar of Figure 9 (forward-path) or Figure 11
+// (overall): the per-replica overhead percentage at the model-optimal
+// checkpoint period.
+type OverheadRow struct {
+	App               string
+	SocketsPerReplica int
+	Scheme            model.Scheme
+	Variant           string
+	Tau               float64 // optimal checkpoint period, seconds
+	Delta             float64 // per-checkpoint cost, seconds
+	OverheadPct       float64
+}
+
+// overheadParams builds the §5 model point for Figures 9/11: 24-hour job,
+// MH = 50 years/socket, SDC rate 10,000 FIT/socket (§6.2).
+func overheadParams(sockets int, delta, rh, rs float64) model.Params {
+	return model.Params{
+		W:                   24 * 3600,
+		Delta:               delta,
+		RH:                  rh,
+		RS:                  rs,
+		SocketsPerReplica:   sockets,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     10000,
+	}
+}
+
+// fig9and11 computes both overhead figures; forward selects Figure 9
+// (checkpoint overhead only) versus Figure 11 (total overhead including
+// restart and rework).
+func fig9and11(forward bool) ([]OverheadRow, error) {
+	var out []OverheadRow
+	for _, appName := range Fig9Apps() {
+		spec, err := apps.SpecByName(appName)
+		if err != nil {
+			return nil, err
+		}
+		bytesPerNode := spec.CheckpointBytesPerCore * topology.CoresPerNode
+		for _, sockets := range Fig9Sockets() {
+			cores := sockets * topology.CoresPerNode
+			for _, v := range Fig9Variants() {
+				nm, err := variantModel(cores, v)
+				if err != nil {
+					return nil, err
+				}
+				delta := nm.Checkpoint(bytesPerNode, v.Method, spec.Scattered).Total()
+				// Restart costs: hard errors use the scheme's restart
+				// path; SDC rollbacks are local reconstructions.
+				for _, sch := range model.Schemes() {
+					rs := nm.Restart(bytesPerNode, netsim.StrongRestart, spec.Scattered).Reconstruction
+					var rh float64
+					switch sch {
+					case model.Strong:
+						rh = nm.Restart(bytesPerNode, netsim.StrongRestart, spec.Scattered).Total()
+					default:
+						rh = nm.Restart(bytesPerNode, netsim.MediumRestart, spec.Scattered).Total()
+					}
+					p := overheadParams(sockets, delta, rh, rs)
+					tau, err := p.OptimalTau(sch)
+					if err != nil {
+						return nil, err
+					}
+					var overhead float64
+					if forward {
+						overhead = delta / tau * 100
+					} else {
+						total, err := p.TotalTime(sch, tau)
+						if err != nil {
+							return nil, err
+						}
+						overhead = (total/p.W - 1) * 100
+					}
+					out = append(out, OverheadRow{
+						App:               spec.Name,
+						SocketsPerReplica: sockets,
+						Scheme:            sch,
+						Variant:           v.Name,
+						Tau:               tau,
+						Delta:             delta,
+						OverheadPct:       overhead,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig9 computes the forward-path (checkpoint) overhead percentages.
+func Fig9() ([]OverheadRow, error) { return fig9and11(true) }
+
+// Fig11 computes the overall overhead percentages (checkpoint + restart +
+// rework).
+func Fig11() ([]OverheadRow, error) { return fig9and11(false) }
+
+func fprintOverhead(w io.Writer, title string, rows []OverheadRow) {
+	writeHeader(w, title)
+	fmt.Fprintf(w, "%-18s %9s %-8s %-17s %9s %9s %10s\n",
+		"app", "sockets/R", "scheme", "variant", "delta(s)", "tau(s)", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %9d %-8s %-17s %9.3f %9.1f %9.3f%%\n",
+			r.App, r.SocketsPerReplica, r.Scheme, r.Variant, r.Delta, r.Tau, r.OverheadPct)
+	}
+}
+
+// FprintFig9 renders Figure 9.
+func FprintFig9(w io.Writer) error {
+	rows, err := Fig9()
+	if err != nil {
+		return err
+	}
+	fprintOverhead(w, "Figure 9: ACR forward-path overhead per replica (optimal period, SDC=10000 FIT)", rows)
+	return nil
+}
+
+// FprintFig11 renders Figure 11.
+func FprintFig11(w io.Writer) error {
+	rows, err := Fig11()
+	if err != nil {
+		return err
+	}
+	fprintOverhead(w, "Figure 11: ACR overall overhead per replica (checkpoint + restart + rework)", rows)
+	return nil
+}
+
+// FprintTable2 renders Table 2.
+func FprintTable2(w io.Writer) {
+	writeHeader(w, "Table 2: mini-application configuration (per core)")
+	fmt.Fprintf(w, "%-18s %-7s %-24s %10s %s\n", "benchmark", "model", "configuration", "ckpt/core", "memory pressure")
+	for _, s := range apps.Table2() {
+		pressure := "low"
+		if s.HighMemoryPressure {
+			pressure = "high"
+		}
+		fmt.Fprintf(w, "%-18s %-7s %-24s %9.1fMB %s\n",
+			s.Name, s.Model, s.Config, s.CheckpointBytesPerCore/1e6, pressure)
+	}
+}

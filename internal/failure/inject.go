@@ -1,0 +1,92 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind distinguishes the two error classes ACR protects against.
+type Kind int
+
+// Error kinds.
+const (
+	// Hard is a fail-stop node crash: the node stops responding to all
+	// communication (§6.1's "no-response scheme").
+	Hard Kind = iota
+	// SDC is a silent data corruption: a bit flip in user data that will
+	// be checkpointed.
+	SDC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Hard:
+		return "hard"
+	case SDC:
+		return "sdc"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one planned failure injection.
+type Event struct {
+	Time    float64 // absolute seconds
+	Kind    Kind
+	Replica int // 0 or 1
+	Node    int // node index within the replica
+}
+
+// Plan is a time-ordered list of injections.
+type Plan []Event
+
+// NewPlan merges hard-error and SDC schedules into a single injection plan,
+// assigning each event to a uniformly random node of a uniformly random
+// replica.
+func NewPlan(hard, sdc Schedule, nodesPerReplica int, rng *rand.Rand) Plan {
+	var p Plan
+	for _, t := range hard {
+		p = append(p, Event{Time: t, Kind: Hard, Replica: rng.Intn(2), Node: rng.Intn(nodesPerReplica)})
+	}
+	for _, t := range sdc {
+		p = append(p, Event{Time: t, Kind: SDC, Replica: rng.Intn(2), Node: rng.Intn(nodesPerReplica)})
+	}
+	// Merge by time (insertion sort; plans are short).
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j].Time < p[j-1].Time; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+	return p
+}
+
+// FlipBit flips one uniformly random bit in data, returning the byte index
+// and bit position. It mimics the paper's fault injector, which "injects a
+// fault by flipping a randomly selected bit in the user data that will be
+// checkpointed" (§6.1). Empty data is a no-op and returns (-1, -1).
+func FlipBit(data []byte, rng *rand.Rand) (byteIdx, bit int) {
+	if len(data) == 0 {
+		return -1, -1
+	}
+	byteIdx = rng.Intn(len(data))
+	bit = rng.Intn(8)
+	data[byteIdx] ^= 1 << bit
+	return byteIdx, bit
+}
+
+// FlipFloat64Bit flips one random bit in one random element of a float64
+// slice — the typical corruption target in the mini-apps' grids.
+func FlipFloat64Bit(data []float64, rng *rand.Rand) (index, bit int) {
+	if len(data) == 0 {
+		return -1, -1
+	}
+	index = rng.Intn(len(data))
+	bit = rng.Intn(64)
+	bits := floatBits(data[index]) ^ (1 << uint(bit))
+	data[index] = floatFromBits(bits)
+	return index, bit
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

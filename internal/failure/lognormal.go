@@ -1,0 +1,91 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogNormal is the other distribution Schroeder & Gibson [29] found to fit
+// HPC inter-failure times well. Like the sub-exponential Weibull it has a
+// (eventually) decreasing hazard, so it is a second stress case for ACR's
+// adaptive checkpointing.
+type LogNormal struct {
+	Mu    float64 // mean of log(X)
+	Sigma float64 // stddev of log(X)
+}
+
+// NewLogNormal returns a lognormal distribution.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if sigma <= 0 || math.IsNaN(mu) || math.IsNaN(sigma) {
+		return LogNormal{}, fmt.Errorf("failure: lognormal needs positive sigma, got mu=%v sigma=%v", mu, sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// LogNormalFromMean returns a lognormal with the given sigma whose mean
+// equals mean: mu = ln(mean) - sigma^2/2.
+func LogNormalFromMean(mean, sigma float64) (LogNormal, error) {
+	if mean <= 0 {
+		return LogNormal{}, fmt.Errorf("failure: lognormal needs positive mean")
+	}
+	return NewLogNormal(math.Log(mean)-sigma*sigma/2, sigma)
+}
+
+// Sample draws a lognormal variate.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Hazard returns the instantaneous failure rate f(t)/S(t).
+func (l LogNormal) Hazard(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	z := (math.Log(t) - l.Mu) / l.Sigma
+	pdf := math.Exp(-z*z/2) / (t * l.Sigma * math.Sqrt(2*math.Pi))
+	surv := 0.5 * math.Erfc(z/math.Sqrt2)
+	if surv <= 0 {
+		return math.Inf(1)
+	}
+	return pdf / surv
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%.3g, sigma=%.3g)", l.Mu, l.Sigma)
+}
+
+// FitLogNormal returns the maximum-likelihood lognormal for the observed
+// inter-failure times: mu and sigma are the mean and (population) standard
+// deviation of the log samples.
+func FitLogNormal(gaps []float64) (LogNormal, error) {
+	n := len(gaps)
+	if n < 2 {
+		return LogNormal{}, fmt.Errorf("failure: need >= 2 samples to fit lognormal, got %d", n)
+	}
+	mu := 0.0
+	for _, g := range gaps {
+		if g <= 0 {
+			return LogNormal{}, fmt.Errorf("failure: non-positive gap %v", g)
+		}
+		mu += math.Log(g)
+	}
+	mu /= float64(n)
+	varSum := 0.0
+	for _, g := range gaps {
+		d := math.Log(g) - mu
+		varSum += d * d
+	}
+	sigma := math.Sqrt(varSum / float64(n))
+	if sigma == 0 {
+		return LogNormal{}, fmt.Errorf("failure: degenerate samples (zero variance)")
+	}
+	return NewLogNormal(mu, sigma)
+}
+
+var _ Distribution = LogNormal{}
+var _ Distribution = Exponential{}
+var _ Distribution = Weibull{}

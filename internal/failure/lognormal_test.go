@@ -1,0 +1,121 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogNormalBasics(t *testing.T) {
+	l, err := NewLogNormal(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(2 + 0.5)
+	if math.Abs(l.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", l.Mean(), want)
+	}
+	if l.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if _, err := NewLogNormal(0, 0); err == nil {
+		t.Fatal("zero sigma must fail")
+	}
+	if _, err := NewLogNormal(math.NaN(), 1); err == nil {
+		t.Fatal("NaN mu must fail")
+	}
+}
+
+func TestLogNormalFromMean(t *testing.T) {
+	l, err := LogNormalFromMean(120, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Mean()-120)/120 > 1e-12 {
+		t.Fatalf("mean = %v, want 120", l.Mean())
+	}
+	if _, err := LogNormalFromMean(-1, 1); err == nil {
+		t.Fatal("negative mean must fail")
+	}
+}
+
+func TestLogNormalSampleMean(t *testing.T) {
+	l, _ := LogNormalFromMean(50, 1)
+	rng := rand.New(rand.NewSource(12))
+	sum := 0.0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		v := l.Sample(rng)
+		if v <= 0 {
+			t.Fatal("non-positive sample")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-50)/50 > 0.03 {
+		t.Fatalf("sample mean %v, want ~50", mean)
+	}
+}
+
+func TestLogNormalHazardEventuallyDecreases(t *testing.T) {
+	l, _ := NewLogNormal(3, 1.2)
+	// The lognormal hazard rises then falls; beyond the mode region it
+	// must decrease.
+	h1 := l.Hazard(200)
+	h2 := l.Hazard(2000)
+	h3 := l.Hazard(20000)
+	if !(h1 > h2 && h2 > h3) {
+		t.Fatalf("hazard should decrease in the tail: %v, %v, %v", h1, h2, h3)
+	}
+	if l.Hazard(0) != 0 {
+		t.Fatal("hazard at 0 should be 0")
+	}
+	if l.Hazard(-1) != 0 {
+		t.Fatal("hazard at negative time should be 0")
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	l, _ := NewLogNormal(2.5, 0.8)
+	rng := rand.New(rand.NewSource(13))
+	gaps := make([]float64, 30000)
+	for i := range gaps {
+		gaps[i] = l.Sample(rng)
+	}
+	fit, err := FitLogNormal(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-2.5) > 0.02 {
+		t.Errorf("fitted mu %v, want ~2.5", fit.Mu)
+	}
+	if math.Abs(fit.Sigma-0.8) > 0.02 {
+		t.Errorf("fitted sigma %v, want ~0.8", fit.Sigma)
+	}
+}
+
+func TestFitLogNormalErrors(t *testing.T) {
+	if _, err := FitLogNormal([]float64{1}); err == nil {
+		t.Fatal("single sample must fail")
+	}
+	if _, err := FitLogNormal([]float64{1, -2}); err == nil {
+		t.Fatal("negative gap must fail")
+	}
+	if _, err := FitLogNormal([]float64{5, 5, 5}); err == nil {
+		t.Fatal("degenerate samples must fail")
+	}
+}
+
+func TestLogNormalRenewalSchedule(t *testing.T) {
+	l, _ := LogNormalFromMean(10, 1)
+	rng := rand.New(rand.NewSource(14))
+	s := RenewalSchedule(l, 1000, rng)
+	if len(s) < 30 {
+		t.Fatalf("too few failures: %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("schedule not sorted")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package model
+
+import (
+	"math"
+
+	"acr/internal/failure"
+)
+
+// The Figure 1 baselines model a non-replicated machine of S sockets
+// running a fixed-length job, with either no fault tolerance at all or
+// plain (hard-error-only) checkpoint/restart. Vulnerability is the
+// probability of finishing with a silently corrupted result.
+
+// BaselineParams configures a Figure 1 surface point.
+type BaselineParams struct {
+	// W is the job's useful computation time in seconds.
+	W float64
+	// Delta is the checkpoint time (checkpoint-only baseline).
+	Delta float64
+	// RH is the hard-error restart time.
+	RH float64
+	// Sockets is the total socket count (no replication in baselines).
+	Sockets int
+	// HardMTBFSocketYears is the per-socket hard-error MTBF in years.
+	HardMTBFSocketYears float64
+	// SDCFITPerSocket is the per-socket SDC rate in FIT.
+	SDCFITPerSocket float64
+}
+
+func (b BaselineParams) hardMTBF() float64 {
+	return failure.SocketYearsToMTBF(b.HardMTBFSocketYears, b.Sockets)
+}
+
+func (b BaselineParams) sdcMTBF() float64 {
+	return failure.FITToMTBF(b.SDCFITPerSocket, b.Sockets)
+}
+
+// NoFTTime returns the expected completion time with no fault tolerance:
+// any hard error restarts the job from the beginning. For exponential
+// failures with system MTBF M, E[T] = (exp(W/M) - 1) * M.
+func (b BaselineParams) NoFTTime() float64 {
+	m := b.hardMTBF()
+	if math.IsInf(m, 1) {
+		return b.W
+	}
+	x := b.W / m
+	if x > 700 { // exp overflow guard: effectively never finishes
+		return math.Inf(1)
+	}
+	return (math.Exp(x) - 1) * m
+}
+
+// NoFTUtilization returns W / E[T] for the unprotected machine.
+func (b BaselineParams) NoFTUtilization() float64 {
+	t := b.NoFTTime()
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	return b.W / t
+}
+
+// CheckpointOnlyTime returns the expected completion time with classic
+// hard-error checkpoint/restart at the first-order optimal period
+// tau = sqrt(2*Delta*M) (Young/Daly [7]), modelling checkpoint, restart,
+// and half-period rework overheads.
+func (b BaselineParams) CheckpointOnlyTime() (tau, t float64) {
+	m := b.hardMTBF()
+	if math.IsInf(m, 1) {
+		return b.W, b.W
+	}
+	tau = math.Sqrt(2 * b.Delta * m)
+	if tau > b.W {
+		tau = b.W
+	}
+	rate := b.RH/m + (tau+b.Delta)/(2*m)
+	if rate >= 1 {
+		return tau, math.Inf(1)
+	}
+	nCkpt := b.W/tau - 1
+	if nCkpt < 0 {
+		nCkpt = 0
+	}
+	fixed := b.W + nCkpt*b.Delta
+	return tau, fixed / (1 - rate)
+}
+
+// CheckpointOnlyUtilization returns W / T for the checkpoint/restart
+// baseline.
+func (b BaselineParams) CheckpointOnlyUtilization() float64 {
+	_, t := b.CheckpointOnlyTime()
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	return b.W / t
+}
+
+// Vulnerability returns the probability that at least one SDC corrupts the
+// run over an execution of length t with no SDC detection at all:
+// 1 - exp(-t/MS). Both Figure 1 baselines carry this vulnerability; ACR
+// with the strong scheme has zero.
+func (b BaselineParams) Vulnerability(t float64) float64 {
+	ms := b.sdcMTBF()
+	if math.IsInf(ms, 1) {
+		return 0
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	return 1 - math.Exp(-t/ms)
+}
+
+// ACRPoint converts the baseline configuration into replicated-ACR model
+// parameters using the same total socket budget: the machine's sockets are
+// split into two replicas of half the size. RS reuses RH.
+func (b BaselineParams) ACRPoint() Params {
+	return Params{
+		W:                   b.W,
+		Delta:               b.Delta,
+		RH:                  b.RH,
+		RS:                  b.RH,
+		SocketsPerReplica:   b.Sockets / 2,
+		HardMTBFSocketYears: b.HardMTBFSocketYears,
+		SDCFITPerSocket:     b.SDCFITPerSocket,
+	}
+}
+
+// ACRUtilization returns the whole-machine utilization of ACR (strong
+// scheme) on the baseline's socket budget: W/(2*T) with the replica count
+// baked in by ACRPoint, and zero vulnerability.
+func (b BaselineParams) ACRUtilization() float64 {
+	p := b.ACRPoint()
+	if p.SocketsPerReplica <= 0 {
+		return 0
+	}
+	_, u, err := p.Utilization(Strong)
+	if err != nil {
+		return 0
+	}
+	return u
+}

@@ -1,0 +1,153 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// fig1Params: 120-hour job as in Figure 1.
+func fig1Params(sockets int, fit float64) BaselineParams {
+	return BaselineParams{
+		W:                   120 * 3600,
+		Delta:               60,
+		RH:                  30,
+		Sockets:             sockets,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     fit,
+	}
+}
+
+func TestNoFTUtilizationCollapse(t *testing.T) {
+	// Figure 1a: "as the socket count increases from 4K to 16K, the
+	// utilization rapidly declines to almost 0."
+	u4k := fig1Params(4096, 100).NoFTUtilization()
+	u16k := fig1Params(16384, 100).NoFTUtilization()
+	u64k := fig1Params(65536, 100).NoFTUtilization()
+	if u4k < 0.3 {
+		t.Errorf("4K no-FT utilization = %.3f, want moderate (>0.3)", u4k)
+	}
+	if u16k > 0.15 {
+		t.Errorf("16K no-FT utilization = %.3f, want near collapse (<0.15)", u16k)
+	}
+	if u64k > 0.001 {
+		t.Errorf("64K no-FT utilization = %.5f, want ~0", u64k)
+	}
+	if !(u4k > u16k && u16k > u64k) {
+		t.Error("no-FT utilization must decline with sockets")
+	}
+}
+
+func TestNoFTInfiniteMTBF(t *testing.T) {
+	b := fig1Params(4096, 100)
+	b.HardMTBFSocketYears = 0 // SocketYearsToMTBF returns +Inf
+	if got := b.NoFTTime(); got != b.W {
+		t.Fatalf("failure-free job should take exactly W, got %v", got)
+	}
+	if b.NoFTUtilization() != 1 {
+		t.Fatal("failure-free utilization should be 1")
+	}
+}
+
+func TestCheckpointOnlyBeatsNoFT(t *testing.T) {
+	// Figure 1b: checkpoint/restart lifts utilization substantially.
+	for _, s := range []int{16384, 65536, 262144} {
+		b := fig1Params(s, 100)
+		noft := b.NoFTUtilization()
+		ck := b.CheckpointOnlyUtilization()
+		if ck <= noft {
+			t.Errorf("%d sockets: checkpointing (%.3f) should beat no FT (%.3f)", s, ck, noft)
+		}
+	}
+}
+
+func TestCheckpointOnlyStillDegrades(t *testing.T) {
+	// Figure 1b: utilization "still drops after 64K sockets".
+	u64 := fig1Params(65536, 100).CheckpointOnlyUtilization()
+	u1m := fig1Params(1048576, 100).CheckpointOnlyUtilization()
+	if u1m >= u64 {
+		t.Errorf("checkpoint-only should degrade with scale: %.3f vs %.3f", u64, u1m)
+	}
+}
+
+func TestVulnerabilityShape(t *testing.T) {
+	b := fig1Params(4096, 100)
+	tRun := b.NoFTTime()
+	v := b.Vulnerability(tRun)
+	if v <= 0 || v >= 1 {
+		t.Fatalf("vulnerability %v out of (0,1)", v)
+	}
+	// Grows with FIT rate.
+	hot := fig1Params(4096, 10000)
+	if hv := hot.Vulnerability(hot.NoFTTime()); hv <= v {
+		t.Errorf("higher FIT should raise vulnerability: %v vs %v", hv, v)
+	}
+	// Grows with exposure time.
+	if b.Vulnerability(2*tRun) <= v {
+		t.Error("longer exposure should raise vulnerability")
+	}
+	// Zero FIT, zero vulnerability.
+	if fig1Params(4096, 0).Vulnerability(tRun) != 0 {
+		t.Error("zero FIT should have zero vulnerability")
+	}
+	if b.Vulnerability(math.Inf(1)) != 1 {
+		t.Error("infinite exposure should be certain corruption")
+	}
+}
+
+func TestHighFITVulnerabilityNearOne(t *testing.T) {
+	// Figure 1a's far corner: 10000 FIT at large scale.
+	b := fig1Params(65536, 10000)
+	v := b.Vulnerability(b.W)
+	if v < 0.99 {
+		t.Errorf("vulnerability at 10K FIT / 64K sockets = %v, want ~1", v)
+	}
+}
+
+// Figure 1c: ACR utilization is lower than checkpoint-only at small scale
+// (the 50% replication tax) but roughly flat, so it becomes comparable or
+// better at scale, with zero vulnerability.
+func TestACRUtilizationFlat(t *testing.T) {
+	var prev float64
+	var acr4k float64
+	for i, s := range []int{4096, 16384, 65536, 262144, 1048576} {
+		u := fig1Params(s, 100).ACRUtilization()
+		if u <= 0 {
+			t.Fatalf("%d sockets: ACR utilization nonpositive", s)
+		}
+		if i == 0 {
+			acr4k = u
+		} else if u > prev*1.001 {
+			t.Errorf("ACR utilization should not grow: %v then %v", prev, u)
+		}
+		prev = u
+	}
+	// Flatness: from 4K to 1M sockets ACR loses far less than half.
+	if prev < acr4k*0.75 {
+		t.Errorf("ACR utilization should stay nearly constant: %.3f -> %.3f", acr4k, prev)
+	}
+	// Figure 1c's claim: the replication penalty, large at small scale,
+	// becomes "comparable to other cases at scale" — the gap to
+	// checkpoint-only narrows substantially from 4K to 1M sockets.
+	ck4k := fig1Params(4096, 100).CheckpointOnlyUtilization()
+	ck1m := fig1Params(1048576, 100).CheckpointOnlyUtilization()
+	gapSmall := ck4k - acr4k
+	gapBig := ck1m - prev
+	if gapBig >= gapSmall*0.75 {
+		t.Errorf("ACR's utilization gap should narrow at scale: %.3f at 4K vs %.3f at 1M", gapSmall, gapBig)
+	}
+	// At small scale checkpoint-only wins (the replication tax).
+	if ck4k <= acr4k {
+		t.Error("at 4K sockets checkpoint-only should beat ACR")
+	}
+}
+
+func TestACRPointHalvesSockets(t *testing.T) {
+	b := fig1Params(4096, 100)
+	p := b.ACRPoint()
+	if p.SocketsPerReplica != 2048 {
+		t.Fatalf("sockets per replica = %d, want 2048", p.SocketsPerReplica)
+	}
+	if p.W != b.W || p.Delta != b.Delta {
+		t.Fatal("ACRPoint should preserve W and Delta")
+	}
+}

@@ -1,0 +1,59 @@
+package model
+
+import "testing"
+
+func BenchmarkOptimalTau(b *testing.B) {
+	p := Params{
+		W:                   24 * 3600,
+		Delta:               15,
+		RH:                  30,
+		RS:                  10,
+		SocketsPerReplica:   65536,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     100,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range Schemes() {
+			if _, err := p.OptimalTau(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTotalTime(b *testing.B) {
+	p := Params{
+		W:                   24 * 3600,
+		Delta:               15,
+		RH:                  30,
+		RS:                  10,
+		SocketsPerReplica:   65536,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     100,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TotalTime(Weak, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSDCCrossover(b *testing.B) {
+	p := Params{
+		W:                   24 * 3600,
+		Delta:               15,
+		RH:                  30,
+		RS:                  10,
+		SocketsPerReplica:   65536,
+		HardMTBFSocketYears: 50,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SDCCrossoverFIT(3e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package model
+
+import "fmt"
+
+// This file models the §1 motivation: classic checkpoint/restart writes to
+// a parallel file system whose aggregate bandwidth does not scale with the
+// compute, so the checkpoint time delta — and with it the achievable
+// utilization — degrades as machines grow. ACR's in-memory buddy
+// checkpoints keep delta roughly constant per node.
+
+// DiskSystem describes a parallel-file-system checkpoint target.
+type DiskSystem struct {
+	// AggregateBandwidth is the PFS write bandwidth shared by the whole
+	// machine, bytes/second (tens of GB/s on a BG/P-class installation).
+	AggregateBandwidth float64
+	// BytesPerSocket is the checkpoint footprint per socket.
+	BytesPerSocket float64
+}
+
+// Delta returns the time of one whole-machine checkpoint to disk.
+func (d DiskSystem) Delta(sockets int) (float64, error) {
+	if d.AggregateBandwidth <= 0 {
+		return 0, fmt.Errorf("model: need positive PFS bandwidth")
+	}
+	if d.BytesPerSocket < 0 || sockets <= 0 {
+		return 0, fmt.Errorf("model: invalid disk checkpoint size")
+	}
+	return d.BytesPerSocket * float64(sockets) / d.AggregateBandwidth, nil
+}
+
+// DiskVsMemoryPoint contrasts classic disk checkpoint/restart with ACR's
+// in-memory double checkpointing at one machine size.
+type DiskVsMemoryPoint struct {
+	Sockets     int
+	DiskDelta   float64
+	MemoryDelta float64
+	DiskUtil    float64 // no replication, delta grows with machine size
+	ACRUtil     float64 // replicated, delta constant
+}
+
+// DiskVsMemory sweeps machine sizes: the disk baseline uses all sockets
+// for computation but pays a delta that grows linearly with the machine,
+// while ACR pays the constant in-memory delta plus the 50% replication
+// tax. memoryDelta is the per-checkpoint cost of ACR's buddy exchange.
+func DiskVsMemory(disk DiskSystem, memoryDelta float64, baseline BaselineParams, sockets []int) ([]DiskVsMemoryPoint, error) {
+	var out []DiskVsMemoryPoint
+	for _, s := range sockets {
+		dd, err := disk.Delta(s)
+		if err != nil {
+			return nil, err
+		}
+		b := baseline
+		b.Sockets = s
+		b.Delta = dd
+		pt := DiskVsMemoryPoint{
+			Sockets:     s,
+			DiskDelta:   dd,
+			MemoryDelta: memoryDelta,
+			DiskUtil:    b.CheckpointOnlyUtilization(),
+		}
+		m := baseline
+		m.Sockets = s
+		m.Delta = memoryDelta
+		pt.ACRUtil = m.ACRUtilization()
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+// Package model implements the performance and reliability model of §5 of
+// the ACR paper: the total-execution-time equations for the strong, medium,
+// and weak resilience schemes, the optimal checkpoint period, system
+// utilization, and the probability of undetected silent data corruption.
+// It also provides the no-fault-tolerance and checkpoint-only baselines
+// behind Figure 1.
+//
+// Notation follows Table 1 of the paper:
+//
+//	W   total computation time           tau  checkpoint period
+//	d   (delta) checkpoint time          T    total execution time
+//	RH  hard-error restart time          MH   hard-error MTBF (system)
+//	RS  SDC restart time                 MS   SDC MTBF (system)
+//
+// The three scheme equations are implicit in T; with every failure term
+// linear in T they solve in closed form:
+//
+//	TS = W + D + R + TS/MH*(tau+d)/2 + TS/MS*(tau+d)
+//	TM = W + D + R + TM/MH*d         + TM/MS*(tau+d)
+//	TW = W + D + R + TS/MH*(tau+d)/2*P + TW/MS*(tau+d)
+//
+// where D = (W/tau - 1)*d, R = T/MH*RH + T/MS*RS, and P is the probability
+// of more than one failure in a checkpoint period (the weak scheme's
+// exposure to losing the healthy replica before the next checkpoint).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"acr/internal/failure"
+)
+
+// Scheme is one of ACR's three resilience levels (§2.3).
+type Scheme int
+
+// Resilience schemes.
+const (
+	Strong Scheme = iota
+	Medium
+	Weak
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Strong:
+		return "strong"
+	case Medium:
+		return "medium"
+	case Weak:
+		return "weak"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Schemes lists all three resilience levels in paper order.
+func Schemes() []Scheme { return []Scheme{Strong, Medium, Weak} }
+
+// Params configures the model for one machine/application point.
+type Params struct {
+	// W is the total useful computation time in seconds.
+	W float64
+	// Delta is the time of one checkpoint in seconds.
+	Delta float64
+	// RH is the restart time after a hard error, RS after an SDC.
+	RH, RS float64
+	// SocketsPerReplica is the socket count of one replica; the machine
+	// runs 2x this many sockets.
+	SocketsPerReplica int
+	// HardMTBFSocketYears is the per-socket hard-error MTBF in years
+	// (the paper uses 50, the Jaguar number).
+	HardMTBFSocketYears float64
+	// SDCFITPerSocket is the per-socket silent-corruption rate in FIT.
+	SDCFITPerSocket float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.W <= 0:
+		return fmt.Errorf("model: W must be positive")
+	case p.Delta <= 0:
+		return fmt.Errorf("model: Delta must be positive")
+	case p.RH < 0 || p.RS < 0:
+		return fmt.Errorf("model: restart times must be nonnegative")
+	case p.SocketsPerReplica <= 0:
+		return fmt.Errorf("model: need positive socket count")
+	case p.HardMTBFSocketYears <= 0:
+		return fmt.Errorf("model: need positive hard MTBF")
+	case p.SDCFITPerSocket < 0:
+		return fmt.Errorf("model: negative SDC rate")
+	}
+	return nil
+}
+
+// HardMTBF returns the system-level hard-error MTBF in seconds, counted
+// over the sockets of one replica. The model tracks the progress of one
+// replica: a crash anywhere stalls exactly one replica's forward path while
+// the other continues, so the per-replica rate is the one that enters the
+// rework terms. This convention reproduces the paper's quantitative anchors
+// (37% strong utilization at 256K sockets with delta=180s; medium
+// undetected-SDC probability below 1% at 64K sockets with delta=15s).
+func (p Params) HardMTBF() float64 {
+	return failure.SocketYearsToMTBF(p.HardMTBFSocketYears, p.SocketsPerReplica)
+}
+
+// SDCMTBF returns the system-level SDC MTBF in seconds, counted per replica
+// (see HardMTBF for the convention).
+func (p Params) SDCMTBF() float64 {
+	return failure.FITToMTBF(p.SDCFITPerSocket, p.SocketsPerReplica)
+}
+
+// MultiFailureProb returns P, the (loose upper bound on the) probability of
+// more than one hard failure within one checkpoint period tau:
+//
+//	P = 1 - exp(-(tau+d)/MH) * (1 + (tau+d)/MH)
+func (p Params) MultiFailureProb(tau float64) float64 {
+	x := (tau + p.Delta) / p.HardMTBF()
+	return 1 - math.Exp(-x)*(1+x)
+}
+
+// TotalTime solves the scheme's implicit equation for the total execution
+// time at checkpoint period tau. It returns an error when the failure rate
+// is too high for the run to make progress (the denominator of the closed
+// form reaches zero: overheads consume all the time).
+func (p Params) TotalTime(s Scheme, tau float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if tau <= 0 {
+		return 0, fmt.Errorf("model: tau must be positive")
+	}
+	mh, ms := p.HardMTBF(), p.SDCMTBF()
+	// Fixed (T-independent) part: W plus total checkpointing time.
+	nCkpt := p.W/tau - 1
+	if nCkpt < 0 {
+		nCkpt = 0
+	}
+	fixed := p.W + nCkpt*p.Delta
+	// T-proportional overhead rate: restarts plus scheme-dependent rework.
+	rate := p.RH/mh + p.RS/ms + (tau+p.Delta)/ms
+	switch s {
+	case Strong:
+		rate += (tau + p.Delta) / (2 * mh)
+	case Medium:
+		rate += p.Delta / mh
+	case Weak:
+		// The weak scheme's hard-error rework happens only when a second
+		// failure lands within the period (probability P), and the paper
+		// expresses that term through TS.
+		ts, err := p.TotalTime(Strong, tau)
+		if err != nil {
+			return 0, err
+		}
+		fixed += ts / mh * (tau + p.Delta) / 2 * p.MultiFailureProb(tau)
+	}
+	if rate >= 1 {
+		return 0, fmt.Errorf("model: failure overhead rate %.3f >= 1 (no forward progress)", rate)
+	}
+	return fixed / (1 - rate), nil
+}
+
+// OptimalTau returns the checkpoint period minimizing TotalTime for the
+// scheme, found by golden-section search on [Delta, W].
+func (p Params) OptimalTau(s Scheme) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	eval := func(tau float64) float64 {
+		t, err := p.TotalTime(s, tau)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return t
+	}
+	lo, hi := p.Delta, p.W
+	if hi <= lo {
+		hi = lo * 10
+	}
+	// Coarse log-spaced grid to bracket the minimum (the feasible region
+	// may be only a left portion of [lo, hi]; a pure golden-section can
+	// otherwise wander into the infeasible +Inf plateau).
+	const gridN = 256
+	ratio := math.Pow(hi/lo, 1.0/(gridN-1))
+	bestIdx, bestVal := -1, math.Inf(1)
+	grid := make([]float64, gridN)
+	x := lo
+	for i := 0; i < gridN; i++ {
+		grid[i] = x
+		if v := eval(x); v < bestVal {
+			bestVal, bestIdx = v, i
+		}
+		x *= ratio
+	}
+	if bestIdx < 0 || math.IsInf(bestVal, 1) {
+		return 0, fmt.Errorf("model: no feasible checkpoint period (failure rate too high)")
+	}
+	a := grid[max(bestIdx-1, 0)]
+	b := grid[min(bestIdx+1, gridN-1)]
+	// Golden-section refinement inside the bracketing cell.
+	const phi = 0.6180339887498949
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := eval(c), eval(d)
+	for i := 0; i < 100 && (b-a) > 1e-9*b; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = eval(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = eval(d)
+		}
+	}
+	tau := (a + b) / 2
+	if math.IsInf(eval(tau), 1) {
+		return 0, fmt.Errorf("model: no feasible checkpoint period (failure rate too high)")
+	}
+	return tau, nil
+}
+
+// Utilization returns the replicated-system utilization at the scheme's
+// optimal period: W / (2 * T). The factor 2 accounts for the second replica
+// doing redundant work — dual redundancy invests 50% of the machine
+// up front, so even a failure-free perfectly efficient run peaks at 0.5.
+func (p Params) Utilization(s Scheme) (tau, util float64, err error) {
+	tau, err = p.OptimalTau(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	t, err := p.TotalTime(s, tau)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tau, p.W / (2 * t), nil
+}
+
+// UndetectedSDCProb returns the probability that at least one silent data
+// corruption strikes inside an unprotected window during the whole run at
+// period tau (Figure 7b). Strong resilience has no unprotected window.
+// For medium resilience each hard error leaves on average (tau+d)/2
+// unprotected; for weak the full (tau+d).
+func (p Params) UndetectedSDCProb(s Scheme, tau float64) (float64, error) {
+	t, err := p.TotalTime(s, tau)
+	if err != nil {
+		return 0, err
+	}
+	var window float64
+	switch s {
+	case Strong:
+		return 0, nil
+	case Medium:
+		window = (tau + p.Delta) / 2
+	case Weak:
+		window = tau + p.Delta
+	}
+	hardErrors := t / p.HardMTBF()
+	exposure := hardErrors * window
+	return 1 - math.Exp(-exposure/p.SDCMTBF()), nil
+}

@@ -1,0 +1,277 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// fig7Params reproduces the Figure 7 configuration: MH = 50 years/socket,
+// SDC = 100 FIT/socket, 24-hour job.
+func fig7Params(socketsPerReplica int, delta float64) Params {
+	return Params{
+		W:                   24 * 3600,
+		Delta:               delta,
+		RH:                  30,
+		RS:                  10,
+		SocketsPerReplica:   socketsPerReplica,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     100,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := fig7Params(1024, 15)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{},
+		{W: 1},
+		{W: 1, Delta: 1, RH: -1},
+		{W: 1, Delta: 1, SocketsPerReplica: 0},
+		{W: 1, Delta: 1, SocketsPerReplica: 1},
+		{W: 1, Delta: 1, SocketsPerReplica: 1, HardMTBFSocketYears: 1, SDCFITPerSocket: -5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSystemMTBFScaling(t *testing.T) {
+	p1 := fig7Params(1024, 15)
+	p4 := fig7Params(4096, 15)
+	if r := p1.HardMTBF() / p4.HardMTBF(); math.Abs(r-4) > 1e-9 {
+		t.Fatalf("hard MTBF should scale inversely with sockets: ratio %v", r)
+	}
+	if r := p1.SDCMTBF() / p4.SDCMTBF(); math.Abs(r-4) > 1e-9 {
+		t.Fatalf("SDC MTBF should scale inversely with sockets: ratio %v", r)
+	}
+}
+
+func TestMultiFailureProb(t *testing.T) {
+	p := fig7Params(1024, 15)
+	small := p.MultiFailureProb(10)
+	big := p.MultiFailureProb(10000)
+	if small < 0 || small > 1 || big < 0 || big > 1 {
+		t.Fatalf("probabilities out of range: %v, %v", small, big)
+	}
+	if small >= big {
+		t.Fatalf("longer period should raise multi-failure probability: %v vs %v", small, big)
+	}
+	// Second-order behaviour: for x = (tau+d)/M << 1, P ~ x^2/2.
+	x := (10.0 + 15.0) / p.HardMTBF()
+	if rel := math.Abs(small-x*x/2) / (x * x / 2); rel > 0.01 {
+		t.Fatalf("small-x expansion violated: got %v, want ~%v", small, x*x/2)
+	}
+}
+
+func TestTotalTimeExceedsWork(t *testing.T) {
+	p := fig7Params(4096, 15)
+	for _, s := range Schemes() {
+		tt, err := p.TotalTime(s, 300)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if tt <= p.W {
+			t.Errorf("%v: total time %v not above W %v", s, tt, p.W)
+		}
+	}
+}
+
+func TestTotalTimeErrors(t *testing.T) {
+	p := fig7Params(4096, 15)
+	if _, err := p.TotalTime(Strong, 0); err == nil {
+		t.Fatal("tau=0 must fail")
+	}
+	bad := p
+	bad.W = 0
+	if _, err := bad.TotalTime(Strong, 100); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+	// Absurd failure rate: no forward progress.
+	hot := fig7Params(4096, 15)
+	hot.HardMTBFSocketYears = 1e-6
+	if _, err := hot.TotalTime(Strong, 100); err == nil {
+		t.Fatal("overhead rate >= 1 must fail")
+	}
+}
+
+// Scheme ordering at a common tau: strong does the most hard-error rework,
+// medium only an extra checkpoint, weak almost none. TS >= TM >= TW.
+func TestSchemeOrdering(t *testing.T) {
+	p := fig7Params(65536, 180)
+	tau := 1000.0
+	ts, err := p.TotalTime(Strong, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := p.TotalTime(Medium, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := p.TotalTime(Weak, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ts > tm && tm > tw) {
+		t.Fatalf("expected TS > TM > TW, got %v, %v, %v", ts, tm, tw)
+	}
+}
+
+func TestOptimalTauMinimizes(t *testing.T) {
+	p := fig7Params(16384, 15)
+	for _, s := range Schemes() {
+		tau, err := p.OptimalTau(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		best, err := p.TotalTime(s, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, factor := range []float64{0.25, 0.5, 2, 4} {
+			other, err := p.TotalTime(s, tau*factor)
+			if err != nil {
+				continue
+			}
+			if other < best*(1-1e-9) {
+				t.Errorf("%v: tau=%v (T=%v) beaten by tau=%v (T=%v)", s, tau, best, tau*factor, other)
+			}
+		}
+	}
+}
+
+// The strong scheme checkpoints more frequently than medium/weak because
+// its rework penalty grows with tau (§6.2: "applications using strong
+// resilience scheme need to checkpoint more frequently").
+func TestStrongCheckpointsMoreOften(t *testing.T) {
+	p := fig7Params(16384, 15)
+	tauS, err := p.OptimalTau(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauM, err := p.OptimalTau(Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tauS >= tauM {
+		t.Fatalf("strong tau %v should be below medium tau %v", tauS, tauM)
+	}
+}
+
+// Figure 7a quantitative anchors: with delta=15s all schemes stay above 45%
+// at 256K sockets/replica; with delta=180s strong drops to roughly 37% while
+// weak and medium stay above 43%... (paper values; we assert the shape with
+// modest margins).
+func TestFig7aUtilizationAnchors(t *testing.T) {
+	const s256k = 262144
+	for _, s := range Schemes() {
+		_, u, err := fig7Params(s256k, 15).Utilization(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if u < 0.43 || u > 0.5 {
+			t.Errorf("delta=15 %v utilization = %.3f, want in [0.43, 0.5]", s, u)
+		}
+	}
+	_, uStrong, err := fig7Params(s256k, 180).Utilization(Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uStrong < 0.30 || uStrong > 0.42 {
+		t.Errorf("delta=180 strong utilization = %.3f, want ~0.37", uStrong)
+	}
+	_, uWeak, err := fig7Params(s256k, 180).Utilization(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, uMedium, err := fig7Params(s256k, 180).Utilization(Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uWeak < 0.40 || uMedium < 0.40 {
+		t.Errorf("delta=180 weak/medium utilization = %.3f/%.3f, want > 0.40", uWeak, uMedium)
+	}
+	if !(uStrong < uMedium && uStrong < uWeak) {
+		t.Errorf("strong should cost the most utilization at delta=180: %v vs %v/%v", uStrong, uMedium, uWeak)
+	}
+}
+
+// Utilization declines with socket count for every scheme (Figure 7a).
+func TestUtilizationMonotoneInSockets(t *testing.T) {
+	for _, s := range Schemes() {
+		prev := 1.0
+		for _, n := range []int{1024, 4096, 16384, 65536, 262144} {
+			_, u, err := fig7Params(n, 180).Utilization(s)
+			if err != nil {
+				t.Fatalf("%v at %d: %v", s, n, err)
+			}
+			if u > prev {
+				t.Errorf("%v: utilization rose from %.4f to %.4f at %d sockets", s, prev, u, n)
+			}
+			prev = u
+		}
+	}
+}
+
+// Figure 7b anchors: strong detects everything; medium halves weak's
+// undetected-SDC probability; probabilities grow with socket count; at 64K
+// sockets with delta=15s medium stays below 1%.
+func TestFig7bUndetectedSDC(t *testing.T) {
+	p := fig7Params(65536, 15)
+	tau, err := p.OptimalTau(Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := p.UndetectedSDCProb(Strong, tau)
+	if err != nil || ps != 0 {
+		t.Fatalf("strong undetected prob = %v (err %v), want 0", ps, err)
+	}
+	pm, err := p.UndetectedSDCProb(Medium, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := p.UndetectedSDCProb(Weak, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm <= 0 || pw <= 0 || pm >= 1 || pw >= 1 {
+		t.Fatalf("probabilities out of range: medium %v weak %v", pm, pw)
+	}
+	if ratio := pw / pm; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("medium should halve weak's exposure: ratio %.2f", ratio)
+	}
+	if pm >= 0.01 {
+		t.Errorf("medium delta=15s at 64K sockets = %.4f, paper says < 1%%", pm)
+	}
+	// Growth with sockets.
+	pBig := fig7Params(262144, 180)
+	tauBig, err := pBig.OptimalTau(Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwBig, err := pBig.UndetectedSDCProb(Weak, tauBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pwBig <= pw {
+		t.Errorf("weak exposure should grow with sockets and delta: %v vs %v", pwBig, pw)
+	}
+	if pwBig < 0.05 {
+		t.Errorf("weak delta=180 at 256K should be substantial, got %v", pwBig)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Strong.String() != "strong" || Medium.String() != "medium" || Weak.String() != "weak" {
+		t.Fatal("Scheme.String broken")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme should format")
+	}
+	if len(Schemes()) != 3 {
+		t.Fatal("Schemes() should list all three")
+	}
+}

@@ -1,0 +1,138 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file analyzes the §3.4 design choice: dual redundancy (ACR's
+// choice — one detected SDC forces re-execution from the last checkpoint)
+// versus triple modular redundancy (TMR — a majority vote corrects the
+// corrupted replica in place, at the price of a third copy of the
+// machine). The paper argues dual wins "assuming good scalability for most
+// applications and relatively small number of SDCs"; the crossover below
+// quantifies where that assumption breaks.
+
+// TMRTotalTime returns the expected execution time under TMR at checkpoint
+// period tau. Checkpointing (still needed for hard errors) and hard-error
+// rework match the strong scheme; SDC costs only a vote-and-overwrite
+// correction (modelled as RS) instead of a rollback, so the (tau+d)/MS
+// rework term disappears.
+func (p Params) TMRTotalTime(tau float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if tau <= 0 {
+		return 0, fmt.Errorf("model: tau must be positive")
+	}
+	mh, ms := p.HardMTBF(), p.SDCMTBF()
+	nCkpt := p.W/tau - 1
+	if nCkpt < 0 {
+		nCkpt = 0
+	}
+	fixed := p.W + nCkpt*p.Delta
+	rate := p.RH/mh + p.RS/ms + (tau+p.Delta)/(2*mh)
+	if rate >= 1 {
+		return 0, fmt.Errorf("model: TMR overhead rate %.3f >= 1", rate)
+	}
+	return fixed / (1 - rate), nil
+}
+
+// TMROptimalTau returns the period minimizing TMRTotalTime.
+func (p Params) TMROptimalTau() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	// Closed-form first-order optimum is fine here: the only
+	// tau-dependent overheads are d/tau and tau/(2 MH).
+	tau := math.Sqrt(2 * p.Delta * p.HardMTBF())
+	if tau > p.W {
+		tau = p.W
+	}
+	if tau < p.Delta {
+		tau = p.Delta
+	}
+	return tau, nil
+}
+
+// TMRUtilization returns W / (3 * T): the whole-machine utilization of
+// triple redundancy on the same socket budget accounting (three replicas
+// of SocketsPerReplica sockets each).
+func (p Params) TMRUtilization() (tau, util float64, err error) {
+	tau, err = p.TMROptimalTau()
+	if err != nil {
+		return 0, 0, err
+	}
+	t, err := p.TMRTotalTime(tau)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tau, p.W / (3 * t), nil
+}
+
+// RedundancyComparison contrasts dual redundancy (strong scheme) with TMR
+// at one model point.
+type RedundancyComparison struct {
+	DualUtil float64
+	TMRUtil  float64
+	// TMRWins reports whether triple redundancy delivers higher
+	// utilization — the regime the paper concedes to TMR when SDCs are
+	// frequent enough that re-execution dominates.
+	TMRWins bool
+}
+
+// CompareRedundancy evaluates both designs at the params point. A design
+// that cannot make forward progress at any checkpoint period (failure
+// overheads consume everything) scores zero utilization rather than
+// erroring, so the comparison is total.
+func (p Params) CompareRedundancy() (RedundancyComparison, error) {
+	if err := p.Validate(); err != nil {
+		return RedundancyComparison{}, err
+	}
+	_, dual, err := p.Utilization(Strong)
+	if err != nil {
+		dual = 0
+	}
+	_, tmr, err := p.TMRUtilization()
+	if err != nil {
+		tmr = 0
+	}
+	return RedundancyComparison{DualUtil: dual, TMRUtil: tmr, TMRWins: tmr > dual}, nil
+}
+
+// SDCCrossoverFIT returns (approximately) the per-socket SDC rate in FIT
+// above which TMR outperforms dual redundancy for this machine point,
+// found by bisection on the FIT axis. Returns +Inf if dual wins everywhere
+// up to the cap.
+func (p Params) SDCCrossoverFIT(maxFIT float64) (float64, error) {
+	wins := func(fit float64) (bool, error) {
+		q := p
+		q.SDCFITPerSocket = fit
+		cmp, err := q.CompareRedundancy()
+		if err != nil {
+			return false, err
+		}
+		return cmp.TMRWins, nil
+	}
+	hiWin, err := wins(maxFIT)
+	if err != nil {
+		return 0, err
+	}
+	if !hiWin {
+		return math.Inf(1), nil
+	}
+	lo, hi := 0.0, maxFIT
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		w, err := wins(mid)
+		if err != nil {
+			return 0, err
+		}
+		if w {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

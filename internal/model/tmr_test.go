@@ -1,0 +1,214 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func tmrParams(fit float64) Params {
+	return Params{
+		W:                   24 * 3600,
+		Delta:               15,
+		RH:                  30,
+		RS:                  10,
+		SocketsPerReplica:   65536,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     fit,
+	}
+}
+
+func TestTMRTotalTimeBasics(t *testing.T) {
+	p := tmrParams(100)
+	tt, err := p.TMRTotalTime(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt <= p.W {
+		t.Fatal("TMR total time must exceed W")
+	}
+	if _, err := p.TMRTotalTime(0); err == nil {
+		t.Fatal("tau=0 must fail")
+	}
+	bad := p
+	bad.W = 0
+	if _, err := bad.TMRTotalTime(100); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+}
+
+func TestTMRIgnoresSDCRework(t *testing.T) {
+	// TMR's execution time must be insensitive to the SDC rate (votes
+	// correct in place), unlike the dual strong scheme.
+	low := tmrParams(1)
+	high := tmrParams(100000)
+	tLow, err := low.TMRTotalTime(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tHigh, err := high.TMRTotalTime(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the tiny RS/MS correction term differs.
+	if (tHigh-tLow)/tLow > 0.02 {
+		t.Fatalf("TMR should barely notice SDC rate: %v vs %v", tLow, tHigh)
+	}
+	sLow, err := low.TotalTime(Strong, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHigh, err := high.TotalTime(Strong, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHigh <= sLow*1.05 {
+		t.Fatal("dual strong must suffer visibly under heavy SDC")
+	}
+}
+
+func TestDualWinsAtLowSDCRate(t *testing.T) {
+	// §3.4: with "relatively small number of SDCs", dual redundancy's 50%
+	// beats TMR's 33%.
+	cmp, err := tmrParams(100).CompareRedundancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TMRWins {
+		t.Fatalf("dual should win at 100 FIT: dual %.3f vs TMR %.3f", cmp.DualUtil, cmp.TMRUtil)
+	}
+	if cmp.TMRUtil <= 0 || cmp.TMRUtil > 1.0/3 {
+		t.Fatalf("TMR utilization %.3f outside (0, 1/3]", cmp.TMRUtil)
+	}
+}
+
+func TestTMRWinsAtExtremeSDCRate(t *testing.T) {
+	cmp, err := tmrParams(3e6).CompareRedundancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.TMRWins {
+		t.Fatalf("TMR should win at 3M FIT: dual %.3f vs TMR %.3f", cmp.DualUtil, cmp.TMRUtil)
+	}
+}
+
+func TestSDCCrossoverFIT(t *testing.T) {
+	p := tmrParams(0)
+	cross, err := p.SDCCrossoverFIT(3e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(cross, 1) {
+		t.Fatal("crossover should exist below 1e8 FIT")
+	}
+	if cross < 1000 {
+		t.Fatalf("crossover at %v FIT implausibly low", cross)
+	}
+	// Verify the crossover is genuine: dual wins just below, TMR at or
+	// above.
+	below := p
+	below.SDCFITPerSocket = cross * 0.5
+	cb, err := below.CompareRedundancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.TMRWins {
+		t.Fatal("dual should still win below the crossover")
+	}
+	above := p
+	above.SDCFITPerSocket = cross * 2
+	ca, err := above.CompareRedundancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.TMRWins {
+		t.Fatal("TMR should win above the crossover")
+	}
+	// No crossover below a tiny cap.
+	small, err := p.SDCCrossoverFIT(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(small, 1) {
+		t.Fatal("no crossover should be found below 10 FIT")
+	}
+}
+
+func TestTMROptimalTau(t *testing.T) {
+	p := tmrParams(100)
+	tau, err := p.TMROptimalTau()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := p.TMRTotalTime(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0.5, 2} {
+		other, err := p.TMRTotalTime(tau * f)
+		if err != nil {
+			continue
+		}
+		if other < best*(1-0.01) {
+			t.Fatalf("tau %v (T=%v) clearly beaten by %v (T=%v)", tau, best, tau*f, other)
+		}
+	}
+}
+
+func TestDiskSystem(t *testing.T) {
+	d := DiskSystem{AggregateBandwidth: 50e9, BytesPerSocket: 4e9}
+	delta, err := d.Delta(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(delta-80) > 1e-9 {
+		t.Fatalf("delta = %v, want 80", delta)
+	}
+	if _, err := (DiskSystem{}).Delta(10); err == nil {
+		t.Fatal("zero bandwidth must fail")
+	}
+	if _, err := d.Delta(0); err == nil {
+		t.Fatal("zero sockets must fail")
+	}
+}
+
+func TestDiskVsMemorySweep(t *testing.T) {
+	disk := DiskSystem{AggregateBandwidth: 50e9, BytesPerSocket: 4e9}
+	base := BaselineParams{
+		W:                   120 * 3600,
+		RH:                  30,
+		HardMTBFSocketYears: 50,
+		SDCFITPerSocket:     100,
+	}
+	sockets := []int{4096, 16384, 65536, 262144}
+	pts, err := DiskVsMemory(disk, 15, base, sockets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(sockets) {
+		t.Fatal("missing points")
+	}
+	// Disk delta grows linearly with the machine; utilization degrades.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DiskDelta <= pts[i-1].DiskDelta {
+			t.Fatal("disk delta must grow with machine size")
+		}
+		if pts[i].DiskUtil >= pts[i-1].DiskUtil {
+			t.Fatal("disk utilization must degrade with machine size")
+		}
+	}
+	// The §1 motivation: at large scale the in-memory replicated design
+	// overtakes disk checkpointing despite the 50% replication tax.
+	last := pts[len(pts)-1]
+	if last.ACRUtil <= last.DiskUtil {
+		t.Fatalf("ACR (%.3f) should beat disk checkpointing (%.3f) at 256K sockets",
+			last.ACRUtil, last.DiskUtil)
+	}
+	first := pts[0]
+	if first.DiskUtil <= first.ACRUtil {
+		t.Fatalf("disk checkpointing (%.3f) should still win at 4K sockets (%.3f)",
+			first.DiskUtil, first.ACRUtil)
+	}
+	if _, err := DiskVsMemory(DiskSystem{}, 15, base, sockets); err == nil {
+		t.Fatal("bad disk system must fail")
+	}
+}

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"acr/internal/topology"
+)
+
+func desExchange(t *testing.T, shape [3]int, scheme topology.Scheme, chunk int, bytes float64) (des, closed float64) {
+	t.Helper()
+	tr, err := topology.NewTorus(shape[0], shape[1], shape[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topology.NewMapping(tr, scheme, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := BGPParams()
+	got, err := SimulateBuddyExchange(m, p, bytes, DESConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, New(m, p).transferTime(bytes)
+}
+
+// The headline validation: the packet-level simulation agrees with the
+// closed-form bottleneck model on the buddy-exchange completion time.
+func TestDESValidatesClosedForm(t *testing.T) {
+	const bytes = 4e6
+	cases := []struct {
+		shape  [3]int
+		scheme topology.Scheme
+		chunk  int
+	}{
+		{[3]int{4, 4, 8}, topology.DefaultScheme, 0},
+		{[3]int{8, 8, 8}, topology.DefaultScheme, 0},
+		{[3]int{8, 8, 16}, topology.DefaultScheme, 0},
+		{[3]int{8, 8, 8}, topology.ColumnScheme, 0},
+		{[3]int{8, 8, 8}, topology.MixedScheme, 2},
+	}
+	for _, c := range cases {
+		des, closed := desExchange(t, c.shape, c.scheme, c.chunk, bytes)
+		if des <= 0 || closed <= 0 {
+			t.Fatalf("%v/%v: degenerate times %v, %v", c.shape, c.scheme, des, closed)
+		}
+		rel := math.Abs(des-closed) / closed
+		if rel > 0.25 {
+			t.Errorf("%v/%v: DES %.4fs vs closed form %.4fs (%.0f%% apart)",
+				c.shape, c.scheme, des, closed, rel*100)
+		}
+	}
+}
+
+// The DES independently reproduces the Figure 8 shape: default-mapping
+// exchange time doubles when the Z extent doubles; column mapping stays
+// flat.
+func TestDESGrowthWithZ(t *testing.T) {
+	const bytes = 4e6
+	d8, _ := desExchange(t, [3]int{8, 8, 8}, topology.DefaultScheme, 0, bytes)
+	d16, _ := desExchange(t, [3]int{8, 8, 16}, topology.DefaultScheme, 0, bytes)
+	if ratio := d16 / d8; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("default exchange Z8->Z16 ratio = %.2f, want ~2", ratio)
+	}
+	c8, _ := desExchange(t, [3]int{8, 8, 8}, topology.ColumnScheme, 0, bytes)
+	c16, _ := desExchange(t, [3]int{8, 8, 16}, topology.ColumnScheme, 0, bytes)
+	if rel := math.Abs(c16-c8) / c8; rel > 0.1 {
+		t.Errorf("column exchange should be flat: %.4f vs %.4f", c8, c16)
+	}
+	// Ordering across mappings at a fixed allocation.
+	m8, _ := desExchange(t, [3]int{8, 8, 8}, topology.MixedScheme, 2, bytes)
+	if !(d8 > m8 && m8 > c8) {
+		t.Errorf("mapping ordering broken: default %.4f, mixed %.4f, column %.4f", d8, m8, c8)
+	}
+}
+
+func TestDESDegenerateInputs(t *testing.T) {
+	tr, _ := topology.NewTorus(4, 4, 4)
+	p := BGPParams()
+	// No transfers.
+	got, err := SimulateTransfers(tr, p, nil, DESConfig{})
+	if err != nil || got != 0 {
+		t.Fatalf("empty set: %v, %v", got, err)
+	}
+	// Zero-byte and self transfers are skipped.
+	got, err = SimulateTransfers(tr, p, []Transfer{{Src: 0, Dst: 0, Bytes: 100}, {Src: 1, Dst: 2, Bytes: 0}}, DESConfig{})
+	if err != nil || got != 0 {
+		t.Fatalf("degenerate transfers: %v, %v", got, err)
+	}
+	// Invalid params.
+	if _, err := SimulateTransfers(tr, Params{}, []Transfer{{Src: 0, Dst: 1, Bytes: 1}}, DESConfig{}); err == nil {
+		t.Fatal("zero bandwidth must fail")
+	}
+}
+
+func TestDESSingleTransferMatchesAnalytic(t *testing.T) {
+	tr, _ := topology.NewTorus(8, 1, 1)
+	p := BGPParams()
+	const bytes = 1e6
+	got, err := SimulateTransfers(tr, p, []Transfer{{Src: 0, Dst: 3, Bytes: bytes}}, DESConfig{PacketBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With pipelining, injection overlaps transmission: the first link
+	// serializes the whole message after the first packet is injected,
+	// and each further hop adds one latency plus one packet time for the
+	// tail to drain through.
+	ser := bytes / p.LinkBandwidth
+	pktSer := float64(64<<10) / p.LinkBandwidth
+	pktInj := float64(64<<10) / p.InjectionBandwidth
+	want := pktInj + ser + 2*(p.LinkLatency+pktSer) + p.LinkLatency
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("single transfer: DES %.6f vs analytic %.6f", got, want)
+	}
+}
+
+func TestDESPacketSizeInsensitivity(t *testing.T) {
+	// Completion time must be stable across reasonable packet sizes
+	// (pipelining works), not an artifact of segmentation.
+	tr, _ := topology.NewTorus(8, 8, 8)
+	m, _ := topology.NewMapping(tr, topology.DefaultScheme, 0)
+	p := BGPParams()
+	a, err := SimulateBuddyExchange(m, p, 2e6, DESConfig{PacketBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateBuddyExchange(m, p, 2e6, DESConfig{PacketBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a-b) / a; rel > 0.15 {
+		t.Errorf("packet-size sensitivity too high: %.4f vs %.4f", a, b)
+	}
+}
+
+func BenchmarkDESBuddyExchange(b *testing.B) {
+	tr, _ := topology.NewTorus(8, 8, 8)
+	m, _ := topology.NewMapping(tr, topology.DefaultScheme, 0)
+	p := BGPParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateBuddyExchange(m, p, 4e6, DESConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package netsim provides an alpha-beta network cost model with per-link
+// contention on a 3D torus, plus the node-local costs (serialization,
+// comparison, checksum computation) that make up an ACR checkpoint or
+// restart round.
+//
+// The model is deliberately simple — the paper's Figures 8-11 are explained
+// by three effects this model captures exactly:
+//
+//  1. a transfer phase completes when the most loaded link drains, so the
+//     default mapping's time scales with the Z bisection load while column
+//     and mixed mappings stay flat;
+//  2. the checksum method replaces O(bytes) network traffic with O(bytes)
+//     extra arithmetic, which wins only when gamma < beta/4 (§4.2);
+//  3. restart under strong resilience moves a single checkpoint while
+//     medium/weak move one per node, recreating the same congestion as the
+//     checkpoint exchange.
+package netsim
+
+import (
+	"fmt"
+
+	"acr/internal/topology"
+)
+
+// Params holds the machine cost parameters. All bandwidths are bytes/second
+// and latencies seconds. The defaults (see BGPParams) are calibrated to a
+// Blue Gene/P-class machine so that the reproduced figures land in the same
+// range as the paper; the shapes do not depend on the calibration.
+type Params struct {
+	// LinkBandwidth is the payload bandwidth of one directional torus link.
+	LinkBandwidth float64
+	// LinkLatency is the per-hop latency (alpha).
+	LinkLatency float64
+	// InjectionBandwidth bounds how fast a single node can source or sink
+	// traffic regardless of route diversity.
+	InjectionBandwidth float64
+	// SerializeBandwidth is the node-local rate of producing a checkpoint
+	// via the PUP framework (traversal + copy).
+	SerializeBandwidth float64
+	// CompareBandwidth is the node-local rate of comparing two resident
+	// checkpoints byte by byte.
+	CompareBandwidth float64
+	// ChecksumBandwidth is the node-local rate of computing a Fletcher
+	// checksum over a checkpoint. Per §4.2 this costs about 4 arithmetic
+	// instructions per byte versus 1 for a plain copy, so it defaults to
+	// SerializeBandwidth/4 scaled by the copy/compute ratio.
+	ChecksumBandwidth float64
+	// SoftwareOverhead is a fixed per-operation cost (scheduling,
+	// barriers); restarts pay it a few times (§6.3).
+	SoftwareOverhead float64
+	// ScatterPenalty multiplies serialization cost for applications whose
+	// checkpoint data is scattered in memory (the MD mini-apps, Table 2).
+	ScatterPenalty float64
+}
+
+// BGPParams returns cost parameters for a Blue Gene/P-class torus.
+func BGPParams() Params {
+	return Params{
+		LinkBandwidth:      425e6, // 425 MB/s per torus link direction
+		LinkLatency:        3e-6,
+		InjectionBandwidth: 2 * 425e6,
+		SerializeBandwidth: 350e6,
+		CompareBandwidth:   800e6,
+		ChecksumBandwidth:  150e6,
+		SoftwareOverhead:   2e-3,
+		ScatterPenalty:     1.0,
+	}
+}
+
+// Method is the SDC-detection data-exchange method of §4.2.
+type Method int
+
+// Detection/exchange methods evaluated in Figures 8-11.
+const (
+	// FullCheckpoint ships the whole checkpoint to the buddy and compares
+	// byte by byte. Transfer cost depends on the mapping.
+	FullCheckpoint Method = iota
+	// Checksum ships only a Fletcher checksum (32 bytes) and compares
+	// checksums; computation cost replaces transfer cost.
+	Checksum
+)
+
+func (m Method) String() string {
+	switch m {
+	case FullCheckpoint:
+		return "full"
+	case Checksum:
+		return "checksum"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ChecksumBytes is the wire size of the checksum exchange (§6.2: "the
+// checksum data size is only 32 bytes").
+const ChecksumBytes = 32
+
+// Model combines a mapping with machine parameters and answers time
+// queries about collective checkpoint/restart operations.
+type Model struct {
+	Params  Params
+	Mapping *topology.Mapping
+}
+
+// New returns a model for the given mapping and parameters.
+func New(m *topology.Mapping, p Params) *Model {
+	return &Model{Params: p, Mapping: m}
+}
+
+// transferTime returns the completion time of the all-buddies exchange in
+// which every node of one replica sends bytesPerNode to its buddy. The phase
+// drains when the most congested link finishes; per-node injection also
+// bounds it.
+func (m *Model) transferTime(bytesPerNode float64) float64 {
+	if bytesPerNode <= 0 {
+		return 0
+	}
+	maxLoad := float64(m.Mapping.MaxBuddyLinkLoad())
+	maxHops := 0
+	for _, rank := range m.Mapping.Members(0) {
+		if d := m.Mapping.BuddyDistance(rank); d > maxHops {
+			maxHops = d
+		}
+	}
+	link := maxLoad * bytesPerNode / m.Params.LinkBandwidth
+	inject := bytesPerNode / m.Params.InjectionBandwidth
+	lat := float64(maxHops) * m.Params.LinkLatency
+	t := link
+	if inject > t {
+		t = inject
+	}
+	return t + lat
+}
+
+// pointTransferTime returns the time to ship bytes between one node pair
+// (the strong-resilience restart path: a single buddy-to-spare message, so
+// effectively no contention).
+func (m *Model) pointTransferTime(bytes float64, hops int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes/m.Params.LinkBandwidth + float64(hops)*m.Params.LinkLatency
+}
+
+// CheckpointCost is the decomposition plotted in Figure 8.
+type CheckpointCost struct {
+	Local    float64 // local serialization (pup) time
+	Transfer float64 // inter-replica exchange time
+	Compare  float64 // comparison (byte compare or checksum compute+compare)
+}
+
+// Total returns the summed checkpoint time; the phases are sequential in
+// ACR's blocking checkpoint algorithm.
+func (c CheckpointCost) Total() float64 { return c.Local + c.Transfer + c.Compare }
+
+// Checkpoint returns the cost of one replicated checkpoint with SDC
+// detection for a per-node checkpoint of the given size, under the given
+// method. scattered marks low-memory apps whose data layout inflates
+// serialization (Table 2's "low memory pressure" MD apps).
+func (m *Model) Checkpoint(bytesPerNode float64, method Method, scattered bool) CheckpointCost {
+	p := m.Params
+	local := bytesPerNode / p.SerializeBandwidth
+	if scattered {
+		local *= p.ScatterPenalty
+	}
+	var c CheckpointCost
+	c.Local = local
+	switch method {
+	case FullCheckpoint:
+		c.Transfer = m.transferTime(bytesPerNode)
+		c.Compare = bytesPerNode / p.CompareBandwidth
+	case Checksum:
+		// Compute the checksum (the dominant cost), ship 32 bytes,
+		// compare 32 bytes (negligible).
+		c.Compare = bytesPerNode/p.ChecksumBandwidth + float64(ChecksumBytes)/p.LinkBandwidth
+		c.Transfer = m.transferTime(ChecksumBytes)
+	}
+	return c
+}
+
+// RestartCost is the decomposition plotted in Figure 10.
+type RestartCost struct {
+	Transfer       float64 // checkpoint shipping
+	Reconstruction float64 // deserialize + rebuild state + synchronization
+}
+
+// Total returns the summed restart time.
+func (r RestartCost) Total() float64 { return r.Transfer + r.Reconstruction }
+
+// RestartScheme selects which resilience scheme's restart path to cost.
+type RestartScheme int
+
+// Restart paths (§2.3): strong ships one checkpoint to the spare node;
+// medium and weak ship one checkpoint per node (same congestion pattern as
+// the checkpoint exchange).
+const (
+	StrongRestart RestartScheme = iota
+	MediumRestart
+	WeakRestart
+)
+
+func (s RestartScheme) String() string {
+	switch s {
+	case StrongRestart:
+		return "strong"
+	case MediumRestart:
+		return "medium"
+	case WeakRestart:
+		return "weak"
+	}
+	return fmt.Sprintf("RestartScheme(%d)", int(s))
+}
+
+// Restart returns the cost of restarting the crashed replica after a hard
+// error. Reconstruction includes deserialization plus the synchronization
+// overhead (barriers and broadcasts) that dominates for small checkpoints
+// (§6.3, LeanMD).
+func (m *Model) Restart(bytesPerNode float64, scheme RestartScheme, scattered bool) RestartCost {
+	p := m.Params
+	recon := bytesPerNode / p.SerializeBandwidth
+	if scattered {
+		recon *= p.ScatterPenalty
+	}
+	// Restart is an unexpected event coordinated with several barriers
+	// and broadcasts whose cost grows slowly (logarithmically) with the
+	// node count.
+	n := m.Mapping.NodesPerReplica()
+	sync := p.SoftwareOverhead * float64(4+log2(n))
+	var r RestartCost
+	r.Reconstruction = recon + sync
+	switch scheme {
+	case StrongRestart:
+		// Only the buddy of the crashed node ships its checkpoint, to
+		// the spare: one message, no contention.
+		maxHops := 0
+		for _, rank := range m.Mapping.Members(0) {
+			if d := m.Mapping.BuddyDistance(rank); d > maxHops {
+				maxHops = d
+			}
+		}
+		r.Transfer = m.pointTransferTime(bytesPerNode, maxHops+2)
+	case MediumRestart, WeakRestart:
+		// Every healthy node ships its checkpoint to its buddy.
+		r.Transfer = m.transferTime(bytesPerNode)
+	}
+	return r
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}

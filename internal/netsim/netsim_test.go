@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"testing"
+
+	"acr/internal/topology"
+)
+
+func model(t *testing.T, shape [3]int, scheme topology.Scheme, chunk int) *Model {
+	t.Helper()
+	tr, err := topology.NewTorus(shape[0], shape[1], shape[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topology.NewMapping(tr, scheme, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, BGPParams())
+}
+
+func TestCheckpointCostComponentsPositive(t *testing.T) {
+	m := model(t, [3]int{8, 8, 8}, topology.DefaultScheme, 0)
+	c := m.Checkpoint(16e6, FullCheckpoint, false)
+	if c.Local <= 0 || c.Transfer <= 0 || c.Compare <= 0 {
+		t.Fatalf("cost components must be positive: %+v", c)
+	}
+	if c.Total() != c.Local+c.Transfer+c.Compare {
+		t.Fatal("Total != sum of parts")
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	m := model(t, [3]int{8, 8, 8}, topology.DefaultScheme, 0)
+	c := m.Checkpoint(0, FullCheckpoint, false)
+	if c.Local != 0 || c.Compare != 0 {
+		t.Fatalf("zero-size checkpoint should be free: %+v", c)
+	}
+}
+
+// The headline Figure 8 shape: with the default mapping, the transfer
+// component grows roughly 4x from the Z=8 to the Z=32 allocation and then
+// stays flat, while column mapping is flat throughout.
+func TestFig8TransferShape(t *testing.T) {
+	const bytes = 16e6
+	transfer := func(shape [3]int, s topology.Scheme) float64 {
+		return model(t, shape, s, 0).Checkpoint(bytes, FullCheckpoint, false).Transfer
+	}
+	d8 := transfer([3]int{8, 8, 8}, topology.DefaultScheme)
+	d32 := transfer([3]int{8, 8, 32}, topology.DefaultScheme)
+	d32big := transfer([3]int{32, 32, 32}, topology.DefaultScheme)
+	if ratio := d32 / d8; ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("default transfer growth Z8->Z32 = %.2fx, want ~4x", ratio)
+	}
+	if diff := d32big/d32 - 1; diff > 0.05 || diff < -0.05 {
+		t.Errorf("default transfer should flatten beyond Z=32: %.3g vs %.3g", d32, d32big)
+	}
+	c8 := transfer([3]int{8, 8, 8}, topology.ColumnScheme)
+	c32 := transfer([3]int{32, 32, 32}, topology.ColumnScheme)
+	if diff := c32/c8 - 1; diff > 0.05 || diff < -0.05 {
+		t.Errorf("column transfer should be flat: %.3g vs %.3g", c8, c32)
+	}
+	if d32 <= c32 {
+		t.Errorf("default transfer (%.3g) should exceed column (%.3g) at scale", d32, c32)
+	}
+}
+
+// Checksum method: transfer is negligible and constant; compare (checksum
+// compute) dominates and is independent of the mapping (§6.2).
+func TestChecksumMethodShape(t *testing.T) {
+	const bytes = 16e6
+	def := model(t, [3]int{32, 32, 32}, topology.DefaultScheme, 0).Checkpoint(bytes, Checksum, false)
+	col := model(t, [3]int{32, 32, 32}, topology.ColumnScheme, 0).Checkpoint(bytes, Checksum, false)
+	if def.Transfer > 1e-3 {
+		t.Errorf("checksum transfer should be trivial, got %.3g s", def.Transfer)
+	}
+	if rel := (def.Compare - col.Compare) / def.Compare; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("checksum compare should not depend on mapping: %.3g vs %.3g", def.Compare, col.Compare)
+	}
+	// For high-memory-pressure apps the checksum total exceeds the
+	// column-mapping total (§6.2: "overheads for it are even larger than
+	// the column-mapping for high memory pressure applications").
+	colFull := model(t, [3]int{32, 32, 32}, topology.ColumnScheme, 0).Checkpoint(bytes, FullCheckpoint, false)
+	if def.Total() <= colFull.Total() {
+		t.Errorf("checksum total (%.3g) should exceed column full-checkpoint total (%.3g) for large checkpoints", def.Total(), colFull.Total())
+	}
+}
+
+// For small scattered checkpoints (MD apps) the checksum method wins
+// (§6.2: "the checksum method outperforms other schemes" for LeanMD/miniMD).
+func TestChecksumWinsForSmallCheckpoints(t *testing.T) {
+	const bytes = 0.5e6
+	p := BGPParams()
+	p.ScatterPenalty = 3.0
+	tr, _ := topology.NewTorus(32, 32, 32)
+	mapDef, _ := topology.NewMapping(tr, topology.DefaultScheme, 0)
+	m := New(mapDef, p)
+	ck := m.Checkpoint(bytes, Checksum, true)
+	full := m.Checkpoint(bytes, FullCheckpoint, true)
+	if ck.Total() >= full.Total() {
+		t.Errorf("checksum (%.4g) should beat default full exchange (%.4g) for small scattered checkpoints", ck.Total(), full.Total())
+	}
+}
+
+func TestStrongRestartCheapest(t *testing.T) {
+	for _, shape := range [][3]int{{8, 8, 8}, {16, 16, 32}} {
+		m := model(t, shape, topology.DefaultScheme, 0)
+		strong := m.Restart(16e6, StrongRestart, false)
+		medium := m.Restart(16e6, MediumRestart, false)
+		if strong.Total() >= medium.Total() {
+			t.Errorf("%v: strong restart (%.3g) should beat medium (%.3g)", shape, strong.Total(), medium.Total())
+		}
+		if strong.Transfer >= medium.Transfer {
+			t.Errorf("%v: strong restart transfer should be smaller", shape)
+		}
+	}
+}
+
+func TestMediumRestartMappingSensitive(t *testing.T) {
+	def := model(t, [3]int{32, 32, 32}, topology.DefaultScheme, 0).Restart(16e6, MediumRestart, false)
+	col := model(t, [3]int{32, 32, 32}, topology.ColumnScheme, 0).Restart(16e6, MediumRestart, false)
+	if def.Transfer <= col.Transfer {
+		t.Errorf("default medium restart (%.3g) should exceed column (%.3g)", def.Transfer, col.Transfer)
+	}
+	// Strong restart is mapping-insensitive (§6.3: a single message).
+	defS := model(t, [3]int{32, 32, 32}, topology.DefaultScheme, 0).Restart(16e6, StrongRestart, false)
+	colS := model(t, [3]int{32, 32, 32}, topology.ColumnScheme, 0).Restart(16e6, StrongRestart, false)
+	if rel := (defS.Total() - colS.Total()) / defS.Total(); rel > 0.01 || rel < -0.01 {
+		t.Errorf("strong restart should not depend on mapping: %.4g vs %.4g", defS.Total(), colS.Total())
+	}
+}
+
+// Reconstruction sync overhead grows slowly with node count — the LeanMD
+// effect in Figure 10c.
+func TestReconstructionSyncGrows(t *testing.T) {
+	small := model(t, [3]int{8, 8, 8}, topology.DefaultScheme, 0).Restart(0.1e6, StrongRestart, true)
+	big := model(t, [3]int{32, 32, 32}, topology.DefaultScheme, 0).Restart(0.1e6, StrongRestart, true)
+	if big.Reconstruction <= small.Reconstruction {
+		t.Errorf("reconstruction should grow with node count: %.4g vs %.4g", small.Reconstruction, big.Reconstruction)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if FullCheckpoint.String() != "full" || Checksum.String() != "checksum" {
+		t.Fatal("Method.String broken")
+	}
+	if StrongRestart.String() != "strong" || MediumRestart.String() != "medium" || WeakRestart.String() != "weak" {
+		t.Fatal("RestartScheme.String broken")
+	}
+	if Method(9).String() == "" || RestartScheme(9).String() == "" {
+		t.Fatal("unknown values should format")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 1024: 10}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

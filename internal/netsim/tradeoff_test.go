@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"testing"
+
+	"acr/internal/topology"
+)
+
+func TestChecksumRuleMatchesAdvantage(t *testing.T) {
+	// For a large checkpoint the sign of the gamma < beta/4 rule must
+	// agree with the actual time difference, across mappings (which vary
+	// beta via the bottleneck load).
+	const bytes = 64e6
+	for _, tc := range []struct {
+		shape  [3]int
+		scheme topology.Scheme
+	}{
+		{[3]int{8, 8, 32}, topology.DefaultScheme},   // load 16: big beta
+		{[3]int{32, 32, 32}, topology.DefaultScheme}, // load 16
+		{[3]int{32, 32, 32}, topology.ColumnScheme},  // load 1: tiny beta
+	} {
+		m := model(t, tc.shape, tc.scheme, 0)
+		rule := m.ChecksumBeneficial()
+		adv := m.ChecksumAdvantage(bytes, false)
+		if rule != (adv > 0) {
+			t.Errorf("%v/%v: rule says beneficial=%v but advantage=%.4fs",
+				tc.shape, tc.scheme, rule, adv)
+		}
+	}
+}
+
+func TestChecksumRuleDirections(t *testing.T) {
+	// Default mapping at Z=32 (load 16): beta large, checksum wins.
+	def := model(t, [3]int{8, 8, 32}, topology.DefaultScheme, 0)
+	if !def.ChecksumBeneficial() {
+		t.Error("checksum should be beneficial under the congested default mapping")
+	}
+	// Column mapping (load 1): beta small, full exchange wins.
+	col := model(t, [3]int{8, 8, 32}, topology.ColumnScheme, 0)
+	if col.ChecksumBeneficial() {
+		t.Error("checksum should lose to the column mapping")
+	}
+	if def.EffectiveBeta() <= col.EffectiveBeta() {
+		t.Error("default mapping must have the larger effective beta")
+	}
+	if def.EffectiveGamma() != col.EffectiveGamma() {
+		t.Error("gamma is a node property, independent of mapping")
+	}
+}
+
+func TestSemiBlockingOnlyLocalBlocks(t *testing.T) {
+	m := model(t, [3]int{8, 8, 32}, topology.DefaultScheme, 0)
+	const bytes = 16e6
+	full := m.Checkpoint(bytes, FullCheckpoint, false)
+	semi := m.SemiBlocking(bytes, FullCheckpoint, false)
+	if semi.Blocking != full.Local {
+		t.Fatalf("semi-blocking pause %v, want local capture %v", semi.Blocking, full.Local)
+	}
+	if semi.Background != full.Transfer+full.Compare {
+		t.Fatal("background must carry transfer + compare")
+	}
+	if semi.Blocking+semi.Background != full.Total() {
+		t.Fatal("no work disappears, it just moves off the critical path")
+	}
+}
+
+func TestSemiBlockingSpeedupRange(t *testing.T) {
+	m := model(t, [3]int{8, 8, 32}, topology.DefaultScheme, 0)
+	s := m.SemiBlockingSpeedup(16e6, FullCheckpoint, false)
+	if s <= 0 || s >= 1 {
+		t.Fatalf("speedup ratio %v outside (0,1)", s)
+	}
+	// Under the congested default mapping, the overlap should hide most
+	// of the checkpoint cost (transfer dominates).
+	if s > 0.35 {
+		t.Errorf("expected transfer-dominated round to hide >65%% of cost, blocked fraction %v", s)
+	}
+	if got := m.SemiBlockingSpeedup(0, FullCheckpoint, false); got != 1 {
+		t.Fatalf("degenerate case should return 1, got %v", got)
+	}
+}

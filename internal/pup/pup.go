@@ -1,0 +1,491 @@
+// Package pup is a Go rendition of Charm++'s Pack/UnPack (PUP) framework,
+// the serialization layer ACR uses for checkpointing (§4.1).
+//
+// An application type implements Pupable with a single Pup method that
+// "pipes" every field through a PUPer. The same method then serves four
+// purposes, selected by the PUPer's mode:
+//
+//   - Sizing:    measure the packed size without copying.
+//   - Packing:   serialize the state into a buffer (a local checkpoint).
+//   - Unpacking: restore the state from a buffer (restart).
+//   - Checking:  compare live state against a buddy's checkpoint to detect
+//     silent data corruption — the "checker PUPer" of §4.1, with a
+//     configurable relative tolerance for floating-point data and Skip
+//     regions for replica-variant data that must not be compared.
+//
+// Encoding is little-endian with fixed-width scalars and uint32 length
+// prefixes, so packed size is deterministic for a given structure shape.
+package pup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Mode identifies what a PUPer traversal does.
+type Mode int
+
+// Traversal modes.
+const (
+	Sizing Mode = iota
+	Packing
+	Unpacking
+	Checking
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sizing:
+		return "sizing"
+	case Packing:
+		return "packing"
+	case Unpacking:
+		return "unpacking"
+	case Checking:
+		return "checking"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Pupable is implemented by any type that can be checkpointed. Pup must
+// traverse the same fields in the same order in every mode.
+type Pupable interface {
+	Pup(p *PUPer)
+}
+
+// Mismatch records one field-level difference found in Checking mode.
+type Mismatch struct {
+	Label  string  // the label active when the mismatch was found
+	Offset int     // byte offset in the checkpoint stream
+	Local  float64 // local value (best-effort numeric rendering)
+	Remote float64 // remote value
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s@%d: local %v != remote %v", m.Label, m.Offset, m.Local, m.Remote)
+}
+
+// MaxMismatches bounds how many mismatches a checker records; one is enough
+// to trigger a rollback, more are kept only for diagnostics.
+const MaxMismatches = 16
+
+// PUPer carries a traversal. Create one with NewSizer, NewPacker,
+// NewUnpacker, or NewChecker; the zero value is not usable.
+type PUPer struct {
+	mode Mode
+	buf  []byte
+	off  int
+	err  error
+
+	// Checking state.
+	relTol     float64
+	skipDepth  int
+	mismatches []Mismatch
+	label      string
+}
+
+// NewSizer returns a PUPer that measures packed size.
+func NewSizer() *PUPer { return &PUPer{mode: Sizing} }
+
+// NewPacker returns a PUPer that packs into buf, which must be at least
+// Size(obj) bytes (use Pack for automatic allocation).
+func NewPacker(buf []byte) *PUPer { return &PUPer{mode: Packing, buf: buf} }
+
+// NewUnpacker returns a PUPer that restores state from data.
+func NewUnpacker(data []byte) *PUPer { return &PUPer{mode: Unpacking, buf: data} }
+
+// NewChecker returns a PUPer that compares live state against the packed
+// checkpoint in remote. relTol is the relative tolerance applied to
+// floating-point comparisons (§4.1: "a programmer can set the relative
+// error a program can tolerate"); zero demands exact equality.
+func NewChecker(remote []byte, relTol float64) *PUPer {
+	return &PUPer{mode: Checking, buf: remote, relTol: relTol}
+}
+
+// Mode returns the traversal mode.
+func (p *PUPer) Mode() Mode { return p.mode }
+
+// Offset returns the number of bytes traversed so far.
+func (p *PUPer) Offset() int { return p.off }
+
+// Err returns the first structural error encountered (buffer overrun,
+// length mismatch). Mismatched *values* in Checking mode are not errors;
+// see Mismatches.
+func (p *PUPer) Err() error { return p.err }
+
+// Mismatches returns the value differences found in Checking mode.
+func (p *PUPer) Mismatches() []Mismatch { return p.mismatches }
+
+// Label sets the diagnostic label attached to subsequently found
+// mismatches, typically a field name.
+func (p *PUPer) Label(s string) { p.label = s }
+
+// Skip runs body with comparison disabled: in Checking mode the traversed
+// bytes are consumed but not compared. Use it for data that legitimately
+// differs between replicas (timestamps, RNG state, profiling counters) but
+// must still round-trip through checkpoints. Skip nests.
+func (p *PUPer) Skip(body func(*PUPer)) {
+	p.skipDepth++
+	body(p)
+	p.skipDepth--
+}
+
+func (p *PUPer) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("pup: "+format, args...)
+	}
+}
+
+func (p *PUPer) addMismatch(local, remote float64) {
+	if len(p.mismatches) < MaxMismatches {
+		p.mismatches = append(p.mismatches, Mismatch{
+			Label:  p.label,
+			Offset: p.off,
+			Local:  local,
+			Remote: remote,
+		})
+	} else {
+		// Keep counting implicitly by noting saturation in the last slot.
+		p.mismatches[MaxMismatches-1].Label = "...more"
+	}
+}
+
+// raw processes n bytes: returns the destination (Packing) or source
+// (Unpacking/Checking) window, or nil in Sizing mode or on error.
+func (p *PUPer) raw(n int) []byte {
+	switch p.mode {
+	case Sizing:
+		p.off += n
+		return nil
+	case Packing:
+		if p.off+n > len(p.buf) {
+			p.fail("pack overflow at %d (+%d, buffer %d)", p.off, n, len(p.buf))
+			return nil
+		}
+	case Unpacking, Checking:
+		if p.off+n > len(p.buf) {
+			p.fail("%s underrun at %d (+%d, buffer %d)", p.mode, p.off, n, len(p.buf))
+			return nil
+		}
+	}
+	w := p.buf[p.off : p.off+n]
+	p.off += n
+	return w
+}
+
+func (p *PUPer) floatEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if p.relTol <= 0 {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= p.relTol*scale
+}
+
+// Uint64 pipes a uint64.
+func (p *PUPer) Uint64(v *uint64) {
+	w := p.raw(8)
+	if w == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint64(w, *v)
+	case Unpacking:
+		*v = binary.LittleEndian.Uint64(w)
+	case Checking:
+		if p.skipDepth == 0 {
+			r := binary.LittleEndian.Uint64(w)
+			if r != *v {
+				p.addMismatch(float64(*v), float64(r))
+			}
+		}
+	}
+}
+
+// Int64 pipes an int64.
+func (p *PUPer) Int64(v *int64) {
+	u := uint64(*v)
+	p.Uint64(&u)
+	if p.mode == Unpacking {
+		*v = int64(u)
+	}
+}
+
+// Int pipes an int (as 64-bit on the wire).
+func (p *PUPer) Int(v *int) {
+	u := uint64(int64(*v))
+	p.Uint64(&u)
+	if p.mode == Unpacking {
+		*v = int(int64(u))
+	}
+}
+
+// Uint32 pipes a uint32.
+func (p *PUPer) Uint32(v *uint32) {
+	w := p.raw(4)
+	if w == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint32(w, *v)
+	case Unpacking:
+		*v = binary.LittleEndian.Uint32(w)
+	case Checking:
+		if p.skipDepth == 0 {
+			r := binary.LittleEndian.Uint32(w)
+			if r != *v {
+				p.addMismatch(float64(*v), float64(r))
+			}
+		}
+	}
+}
+
+// Bool pipes a bool as one byte.
+func (p *PUPer) Bool(v *bool) {
+	w := p.raw(1)
+	if w == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		w[0] = 0
+		if *v {
+			w[0] = 1
+		}
+	case Unpacking:
+		*v = w[0] != 0
+	case Checking:
+		if p.skipDepth == 0 {
+			local := byte(0)
+			if *v {
+				local = 1
+			}
+			if w[0] != local {
+				p.addMismatch(float64(local), float64(w[0]))
+			}
+		}
+	}
+}
+
+// Float64 pipes a float64 with tolerance-aware comparison in Checking mode.
+func (p *PUPer) Float64(v *float64) {
+	w := p.raw(8)
+	if w == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint64(w, math.Float64bits(*v))
+	case Unpacking:
+		*v = math.Float64frombits(binary.LittleEndian.Uint64(w))
+	case Checking:
+		if p.skipDepth == 0 {
+			r := math.Float64frombits(binary.LittleEndian.Uint64(w))
+			if !p.floatEqual(*v, r) {
+				p.addMismatch(*v, r)
+			}
+		}
+	}
+}
+
+// length pipes a collection length prefix and returns the agreed length
+// (the local length in Sizing/Packing/Checking, the stored length when
+// Unpacking). A negative return means a structural error occurred.
+func (p *PUPer) length(local int) int {
+	n := uint32(local)
+	w := p.raw(4)
+	if p.err != nil {
+		return -1
+	}
+	switch p.mode {
+	case Sizing:
+		return local
+	case Packing:
+		binary.LittleEndian.PutUint32(w, n)
+		return local
+	case Unpacking:
+		return int(binary.LittleEndian.Uint32(w))
+	case Checking:
+		stored := int(binary.LittleEndian.Uint32(w))
+		if stored != local {
+			// A length difference means the structures diverged; the
+			// stream can no longer be aligned, so this is structural.
+			p.fail("length mismatch at %d: local %d, remote %d (label %q)", p.off, local, stored, p.label)
+			return -1
+		}
+		return local
+	}
+	return -1
+}
+
+// Float64s pipes a []float64, resizing on unpack.
+func (p *PUPer) Float64s(v *[]float64) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	if p.mode == Unpacking && len(*v) != n {
+		*v = make([]float64, n)
+	}
+	if p.mode == Sizing {
+		p.off += 8 * n
+		return
+	}
+	for i := range *v {
+		if p.err != nil {
+			return
+		}
+		p.Float64(&(*v)[i])
+	}
+}
+
+// Int64s pipes a []int64, resizing on unpack.
+func (p *PUPer) Int64s(v *[]int64) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	if p.mode == Unpacking && len(*v) != n {
+		*v = make([]int64, n)
+	}
+	if p.mode == Sizing {
+		p.off += 8 * n
+		return
+	}
+	for i := range *v {
+		if p.err != nil {
+			return
+		}
+		p.Int64(&(*v)[i])
+	}
+}
+
+// Ints pipes a []int, resizing on unpack.
+func (p *PUPer) Ints(v *[]int) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	if p.mode == Unpacking && len(*v) != n {
+		*v = make([]int, n)
+	}
+	if p.mode == Sizing {
+		p.off += 8 * n
+		return
+	}
+	for i := range *v {
+		if p.err != nil {
+			return
+		}
+		p.Int(&(*v)[i])
+	}
+}
+
+// Bytes pipes a []byte, resizing on unpack.
+func (p *PUPer) Bytes(v *[]byte) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	w := p.raw(n)
+	if p.mode == Sizing || p.err != nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		copy(w, *v)
+	case Unpacking:
+		if len(*v) != n {
+			*v = make([]byte, n)
+		}
+		copy(*v, w)
+	case Checking:
+		if p.skipDepth == 0 {
+			for i := 0; i < n; i++ {
+				if (*v)[i] != w[i] {
+					p.addMismatch(float64((*v)[i]), float64(w[i]))
+					break // one mismatch per byte slice is enough detail
+				}
+			}
+		}
+	}
+}
+
+// String pipes a string.
+func (p *PUPer) String(v *string) {
+	b := []byte(*v)
+	p.Bytes(&b)
+	if p.mode == Unpacking {
+		*v = string(b)
+	}
+}
+
+// Object pipes a nested Pupable.
+func (p *PUPer) Object(v Pupable) { v.Pup(p) }
+
+// Size returns the packed size of obj in bytes.
+func Size(obj Pupable) int {
+	p := NewSizer()
+	obj.Pup(p)
+	return p.Offset()
+}
+
+// Pack serializes obj into a fresh buffer.
+func Pack(obj Pupable) ([]byte, error) {
+	buf := make([]byte, Size(obj))
+	p := NewPacker(buf)
+	obj.Pup(p)
+	if p.Err() != nil {
+		return nil, p.Err()
+	}
+	if p.Offset() != len(buf) {
+		return nil, fmt.Errorf("pup: pack wrote %d of %d bytes (inconsistent Pup method)", p.Offset(), len(buf))
+	}
+	return buf, nil
+}
+
+// Unpack restores obj from data produced by Pack.
+func Unpack(data []byte, obj Pupable) error {
+	p := NewUnpacker(data)
+	obj.Pup(p)
+	if p.Err() != nil {
+		return p.Err()
+	}
+	if p.Offset() != len(data) {
+		return fmt.Errorf("pup: unpack consumed %d of %d bytes", p.Offset(), len(data))
+	}
+	return nil
+}
+
+// CheckResult reports the outcome of comparing live state with a remote
+// checkpoint.
+type CheckResult struct {
+	Match      bool
+	Mismatches []Mismatch
+}
+
+// Check compares the live state of obj against the packed checkpoint in
+// remote with the given relative float tolerance. A structural divergence
+// (different lengths, short buffer) is returned as an error; value
+// differences are reported in the result.
+func Check(obj Pupable, remote []byte, relTol float64) (CheckResult, error) {
+	p := NewChecker(remote, relTol)
+	obj.Pup(p)
+	if p.Err() != nil {
+		return CheckResult{}, p.Err()
+	}
+	if p.Offset() != len(remote) {
+		return CheckResult{}, fmt.Errorf("pup: check consumed %d of %d bytes", p.Offset(), len(remote))
+	}
+	ms := p.Mismatches()
+	return CheckResult{Match: len(ms) == 0, Mismatches: ms}, nil
+}

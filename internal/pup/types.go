@@ -1,0 +1,192 @@
+package pup
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Additional wire types beyond the core set in pup.go: single-precision
+// floats (common in mixed-precision HPC codes), 16-bit integers, nested
+// Pupable slices, and string-keyed maps (serialized in sorted key order so
+// packing stays deterministic — a requirement for replica comparison).
+
+// Float32 pipes a float32 with tolerance-aware comparison.
+func (p *PUPer) Float32(v *float32) {
+	w := p.raw(4)
+	if w == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint32(w, math.Float32bits(*v))
+	case Unpacking:
+		*v = math.Float32frombits(binary.LittleEndian.Uint32(w))
+	case Checking:
+		if p.skipDepth == 0 {
+			r := math.Float32frombits(binary.LittleEndian.Uint32(w))
+			if !p.floatEqual(float64(*v), float64(r)) {
+				p.addMismatch(float64(*v), float64(r))
+			}
+		}
+	}
+}
+
+// Float32s pipes a []float32, resizing on unpack.
+func (p *PUPer) Float32s(v *[]float32) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	if p.mode == Unpacking && len(*v) != n {
+		*v = make([]float32, n)
+	}
+	if p.mode == Sizing {
+		p.off += 4 * n
+		return
+	}
+	for i := range *v {
+		if p.err != nil {
+			return
+		}
+		p.Float32(&(*v)[i])
+	}
+}
+
+// Uint16 pipes a uint16.
+func (p *PUPer) Uint16(v *uint16) {
+	w := p.raw(2)
+	if w == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		binary.LittleEndian.PutUint16(w, *v)
+	case Unpacking:
+		*v = binary.LittleEndian.Uint16(w)
+	case Checking:
+		if p.skipDepth == 0 {
+			r := binary.LittleEndian.Uint16(w)
+			if r != *v {
+				p.addMismatch(float64(*v), float64(r))
+			}
+		}
+	}
+}
+
+// Strings pipes a []string, resizing on unpack.
+func (p *PUPer) Strings(v *[]string) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	if p.mode == Unpacking && len(*v) != n {
+		*v = make([]string, n)
+	}
+	for i := range *v {
+		if p.err != nil {
+			return
+		}
+		p.String(&(*v)[i])
+	}
+}
+
+// Objects pipes a slice of nested Pupables, using mk to allocate elements
+// on unpack.
+func Objects[T Pupable](p *PUPer, v *[]T, mk func() T) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	if p.Mode() == Unpacking && len(*v) != n {
+		*v = make([]T, n)
+		for i := range *v {
+			(*v)[i] = mk()
+		}
+	}
+	for i := range *v {
+		if p.Err() != nil {
+			return
+		}
+		p.Object((*v)[i])
+	}
+}
+
+// MapStringFloat64 pipes a map[string]float64 in sorted key order, so two
+// replicas holding equal maps always produce byte-identical checkpoints
+// regardless of Go's map iteration order.
+func (p *PUPer) MapStringFloat64(v *map[string]float64) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	switch p.mode {
+	case Unpacking:
+		*v = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			if p.err != nil {
+				return
+			}
+			var k string
+			var val float64
+			p.String(&k)
+			p.Float64(&val)
+			(*v)[k] = val
+		}
+	default:
+		keys := make([]string, 0, len(*v))
+		for k := range *v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if p.err != nil {
+				return
+			}
+			kk := k
+			val := (*v)[k]
+			p.String(&kk)
+			p.Float64(&val)
+			if p.mode == Checking && p.err != nil {
+				return
+			}
+		}
+	}
+}
+
+// MapStringInt64 pipes a map[string]int64 in sorted key order.
+func (p *PUPer) MapStringInt64(v *map[string]int64) {
+	n := p.length(len(*v))
+	if n < 0 {
+		return
+	}
+	switch p.mode {
+	case Unpacking:
+		*v = make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			if p.err != nil {
+				return
+			}
+			var k string
+			var val int64
+			p.String(&k)
+			p.Int64(&val)
+			(*v)[k] = val
+		}
+	default:
+		keys := make([]string, 0, len(*v))
+		for k := range *v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if p.err != nil {
+				return
+			}
+			kk := k
+			val := (*v)[k]
+			p.String(&kk)
+			p.Int64(&val)
+		}
+	}
+}

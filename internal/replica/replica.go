@@ -1,0 +1,87 @@
+// Package replica connects the logical node space of the live runtime (two
+// replicas of N logical nodes each) to physical torus positions under a
+// chosen mapping scheme, and tracks the spare-node pool reserved at job
+// launch (§2.1, §4.1).
+//
+// Logical pairing is fixed: logical node i of replica 0 and logical node i
+// of replica 1 are buddies. The mapping scheme decides where those two
+// nodes sit on the torus and therefore what the checkpoint-exchange traffic
+// costs (§4.2).
+package replica
+
+import (
+	"fmt"
+
+	"acr/internal/topology"
+)
+
+// Layout places the two replicas' logical nodes onto torus coordinates.
+type Layout struct {
+	Mapping *topology.Mapping
+
+	// ranks[rep][logical] is the torus node rank backing the logical node.
+	ranks [2][]int
+}
+
+// NewLayout derives a layout from a mapping: logical node i of replica 0 is
+// the i-th replica-0 member in torus rank order, and its buddy (same i in
+// replica 1) is that node's mapping buddy.
+func NewLayout(m *topology.Mapping) *Layout {
+	l := &Layout{Mapping: m}
+	members := m.Members(0)
+	l.ranks[0] = make([]int, len(members))
+	l.ranks[1] = make([]int, len(members))
+	for i, r := range members {
+		l.ranks[0][i] = r
+		l.ranks[1][i] = m.BuddyOf(r)
+	}
+	return l
+}
+
+// NodesPerReplica returns the logical node count.
+func (l *Layout) NodesPerReplica() int { return len(l.ranks[0]) }
+
+// TorusRank returns the torus node rank backing the logical node.
+func (l *Layout) TorusRank(rep, logical int) int { return l.ranks[rep][logical] }
+
+// Coord returns the torus coordinate backing the logical node.
+func (l *Layout) Coord(rep, logical int) topology.Coord {
+	return l.Mapping.Torus.CoordOf(l.ranks[rep][logical])
+}
+
+// BuddyDistance returns the hop distance between logical node i's two
+// physical homes.
+func (l *Layout) BuddyDistance(logical int) int {
+	return l.Mapping.Torus.Distance(l.Coord(0, logical), l.Coord(1, logical))
+}
+
+// SparePool tracks the spare nodes reserved when the job launched. It is a
+// plain value type used under the caller's synchronization.
+type SparePool struct {
+	free []int
+	used int
+}
+
+// NewSparePool returns a pool of the given spare node ids.
+func NewSparePool(ids []int) *SparePool {
+	p := &SparePool{free: make([]int, len(ids))}
+	copy(p.free, ids)
+	return p
+}
+
+// Take removes and returns one spare node id.
+func (p *SparePool) Take() (int, error) {
+	if len(p.free) == 0 {
+		return 0, fmt.Errorf("replica: spare pool exhausted after %d replacements", p.used)
+	}
+	id := p.free[0]
+	p.free = p.free[1:]
+	p.used++
+	return id, nil
+}
+
+// Free returns the number of remaining spares.
+func (p *SparePool) Free() int { return len(p.free) }
+
+// Used returns the number of spares consumed so far.
+func (p *SparePool) Used() int { return p.used }

@@ -1,0 +1,109 @@
+package replica
+
+import (
+	"testing"
+
+	"acr/internal/topology"
+)
+
+func layout(t *testing.T, scheme topology.Scheme, chunk int) *Layout {
+	t.Helper()
+	tr, err := topology.NewTorus(8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topology.NewMapping(tr, scheme, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLayout(m)
+}
+
+func TestLayoutCoversBothReplicas(t *testing.T) {
+	for _, s := range []topology.Scheme{topology.DefaultScheme, topology.ColumnScheme} {
+		l := layout(t, s, 0)
+		if l.NodesPerReplica() != 256 {
+			t.Fatalf("%v: nodes per replica = %d, want 256", s, l.NodesPerReplica())
+		}
+		seen := make(map[int]bool)
+		for rep := 0; rep < 2; rep++ {
+			for i := 0; i < l.NodesPerReplica(); i++ {
+				r := l.TorusRank(rep, i)
+				if seen[r] {
+					t.Fatalf("%v: torus rank %d used twice", s, r)
+				}
+				seen[r] = true
+				if l.Mapping.ReplicaOf(r) != rep {
+					t.Fatalf("%v: rank %d assigned to wrong replica", s, r)
+				}
+			}
+		}
+		if len(seen) != 512 {
+			t.Fatalf("%v: covered %d nodes, want 512", s, len(seen))
+		}
+	}
+}
+
+func TestLogicalBuddiesAreMappingBuddies(t *testing.T) {
+	l := layout(t, topology.DefaultScheme, 0)
+	for i := 0; i < l.NodesPerReplica(); i++ {
+		r0 := l.TorusRank(0, i)
+		r1 := l.TorusRank(1, i)
+		if l.Mapping.BuddyOf(r0) != r1 {
+			t.Fatalf("logical %d: %d's buddy is %d, not %d", i, r0, l.Mapping.BuddyOf(r0), r1)
+		}
+	}
+}
+
+func TestBuddyDistanceByScheme(t *testing.T) {
+	if d := layout(t, topology.DefaultScheme, 0).BuddyDistance(17); d != 4 {
+		t.Fatalf("default buddy distance %d, want 4", d)
+	}
+	if d := layout(t, topology.ColumnScheme, 0).BuddyDistance(17); d != 1 {
+		t.Fatalf("column buddy distance %d, want 1", d)
+	}
+	if d := layout(t, topology.MixedScheme, 2).BuddyDistance(17); d != 2 {
+		t.Fatalf("mixed buddy distance %d, want 2", d)
+	}
+}
+
+func TestCoordConsistent(t *testing.T) {
+	l := layout(t, topology.ColumnScheme, 0)
+	for i := 0; i < 10; i++ {
+		c := l.Coord(0, i)
+		if l.Mapping.Torus.RankOf(c) != l.TorusRank(0, i) {
+			t.Fatal("Coord and TorusRank disagree")
+		}
+	}
+}
+
+func TestSparePool(t *testing.T) {
+	p := NewSparePool([]int{7, 8, 9})
+	if p.Free() != 3 || p.Used() != 0 {
+		t.Fatal("fresh pool wrong")
+	}
+	id, err := p.Take()
+	if err != nil || id != 7 {
+		t.Fatalf("Take = (%d, %v)", id, err)
+	}
+	if p.Free() != 2 || p.Used() != 1 {
+		t.Fatal("counts wrong after take")
+	}
+	p.Take()
+	p.Take()
+	if _, err := p.Take(); err == nil {
+		t.Fatal("exhausted pool must error")
+	}
+	if p.Used() != 3 {
+		t.Fatalf("used = %d", p.Used())
+	}
+}
+
+func TestSparePoolCopiesInput(t *testing.T) {
+	ids := []int{1, 2}
+	p := NewSparePool(ids)
+	ids[0] = 99
+	if id, _ := p.Take(); id != 1 {
+		t.Fatal("pool should copy its input")
+	}
+}

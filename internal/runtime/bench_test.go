@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"testing"
+
+	"acr/internal/pup"
+)
+
+// BenchmarkMessageRoundTrip measures the runtime's raw send/recv path: two
+// tasks ping-pong b.N times.
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	done := make(chan struct{})
+	factory := func(addr Addr) Program {
+		return progFunc{pup: func(*pup.PUPer) {}, run: func(ctx *Ctx) error {
+			if ctx.Addr().Replica != 0 {
+				return nil // bench only replica 0
+			}
+			other := Addr{0, 0, 1 - ctx.Addr().Task}
+			if ctx.Addr().Task == 0 {
+				for i := 0; i < b.N; i++ {
+					if err := ctx.Send(other, 1, int64(i)); err != nil {
+						return err
+					}
+					if _, err := ctx.Recv(); err != nil {
+						return err
+					}
+				}
+				close(done)
+				return nil
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := ctx.Recv(); err != nil {
+					return err
+				}
+				if err := ctx.Send(other, 1, int64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}
+	}
+	m, err := NewMachine(Config{NodesPerReplica: 1, TasksPerNode: 2, Factory: factory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	b.ResetTimer()
+	m.Start()
+	<-done
+}
+
+// BenchmarkPackTask measures checkpoint capture of a modest task state.
+func BenchmarkPackTask(b *testing.B) {
+	m, err := NewMachine(Config{
+		NodesPerReplica: 1,
+		TasksPerNode:    1,
+		Factory:         ringFactory(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	m.Start()
+	if err := m.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PackTask(Addr{0, 0, 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+// Package runtime is an in-process message-driven parallel runtime — the
+// Charm++ substitute on which ACR is built (see DESIGN.md).
+//
+// A Machine hosts two replicas of the same program plus a pool of spare
+// nodes. Each replica consists of logical nodes, each hosting a fixed
+// number of tasks (chares). Every task runs its own goroutine, owns a
+// mailbox, and communicates exclusively by asynchronous messages; there is
+// no shared state between tasks, so a replica behaves like a distributed
+// machine. Logical nodes map to physical nodes; killing a physical node is
+// a fail-stop event (it stops sending and receiving, exactly the paper's
+// "no-response" injection), after which the logical node can be remapped to
+// a spare.
+//
+// The runtime provides the mechanisms ACR needs and nothing more:
+// asynchronous sends, any-source receives, progress reporting through a
+// pluggable gate (the hook for the §2.2 consensus protocol), fail-stop
+// kills with heartbeat-based detection, epoch-tagged rollback, and
+// task-state capture through the pup framework.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"acr/internal/pup"
+)
+
+// Errors returned by task-context operations. Application Run loops should
+// simply propagate them; the runtime interprets them.
+var (
+	// ErrKilled reports that the task's physical node suffered a
+	// fail-stop error.
+	ErrKilled = errors.New("runtime: node killed")
+	// ErrRollback reports that the task's replica is being rolled back;
+	// the task will be restarted from a checkpoint.
+	ErrRollback = errors.New("runtime: replica rollback")
+	// ErrStopped reports that the machine is shutting down.
+	ErrStopped = errors.New("runtime: machine stopped")
+)
+
+// Addr is the logical address of a task.
+type Addr struct {
+	Replica int // 0 or 1
+	Node    int // logical node index within the replica
+	Task    int // task index within the node
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("r%d/n%d/t%d", a.Replica, a.Node, a.Task)
+}
+
+// Message is an application message between tasks of one replica.
+type Message struct {
+	From Addr
+	Tag  int
+	Data any
+
+	epoch uint64
+}
+
+// Program is the application code run by every task. Run is invoked on a
+// fresh goroutine at job start and again after every rollback, with the
+// receiver state freshly restored from a checkpoint; it must inspect its
+// state (e.g. an iteration counter) and continue from there. Run returns
+// nil on completion and propagates ctx errors otherwise.
+type Program interface {
+	pup.Pupable
+	Run(ctx *Ctx) error
+}
+
+// Factory creates the zero-state program for a task.
+type Factory func(addr Addr) Program
+
+// Gate observes task progress and may pause tasks — the hook through which
+// ACR's automatic checkpoint protocol (§2.2) steers the application.
+type Gate interface {
+	// Report is called by the task at the end of iteration iter. A nil
+	// return lets the task continue immediately ("in most cases, this
+	// call returns immediately"); otherwise the task blocks until the
+	// channel is closed.
+	Report(addr Addr, iter int) <-chan struct{}
+	// Done is called when the task's Run returns successfully.
+	Done(addr Addr)
+}
+
+// NopGate never pauses tasks.
+type NopGate struct{}
+
+// Report implements Gate.
+func (NopGate) Report(Addr, int) <-chan struct{} { return nil }
+
+// Done implements Gate.
+func (NopGate) Done(Addr) {}
+
+// Config describes a machine.
+type Config struct {
+	// NodesPerReplica is the logical node count of each replica.
+	NodesPerReplica int
+	// TasksPerNode is the number of tasks hosted by each node.
+	TasksPerNode int
+	// Spares is the number of spare physical nodes reserved at job launch
+	// (§2.1).
+	Spares int
+	// Factory creates task programs.
+	Factory Factory
+	// Gate observes progress; nil means NopGate.
+	Gate Gate
+	// MailboxCap is the per-task mailbox capacity (default 4096).
+	MailboxCap int
+	// HeartbeatInterval is how often each live node refreshes its
+	// heartbeat; HeartbeatTimeout is the silence after which the failure
+	// detector declares the node dead. Zero values disable detection
+	// (failures must then be observed by the caller directly).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// MsgChecker, if non-nil, folds every outgoing message into a
+	// per-task stream checksum for message-based SDC detection — the
+	// §3.3 alternative, provided as a comparative baseline.
+	MsgChecker *MsgChecker
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.NodesPerReplica <= 0:
+		return fmt.Errorf("runtime: NodesPerReplica must be positive")
+	case c.TasksPerNode <= 0:
+		return fmt.Errorf("runtime: TasksPerNode must be positive")
+	case c.Spares < 0:
+		return fmt.Errorf("runtime: negative spare count")
+	case c.Factory == nil:
+		return fmt.Errorf("runtime: Factory is required")
+	}
+	if c.Gate == nil {
+		c.Gate = NopGate{}
+	}
+	if c.MailboxCap <= 0 {
+		c.MailboxCap = 4096
+	}
+	return nil
+}
+
+// physNode is one physical node. Fail-stop is modelled by the killed flag
+// plus a closed channel that unblocks anything waiting on the node.
+type physNode struct {
+	id     int
+	mu     sync.Mutex
+	killed bool
+	dead   chan struct{} // closed on kill
+	// lastBeat is the heartbeat timestamp, guarded by mu.
+	lastBeat time.Time
+}
+
+func (n *physNode) kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.killed {
+		n.killed = true
+		close(n.dead)
+	}
+}
+
+func (n *physNode) alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.killed
+}
+
+func (n *physNode) beat(now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.killed {
+		n.lastBeat = now
+	}
+}
+
+func (n *physNode) lastBeatTime() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastBeat
+}
+
+// taskSlot is the runtime home of one logical task. The slot persists
+// across rollbacks and node replacements; the goroutine and mailbox are
+// replaced each incarnation.
+type taskSlot struct {
+	addr Addr
+
+	mu        sync.Mutex
+	prog      Program
+	mbox      chan Message
+	abort     chan struct{} // closed to force this incarnation to exit
+	running   bool
+	completed bool
+	gen       uint64 // incarnation counter
+}
+
+// Failure describes a detected hard error.
+type Failure struct {
+	Replica int // replica of the failed logical node
+	Node    int // logical node index
+	Phys    int // physical node id
+	Time    time.Time
+}
+
+// Machine hosts the two replicas and the spare pool.
+type Machine struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	phys   []*physNode
+	route  [2][]int // (replica, logical node) -> physical node id
+	spares []int    // free physical node ids
+	epoch  [2]uint64
+	slots  [2][][]*taskSlot // [replica][node][task]
+
+	appErr     error
+	completed  int
+	total      int
+	doneCh     chan struct{}
+	doneClosed bool
+
+	failures chan Failure
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup // task goroutines + detector
+}
+
+// NewMachine allocates a machine; call Start to launch the tasks.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		failures: make(chan Failure, 2*cfg.NodesPerReplica+cfg.Spares),
+		stopped:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	total := 2*cfg.NodesPerReplica + cfg.Spares
+	now := time.Now()
+	for i := 0; i < total; i++ {
+		m.phys = append(m.phys, &physNode{id: i, dead: make(chan struct{}), lastBeat: now})
+	}
+	for rep := 0; rep < 2; rep++ {
+		m.route[rep] = make([]int, cfg.NodesPerReplica)
+		m.slots[rep] = make([][]*taskSlot, cfg.NodesPerReplica)
+		for n := 0; n < cfg.NodesPerReplica; n++ {
+			m.route[rep][n] = rep*cfg.NodesPerReplica + n
+			m.slots[rep][n] = make([]*taskSlot, cfg.TasksPerNode)
+			for t := 0; t < cfg.TasksPerNode; t++ {
+				addr := Addr{Replica: rep, Node: n, Task: t}
+				m.slots[rep][n][t] = &taskSlot{
+					addr: addr,
+					prog: cfg.Factory(addr),
+				}
+			}
+		}
+	}
+	for s := 0; s < cfg.Spares; s++ {
+		m.spares = append(m.spares, 2*cfg.NodesPerReplica+s)
+	}
+	m.total = 2 * cfg.NodesPerReplica * cfg.TasksPerNode
+	return m, nil
+}
+
+// NodesPerReplica returns the logical node count of each replica.
+func (m *Machine) NodesPerReplica() int { return m.cfg.NodesPerReplica }
+
+// TasksPerNode returns the task count per node.
+func (m *Machine) TasksPerNode() int { return m.cfg.TasksPerNode }
+
+// SpareCount returns the number of unused spare nodes.
+func (m *Machine) SpareCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.spares)
+}
+
+// Failures delivers detected hard errors (one event per failed node).
+func (m *Machine) Failures() <-chan Failure { return m.failures }
+
+// Start launches every task goroutine and the failure detector.
+func (m *Machine) Start() {
+	m.mu.Lock()
+	for rep := 0; rep < 2; rep++ {
+		for n := 0; n < m.cfg.NodesPerReplica; n++ {
+			for t := 0; t < m.cfg.TasksPerNode; t++ {
+				m.startSlotLocked(m.slots[rep][n][t])
+			}
+		}
+	}
+	m.mu.Unlock()
+	if m.cfg.HeartbeatInterval > 0 && m.cfg.HeartbeatTimeout > 0 {
+		m.wg.Add(1)
+		go m.detectorLoop()
+	}
+}
+
+// Stop aborts everything; Wait will return ErrStopped unless the job had
+// already finished.
+func (m *Machine) Stop() {
+	m.stopOnce.Do(func() { close(m.stopped) })
+	m.wg.Wait()
+}
+
+// Done reports whether every task of both replicas is currently completed.
+// Unlike Wait it never blocks, and it reflects rollbacks: a replica
+// restarted from a checkpoint makes Done false again until the rerun
+// finishes.
+func (m *Machine) Done() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.completed == m.total && m.appErr == nil
+}
+
+// Wait blocks until every task of both replicas has completed (returns
+// nil), the application reported an error, or the machine was stopped.
+// Completion is level-triggered: a rollback of completed tasks (StopReplica)
+// re-arms Wait until the rerun finishes.
+func (m *Machine) Wait() error {
+	for {
+		m.mu.RLock()
+		done := m.doneCh
+		finished := m.completed == m.total
+		err := m.appErr
+		m.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		if finished {
+			return nil
+		}
+		select {
+		case <-done:
+			// Re-verify: the channel may be stale after a rollback.
+		case <-m.stopped:
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			if m.appErr != nil {
+				return m.appErr
+			}
+			if m.completed == m.total {
+				return nil
+			}
+			return ErrStopped
+		}
+	}
+}
+
+// physFor returns the physical node currently backing a logical node.
+func (m *Machine) physFor(rep, node int) *physNode {
+	return m.phys[m.route[rep][node]]
+}
+
+// Alive reports whether the physical node backing the logical node is
+// alive.
+func (m *Machine) Alive(rep, node int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.physFor(rep, node).alive()
+}
+
+// Kill fail-stops the physical node currently backing the logical node:
+// from this instant it neither sends nor receives (§6.1's no-response
+// scheme). Returns the physical node id.
+func (m *Machine) Kill(rep, node int) int {
+	m.mu.RLock()
+	p := m.physFor(rep, node)
+	m.mu.RUnlock()
+	p.kill()
+	return p.id
+}
+
+// ReplaceWithSpare remaps the logical node onto a spare physical node. The
+// tasks of the node are not restarted; use RestartTasks with a checkpoint.
+func (m *Machine) ReplaceWithSpare(rep, node int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.spares) == 0 {
+		return fmt.Errorf("runtime: spare pool exhausted")
+	}
+	if m.physFor(rep, node).alive() {
+		return fmt.Errorf("runtime: node r%d/n%d is alive; refusing to replace", rep, node)
+	}
+	id := m.spares[0]
+	m.spares = m.spares[1:]
+	m.route[rep][node] = id
+	return nil
+}
+
+// recordCompletion is called by the task runner on successful completion.
+func (m *Machine) recordCompletion() {
+	m.mu.Lock()
+	m.completed++
+	if m.completed == m.total && !m.doneClosed {
+		m.doneClosed = true
+		close(m.doneCh)
+	}
+	m.mu.Unlock()
+}
+
+func (m *Machine) recordAppError(err error) {
+	m.mu.Lock()
+	if m.appErr == nil {
+		m.appErr = err
+	}
+	m.mu.Unlock()
+	m.stopOnce.Do(func() { close(m.stopped) })
+}
+
+// detectorLoop implements heartbeat failure detection: every live node's
+// heartbeat is refreshed by a per-node ticker goroutine; this loop declares
+// nodes dead after HeartbeatTimeout of silence. Detection is reported once
+// per physical node.
+func (m *Machine) detectorLoop() {
+	defer m.wg.Done()
+	// Per-node beaters.
+	beatStop := make(chan struct{})
+	var beatWG sync.WaitGroup
+	for _, p := range m.phys {
+		p := p
+		beatWG.Add(1)
+		go func() {
+			defer beatWG.Done()
+			tick := time.NewTicker(m.cfg.HeartbeatInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case now := <-tick.C:
+					p.beat(now)
+				case <-p.dead:
+					return
+				case <-beatStop:
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(beatStop)
+		beatWG.Wait()
+	}()
+
+	reported := make(map[int]bool)
+	tick := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stopped:
+			return
+		case now := <-tick.C:
+			m.mu.RLock()
+			type hit struct{ rep, node, phys int }
+			var hits []hit
+			for rep := 0; rep < 2; rep++ {
+				for n := 0; n < m.cfg.NodesPerReplica; n++ {
+					p := m.physFor(rep, n)
+					if reported[p.id] {
+						continue
+					}
+					// The heartbeat timeout is the detection mechanism;
+					// confirming against the fail-stop flag suppresses
+					// false suspicions caused by goroutine-scheduling
+					// stalls of the beater, which have no counterpart in
+					// the modelled system (a live BG/P node always
+					// heartbeats).
+					if now.Sub(p.lastBeatTime()) > m.cfg.HeartbeatTimeout && !p.alive() {
+						hits = append(hits, hit{rep, n, p.id})
+					}
+				}
+			}
+			m.mu.RUnlock()
+			for _, h := range hits {
+				reported[h.phys] = true
+				select {
+				case m.failures <- Failure{Replica: h.rep, Node: h.node, Phys: h.phys, Time: now}:
+				case <-m.stopped:
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"acr/internal/pup"
+)
+
+// Ctx is the execution context handed to a Program's Run method. A Ctx is
+// bound to one incarnation of one task: after a rollback or node
+// replacement a fresh Ctx is created for the new incarnation.
+type Ctx struct {
+	m    *Machine
+	slot *taskSlot
+	addr Addr
+
+	// Incarnation-scoped snapshot.
+	mbox  chan Message
+	abort chan struct{}
+	epoch uint64
+}
+
+// Addr returns the task's logical address.
+func (c *Ctx) Addr() Addr { return c.addr }
+
+// NumNodes returns the logical node count of the replica.
+func (c *Ctx) NumNodes() int { return c.m.cfg.NodesPerReplica }
+
+// TasksPerNode returns the task count per node.
+func (c *Ctx) TasksPerNode() int { return c.m.cfg.TasksPerNode }
+
+// NumTasks returns the total task count of the replica.
+func (c *Ctx) NumTasks() int { return c.m.cfg.NodesPerReplica * c.m.cfg.TasksPerNode }
+
+// GlobalTask returns the task's dense index within its replica:
+// node*TasksPerNode + task.
+func (c *Ctx) GlobalTask() int { return c.addr.Node*c.m.cfg.TasksPerNode + c.addr.Task }
+
+// AddrOfGlobal returns the logical address of a dense task index within the
+// same replica.
+func (c *Ctx) AddrOfGlobal(g int) Addr {
+	return Addr{Replica: c.addr.Replica, Node: g / c.m.cfg.TasksPerNode, Task: g % c.m.cfg.TasksPerNode}
+}
+
+// checkLive returns the error that should interrupt this incarnation, if
+// any: node death, rollback, or machine stop.
+func (c *Ctx) checkLive() error {
+	c.m.mu.RLock()
+	p := c.m.physFor(c.addr.Replica, c.addr.Node)
+	s := c.m.slots[c.addr.Replica][c.addr.Node][c.addr.Task]
+	m := c.m
+	c.m.mu.RUnlock()
+	s.mu.Lock()
+	moved := s.mbox != c.mbox
+	s.mu.Unlock()
+	select {
+	case <-m.stopped:
+		return ErrStopped
+	default:
+	}
+	select {
+	case <-c.abort:
+		return ErrRollback
+	default:
+	}
+	if !p.alive() || moved {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Send delivers an asynchronous message to another task in the same
+// replica. Messages to dead nodes vanish (fail-stop); the data value is
+// shared by reference, so senders must not mutate it afterwards. Send only
+// returns an error when the *sender* can no longer run.
+func (c *Ctx) Send(to Addr, tag int, data any) error {
+	if to.Replica != c.addr.Replica {
+		return fmt.Errorf("runtime: cross-replica application sends are not allowed (%v -> %v)", c.addr, to)
+	}
+	if err := c.checkLive(); err != nil {
+		return err
+	}
+	c.m.mu.RLock()
+	defer c.m.mu.RUnlock()
+	if to.Node < 0 || to.Node >= c.m.cfg.NodesPerReplica || to.Task < 0 || to.Task >= c.m.cfg.TasksPerNode {
+		return fmt.Errorf("runtime: send to invalid address %v", to)
+	}
+	// Stale incarnation? Drop output from the walking dead.
+	if c.m.epoch[c.addr.Replica] != c.epoch {
+		return ErrRollback
+	}
+	if mc := c.m.cfg.MsgChecker; mc != nil {
+		// Fold at the send side, like the message-comparison schemes of
+		// §3.3: corruption is observable the moment it leaves the task.
+		mc.observe(c.addr, tag, data)
+	}
+	if !c.m.physFor(to.Replica, to.Node).alive() {
+		return nil // silently lost, like a message into a crashed node
+	}
+	dst := c.m.slots[to.Replica][to.Node][to.Task]
+	dst.mu.Lock()
+	mbox := dst.mbox
+	dst.mu.Unlock()
+	if mbox == nil {
+		return nil
+	}
+	msg := Message{From: c.addr, Tag: tag, Data: data, epoch: c.epoch}
+	select {
+	case mbox <- msg:
+		return nil
+	default:
+		// A full mailbox means the application violated the bounded
+		// outstanding-message discipline; surface it loudly.
+		return fmt.Errorf("runtime: mailbox overflow at %v (cap %d)", to, c.m.cfg.MailboxCap)
+	}
+}
+
+// Recv blocks for the next message from any source. It returns ErrKilled /
+// ErrRollback / ErrStopped when the incarnation must end.
+func (c *Ctx) Recv() (Message, error) {
+	c.m.mu.RLock()
+	p := c.m.physFor(c.addr.Replica, c.addr.Node)
+	c.m.mu.RUnlock()
+	for {
+		select {
+		case msg := <-c.mbox:
+			if msg.epoch != c.epoch {
+				continue // stale epoch: discard
+			}
+			return msg, nil
+		case <-p.dead:
+			return Message{}, ErrKilled
+		case <-c.abort:
+			return Message{}, ErrRollback
+		case <-c.m.stopped:
+			return Message{}, ErrStopped
+		}
+	}
+}
+
+// Progress reports that the task finished iteration iter and yields to the
+// gate, blocking while the checkpoint protocol holds the task (§2.2). It
+// returns ErrKilled / ErrRollback / ErrStopped when the incarnation must
+// end instead of continuing.
+//
+// Contract: the task must advance its pup-visible state to the next
+// iteration BEFORE calling Progress, so that a checkpoint captured while it
+// is parked here resumes with the next iteration rather than redoing the
+// reported one.
+func (c *Ctx) Progress(iter int) error {
+	if err := c.checkLive(); err != nil {
+		return err
+	}
+	waitCh := c.m.cfg.Gate.Report(c.addr, iter)
+	if waitCh == nil {
+		return nil
+	}
+	c.m.mu.RLock()
+	p := c.m.physFor(c.addr.Replica, c.addr.Node)
+	c.m.mu.RUnlock()
+	select {
+	case <-waitCh:
+		return c.checkLive()
+	case <-p.dead:
+		return ErrKilled
+	case <-c.abort:
+		return ErrRollback
+	case <-c.m.stopped:
+		return ErrStopped
+	}
+}
+
+// startSlotLocked launches a fresh incarnation of the slot's task. The
+// machine mutex must be held.
+func (m *Machine) startSlotLocked(s *taskSlot) {
+	s.mu.Lock()
+	s.mbox = make(chan Message, m.cfg.MailboxCap)
+	s.abort = make(chan struct{})
+	s.running = true
+	s.completed = false
+	s.gen++
+	ctx := &Ctx{
+		m:     m,
+		slot:  s,
+		addr:  s.addr,
+		mbox:  s.mbox,
+		abort: s.abort,
+		epoch: m.epoch[s.addr.Replica],
+	}
+	prog := s.prog
+	s.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		err := prog.Run(ctx)
+		s.mu.Lock()
+		if s.mbox == ctx.mbox { // still the current incarnation
+			s.running = false
+			if err == nil {
+				s.completed = true
+			}
+		}
+		s.mu.Unlock()
+		switch err {
+		case nil:
+			m.cfg.Gate.Done(s.addr)
+			m.recordCompletion()
+		case ErrKilled, ErrRollback, ErrStopped:
+			// Expected terminations; the controller owns recovery.
+		default:
+			m.recordAppError(fmt.Errorf("task %v: %w", s.addr, err))
+		}
+	}()
+}
+
+// PackTask serializes the current state of a task. The caller must
+// guarantee the task is quiescent: parked in Progress by the gate,
+// completed, or its replica stopped. This is the "local checkpoint" of
+// §2.1.
+func (m *Machine) PackTask(addr Addr) ([]byte, error) {
+	m.mu.RLock()
+	s := m.slots[addr.Replica][addr.Node][addr.Task]
+	m.mu.RUnlock()
+	s.mu.Lock()
+	prog := s.prog
+	s.mu.Unlock()
+	return pup.Pack(prog)
+}
+
+// CheckTask compares the live state of a task against a packed remote
+// checkpoint using the checker PUPer (§4.1). Quiescence rules match
+// PackTask.
+func (m *Machine) CheckTask(addr Addr, remote []byte, relTol float64) (pup.CheckResult, error) {
+	m.mu.RLock()
+	s := m.slots[addr.Replica][addr.Node][addr.Task]
+	m.mu.RUnlock()
+	s.mu.Lock()
+	prog := s.prog
+	s.mu.Unlock()
+	return pup.Check(prog, remote, relTol)
+}
+
+// TaskCompleted reports whether the task's current incarnation ran to
+// completion.
+func (m *Machine) TaskCompleted(addr Addr) bool {
+	m.mu.RLock()
+	s := m.slots[addr.Replica][addr.Node][addr.Task]
+	m.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
+// CorruptTask exposes the live program state of a task to an injector
+// function — the SDC injection hook (§6.1: flip a bit "in the user data
+// that will be checkpointed"). The same quiescence rules as PackTask apply
+// if inject mutates state; tests may also call it on running tasks whose
+// programs tolerate racy corruption.
+func (m *Machine) CorruptTask(addr Addr, inject func(pup.Pupable)) {
+	m.mu.RLock()
+	s := m.slots[addr.Replica][addr.Node][addr.Task]
+	m.mu.RUnlock()
+	s.mu.Lock()
+	prog := s.prog
+	s.mu.Unlock()
+	inject(prog)
+}
+
+// StopReplica forces every task incarnation of the replica to exit and
+// waits until they have. The replica's epoch advances, so any in-flight
+// message from the old incarnations is discarded on receipt.
+func (m *Machine) StopReplica(rep int) {
+	m.mu.Lock()
+	m.epoch[rep]++
+	var aborts []chan struct{}
+	var completedNow int
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		for t := 0; t < m.cfg.TasksPerNode; t++ {
+			s := m.slots[rep][n][t]
+			s.mu.Lock()
+			if s.running {
+				aborts = append(aborts, s.abort)
+			}
+			if s.completed {
+				completedNow++
+			}
+			s.mu.Unlock()
+		}
+	}
+	// Tasks that had completed are about to be rolled back; they no
+	// longer count as completed. Re-arm the done channel if it had fired.
+	m.completed -= completedNow
+	if completedNow > 0 && m.doneClosed {
+		m.doneCh = make(chan struct{})
+		m.doneClosed = false
+	}
+	m.mu.Unlock()
+	for _, a := range aborts {
+		close(a)
+	}
+	// Wait for the incarnations to drain.
+	m.waitQuiescent(rep)
+}
+
+// waitQuiescent blocks until no task goroutine of the replica is running.
+func (m *Machine) waitQuiescent(rep int) {
+	for {
+		busy := false
+		m.mu.RLock()
+		for n := 0; n < m.cfg.NodesPerReplica && !busy; n++ {
+			for t := 0; t < m.cfg.TasksPerNode && !busy; t++ {
+				s := m.slots[rep][n][t]
+				s.mu.Lock()
+				busy = s.running
+				s.mu.Unlock()
+			}
+		}
+		m.mu.RUnlock()
+		if !busy {
+			return
+		}
+		// Busy-wait with a yield: stops are rare, short events.
+		sleepYield()
+	}
+}
+
+// RestartReplica restores every task of the replica from the supplied
+// checkpoints (indexed [node][task]) and launches fresh incarnations. The
+// replica must be quiescent (StopReplica). Passing a nil checkpoint for a
+// task restarts it from factory state.
+func (m *Machine) RestartReplica(rep int, ckpts [][][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(ckpts) != m.cfg.NodesPerReplica {
+		return fmt.Errorf("runtime: checkpoint set has %d nodes, want %d", len(ckpts), m.cfg.NodesPerReplica)
+	}
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		if len(ckpts[n]) != m.cfg.TasksPerNode {
+			return fmt.Errorf("runtime: node %d checkpoint set has %d tasks, want %d", n, len(ckpts[n]), m.cfg.TasksPerNode)
+		}
+	}
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		for t := 0; t < m.cfg.TasksPerNode; t++ {
+			s := m.slots[rep][n][t]
+			fresh := m.cfg.Factory(s.addr)
+			if ck := ckpts[n][t]; ck != nil {
+				if err := pup.Unpack(ck, fresh); err != nil {
+					return fmt.Errorf("runtime: restore %v: %w", s.addr, err)
+				}
+			}
+			s.mu.Lock()
+			s.prog = fresh
+			s.mu.Unlock()
+		}
+	}
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		for t := 0; t < m.cfg.TasksPerNode; t++ {
+			m.startSlotLocked(m.slots[rep][n][t])
+		}
+	}
+	return nil
+}
+
+// sleepYield parks briefly; it is only used while waiting for rare stop
+// events, so the fixed granularity is irrelevant.
+func sleepYield() { time.Sleep(100 * time.Microsecond) }

@@ -1,0 +1,49 @@
+package topology
+
+import "testing"
+
+func BenchmarkRoute(b *testing.B) {
+	tr, err := NewTorus(16, 16, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := Coord{0, 0, 0}
+	c := Coord{8, 8, 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tr.Route(a, c); len(got) == 0 {
+			b.Fatal("empty route")
+		}
+	}
+}
+
+func BenchmarkBuddyLoads(b *testing.B) {
+	tr, err := NewTorus(16, 16, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMapping(tr, DefaultScheme, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.BuddyLoads(1).Max() == 0 {
+			b.Fatal("no load")
+		}
+	}
+}
+
+func BenchmarkMappingConstruction(b *testing.B) {
+	tr, err := NewTorus(32, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMapping(tr, ColumnScheme, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

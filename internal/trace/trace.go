@@ -1,0 +1,168 @@
+// Package trace records timestamped runtime events and renders them as the
+// ASCII counterpart of the paper's timeline figures: Figure 12's adaptivity
+// profile (work interrupted by checkpoint and failure lines) and Figure 5's
+// per-scheme control flow.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in increasing display precedence: when several events share
+// one timeline column, the highest-precedence glyph wins.
+const (
+	Work Kind = iota
+	Progress
+	Checkpoint
+	Restart
+	Failure
+)
+
+// Glyph returns the timeline character for the kind.
+func (k Kind) Glyph() byte {
+	switch k {
+	case Checkpoint:
+		return '|'
+	case Failure:
+		return 'X'
+	case Restart:
+		return 'R'
+	case Progress:
+		return '.'
+	default:
+		return ' '
+	}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case Work:
+		return "work"
+	case Progress:
+		return "progress"
+	case Checkpoint:
+		return "checkpoint"
+	case Restart:
+		return "restart"
+	case Failure:
+		return "failure"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one timestamped occurrence.
+type Event struct {
+	Time   float64 // seconds
+	Kind   Kind
+	Detail string
+}
+
+// Timeline accumulates events; it is safe for concurrent use.
+type Timeline struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event.
+func (tl *Timeline) Add(t float64, k Kind, detail string) {
+	tl.mu.Lock()
+	tl.events = append(tl.events, Event{Time: t, Kind: k, Detail: detail})
+	tl.mu.Unlock()
+}
+
+// Events returns a time-sorted copy of the recorded events.
+func (tl *Timeline) Events() []Event {
+	tl.mu.Lock()
+	out := make([]Event, len(tl.events))
+	copy(out, tl.events)
+	tl.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Count returns the number of recorded events of the kind.
+func (tl *Timeline) Count(k Kind) int {
+	n := 0
+	for _, e := range tl.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// OfKind returns the time-sorted events of one kind.
+func (tl *Timeline) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range tl.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render draws the timeline as a single row of width columns covering
+// [0, horizon] seconds, in the style of Figure 12: '=' is application work,
+// '|' a checkpoint, 'X' an injected failure, 'R' a restart.
+func (tl *Timeline) Render(horizon float64, width int) string {
+	if width <= 0 || horizon <= 0 {
+		return ""
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = '='
+	}
+	prec := func(b byte) int {
+		switch b {
+		case 'X':
+			return 4
+		case 'R':
+			return 3
+		case '|':
+			return 2
+		case '=':
+			return 0
+		}
+		return 1
+	}
+	for _, e := range tl.Events() {
+		if e.Kind == Work || e.Kind == Progress {
+			continue
+		}
+		col := int(e.Time / horizon * float64(width))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		g := e.Kind.Glyph()
+		if prec(g) > prec(row[col]) {
+			row[col] = g
+		}
+	}
+	return string(row)
+}
+
+// Summary returns a human-readable digest: counts per kind and the
+// checkpoint interval trend (first and last gap between checkpoints),
+// mirroring the Figure 12 caption.
+func (tl *Timeline) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checkpoints=%d failures=%d restarts=%d",
+		tl.Count(Checkpoint), tl.Count(Failure), tl.Count(Restart))
+	cks := tl.OfKind(Checkpoint)
+	if len(cks) >= 3 {
+		first := cks[1].Time - cks[0].Time
+		last := cks[len(cks)-1].Time - cks[len(cks)-2].Time
+		fmt.Fprintf(&b, " first-interval=%.1fs last-interval=%.1fs", first, last)
+	}
+	return b.String()
+}
