@@ -1,0 +1,155 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randBytes(t testing.TB, n int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestFletcher64ChunksMatchesSerialPerChunk(t *testing.T) {
+	data := randBytes(t, 1<<20+13) // deliberately not chunk-aligned
+	const cs = 4 << 10
+	for _, workers := range []int{0, 1, 3, 8} {
+		root, chunks := Fletcher64Chunks(data, cs, workers)
+		want := NumChunks(len(data), cs)
+		if len(chunks) != want {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(chunks), want)
+		}
+		for i, sum := range chunks {
+			lo := i * cs
+			hi := lo + cs
+			if hi > len(data) {
+				hi = len(data)
+			}
+			if serial := Fletcher64(data[lo:hi]); sum != serial {
+				t.Fatalf("workers=%d chunk %d: sum %#x, serial %#x", workers, i, sum, serial)
+			}
+		}
+		if root != ChunkRoot(chunks) {
+			t.Fatalf("workers=%d: root %#x != ChunkRoot %#x", workers, root, ChunkRoot(chunks))
+		}
+	}
+}
+
+func TestFletcher64ChunksDeterministicAcrossWorkerCounts(t *testing.T) {
+	data := randBytes(t, 257<<10)
+	root1, _ := Fletcher64Chunks(data, 8<<10, 1)
+	for _, workers := range []int{2, 5, 16} {
+		if root, _ := Fletcher64Chunks(data, 8<<10, workers); root != root1 {
+			t.Fatalf("workers=%d: root %#x, want %#x", workers, root, root1)
+		}
+	}
+}
+
+// Reordering chunks must change the root: the root is position-dependent
+// at chunk granularity, so transposed-but-individually-intact chunks may
+// not collide.
+func TestChunkRootPositionDependent(t *testing.T) {
+	data := randBytes(t, 64<<10)
+	const cs = 8 << 10
+	root, chunks := Fletcher64Chunks(data, cs, 4)
+
+	swapped := append([]byte(nil), data...)
+	// Swap the first two chunks wholesale.
+	tmp := append([]byte(nil), swapped[:cs]...)
+	copy(swapped[:cs], swapped[cs:2*cs])
+	copy(swapped[cs:2*cs], tmp)
+
+	swRoot, swChunks := Fletcher64Chunks(swapped, cs, 4)
+	if swChunks[0] != chunks[1] || swChunks[1] != chunks[0] {
+		t.Fatal("chunk swap did not transpose the per-chunk sums")
+	}
+	if swRoot == root {
+		t.Fatalf("reordered chunks collided at the root (%#x)", root)
+	}
+
+	// Same property directly on the sum vector.
+	perm := append([]uint64(nil), chunks...)
+	perm[2], perm[5] = perm[5], perm[2]
+	if ChunkRoot(perm) == ChunkRoot(chunks) {
+		t.Fatal("permuted chunk sums collided at the root")
+	}
+}
+
+func TestFletcher64ChunksEdgeCases(t *testing.T) {
+	if root, chunks := Fletcher64Chunks(nil, 1024, 4); len(chunks) != 1 || chunks[0] != 0 || root != ChunkRoot([]uint64{0}) {
+		t.Fatalf("empty data: root=%#x chunks=%v", root, chunks)
+	}
+	data := []byte{1, 2, 3}
+	_, chunks := Fletcher64Chunks(data, 1024, 4) // one short chunk
+	if len(chunks) != 1 || chunks[0] != Fletcher64(data) {
+		t.Fatalf("single short chunk: %v", chunks)
+	}
+	// Default chunk size kicks in for chunkSize <= 0.
+	_, chunks = Fletcher64Chunks(randBytes(t, DefaultChunkSize+1), 0, 0)
+	if len(chunks) != 2 {
+		t.Fatalf("default chunk size: %d chunks, want 2", len(chunks))
+	}
+}
+
+func TestChunkRootDetectsSingleChunkChange(t *testing.T) {
+	data := randBytes(t, 512<<10)
+	root, _ := Fletcher64Chunks(data, 16<<10, 4)
+	data[300<<10] ^= 1 // single-bit flip in chunk 18
+	flipRoot, flipChunks := Fletcher64Chunks(data, 16<<10, 4)
+	if flipRoot == root {
+		t.Fatal("bit flip did not change the root")
+	}
+	clean := randBytes(t, 512<<10)
+	_, cleanChunks := Fletcher64Chunks(clean, 16<<10, 4)
+	var diff []int
+	for i := range cleanChunks {
+		if cleanChunks[i] != flipChunks[i] {
+			diff = append(diff, i)
+		}
+	}
+	if len(diff) != 1 || diff[0] != (300<<10)/(16<<10) {
+		t.Fatalf("flip localized to chunks %v, want [18]", diff)
+	}
+}
+
+// The block-mode loop behind the chunk path must be bit-identical to the
+// incremental writer for every length, including partial trailing words
+// and block-boundary straddles.
+func TestFletcher64BlockMatchesWriter(t *testing.T) {
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 15, 16, 17, 4093, 4096, 4099,
+		4 * fletcherNMax, 4*fletcherNMax + 1, 4*fletcherNMax + 7, 1 << 20}
+	for _, n := range lengths {
+		data := randBytes(t, n)
+		var f Fletcher64Writer
+		f.Write(data)
+		if got, want := fletcher64Block(data), f.Sum64(); got != want {
+			t.Fatalf("len %d: block %#x, writer %#x", n, got, want)
+		}
+	}
+}
+
+func BenchmarkFletcher64Serial4MiB(b *testing.B) {
+	data := randBytes(b, 4<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var f Fletcher64Writer
+		f.Write(data)
+		sink = f.Sum64()
+	}
+}
+
+func BenchmarkFletcher64Chunks4MiB(b *testing.B) {
+	data := randBytes(b, 4<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, _ := Fletcher64Chunks(data, DefaultChunkSize, 0)
+		sink = root
+	}
+}
+
+var sink uint64

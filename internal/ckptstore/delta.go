@@ -1,0 +1,211 @@
+package ckptstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Delta is the incremental tier: per task identity it keeps one base
+// epoch in full plus, for later epochs, only the chunks whose Fletcher-64
+// sums changed. Iterative HPC states (Jacobi interiors near convergence,
+// MD cells with settled atoms, metadata-heavy prefixes) re-store only the
+// chunks that moved, which is the incremental-capture shape that lets
+// checkpointing scale past toy sizes — and the per-chunk sums computed at
+// capture double as the change detector, so the diff costs no extra
+// hashing.
+type Delta struct {
+	mu      sync.Mutex
+	entries map[Key]*deltaEntry
+	base    map[ident]uint64 // current base epoch per task identity
+	ctrs    *counters
+}
+
+type deltaEntry struct {
+	chunkSize int
+	size      int
+	root      uint64
+	sums      []uint64
+	// full holds the whole payload for base entries; diff entries leave
+	// it nil and carry baseEpoch + patches instead.
+	full      []byte
+	baseEpoch uint64
+	patches   map[int][]byte
+}
+
+// NewDelta returns an empty delta store.
+func NewDelta() *Delta {
+	return &Delta{
+		entries: make(map[Key]*deltaEntry),
+		base:    make(map[ident]uint64),
+		ctrs:    newCounters(),
+	}
+}
+
+// Name implements Store.
+func (s *Delta) Name() string { return "delta" }
+
+// Put implements Store. The first epoch of a task identity (or any epoch
+// whose chunk structure no longer lines up with the base) is stored in
+// full and becomes the base; subsequent epochs store only changed chunks.
+func (s *Delta) Put(k Key, ck *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrs.puts.Add(1)
+
+	id := k.ident()
+	baseEpoch, haveBase := s.base[id]
+	var be *deltaEntry
+	if haveBase {
+		be = s.entries[Key{id.Replica, id.Node, id.Task, baseEpoch}]
+	}
+	compatible := be != nil && be.full != nil && k.Epoch != baseEpoch &&
+		be.chunkSize == ck.ChunkSize && be.size == ck.Len() && len(be.sums) == len(ck.Sums)
+	if !compatible {
+		// Rebase: store in full. The payload is retained by reference
+		// (capture hands ownership over), like the mem tier.
+		s.entries[k] = &deltaEntry{
+			chunkSize: ck.ChunkSize,
+			size:      ck.Len(),
+			root:      ck.Root,
+			sums:      append([]uint64(nil), ck.Sums...),
+			full:      ck.Bytes(),
+		}
+		s.base[id] = k.Epoch
+		s.ctrs.bytesWritten.Add(int64(ck.Len()))
+		s.ctrs.chunksStored.Add(int64(ck.NumChunks()))
+		return nil
+	}
+	patches := make(map[int][]byte)
+	var patched int64
+	for i, sum := range ck.Sums {
+		if sum == be.sums[i] {
+			continue
+		}
+		// Copy the chunk: the delta tier must not pin the whole capture
+		// buffer alive just to reference a few windows of it.
+		patches[i] = append([]byte(nil), ck.Chunk(i)...)
+		patched += int64(len(patches[i]))
+	}
+	s.entries[k] = &deltaEntry{
+		chunkSize: ck.ChunkSize,
+		size:      ck.Len(),
+		root:      ck.Root,
+		sums:      append([]uint64(nil), ck.Sums...),
+		baseEpoch: baseEpoch,
+		patches:   patches,
+	}
+	s.ctrs.bytesWritten.Add(patched)
+	s.ctrs.chunksStored.Add(int64(len(patches)))
+	s.ctrs.chunksReused.Add(int64(ck.NumChunks() - len(patches)))
+	return nil
+}
+
+// materializeLocked reconstructs the full payload of an entry. The caller
+// holds s.mu.
+func (s *Delta) materializeLocked(k Key, e *deltaEntry) ([]byte, error) {
+	if e.full != nil {
+		return e.full, nil
+	}
+	bk := Key{k.Replica, k.Node, k.Task, e.baseEpoch}
+	be, ok := s.entries[bk]
+	if !ok || be.full == nil {
+		return nil, fmt.Errorf("ckptstore: delta base %v missing for %v", bk, k)
+	}
+	data := append([]byte(nil), be.full...)
+	for i, patch := range e.patches {
+		copy(data[i*e.chunkSize:], patch)
+	}
+	return data, nil
+}
+
+// Get implements Store, reconstructing diff epochs as base + patches.
+func (s *Delta) Get(k Key) (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	data, err := s.materializeLocked(k, e)
+	if err != nil {
+		return nil, err
+	}
+	s.ctrs.gets.Add(1)
+	s.ctrs.bytesRead.Add(int64(len(data)))
+	return &Checkpoint{ChunkSize: e.chunkSize, Root: e.root, Sums: e.sums, data: data}, nil
+}
+
+// Compare implements Store on metadata alone — no reconstruction.
+func (s *Delta) Compare(a, b Key) (CompareResult, error) {
+	s.mu.Lock()
+	ea, oka := s.entries[a]
+	eb, okb := s.entries[b]
+	s.mu.Unlock()
+	if !oka {
+		return CompareResult{}, fmt.Errorf("ckptstore: compare %v: %w", a, ErrNotFound)
+	}
+	if !okb {
+		return CompareResult{}, fmt.Errorf("ckptstore: compare %v: %w", b, ErrNotFound)
+	}
+	meta := func(e *deltaEntry) *Checkpoint {
+		return &Checkpoint{ChunkSize: e.chunkSize, Root: e.root, Sums: e.sums}
+	}
+	if ea.size != eb.size {
+		res := CompareResult{Chunk: -1, Structural: true}
+		s.ctrs.recordCompare(res, 0)
+		return res, nil
+	}
+	began := time.Now()
+	res := CompareCheckpoints(meta(ea), meta(eb))
+	s.ctrs.recordCompare(res, time.Since(began))
+	return res, nil
+}
+
+// Evict implements Store. Evicting a base while later diffs still
+// reference it first re-anchors every surviving epoch of that identity as
+// a full base, so reconstruction never chases a dropped epoch.
+func (s *Delta) Evict(olderThan uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Re-anchor survivors whose base is about to go away.
+	for k, e := range s.entries {
+		if e.full != nil || k.Epoch < olderThan || e.baseEpoch >= olderThan {
+			continue
+		}
+		data, err := s.materializeLocked(k, e)
+		if err != nil {
+			// Base already lost: drop the orphan below by aging it out.
+			continue
+		}
+		e.full = data
+		e.patches = nil
+		e.baseEpoch = 0
+		if cur, ok := s.base[k.ident()]; !ok || cur < olderThan || cur < k.Epoch {
+			s.base[k.ident()] = k.Epoch
+		}
+	}
+	n := 0
+	for k, e := range s.entries {
+		if k.Epoch >= olderThan {
+			continue
+		}
+		if e.full != nil {
+			s.ctrs.bytesEvicted.Add(int64(e.size))
+		} else {
+			for _, p := range e.patches {
+				s.ctrs.bytesEvicted.Add(int64(len(p)))
+			}
+		}
+		delete(s.entries, k)
+		if s.base[k.ident()] == k.Epoch {
+			delete(s.base, k.ident())
+		}
+		n++
+	}
+	return n
+}
+
+// Counters implements Store.
+func (s *Delta) Counters() Counters { return s.ctrs.snapshot() }

@@ -1,0 +1,124 @@
+package ckptstore
+
+import (
+	"os"
+	"testing"
+)
+
+func corruptFileByte(t *testing.T, path string, off int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Consecutive epochs of a mostly-unchanged state must reuse the unchanged
+// chunks: only the touched chunk is stored again.
+func TestDeltaReusesUnchangedChunks(t *testing.T) {
+	st := NewDelta()
+	const size = 128 << 10 // 32 chunks of 4 KiB
+	base := randData(t, 1, size)
+	k1 := Key{Epoch: 1}
+	if err := st.Put(k1, Capture(append([]byte(nil), base...), testChunk, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2: a single chunk changes (one cell of an iterative state).
+	next := append([]byte(nil), base...)
+	next[17*testChunk+123]++
+	k2 := Key{Epoch: 2}
+	if err := st.Put(k2, Capture(next, testChunk, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters()
+	wantChunks := int64(size / testChunk)
+	if c.ChunksReused != wantChunks-1 {
+		t.Fatalf("reused %d chunks, want %d", c.ChunksReused, wantChunks-1)
+	}
+	if c.ChunksStored != wantChunks+1 { // base chunks + 1 patch
+		t.Fatalf("stored %d chunks, want %d", c.ChunksStored, wantChunks+1)
+	}
+	if c.BytesWritten != int64(size)+testChunk {
+		t.Fatalf("wrote %d bytes, want %d (full base + one patch)", c.BytesWritten, size+testChunk)
+	}
+	// Both epochs reconstruct correctly.
+	got1, err := st.Get(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := st.Get(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got1.Bytes()) != string(base) || string(got2.Bytes()) != string(next) {
+		t.Fatal("delta reconstruction diverged from originals")
+	}
+}
+
+// A shape change (the packed state grew) must force a transparent rebase.
+func TestDeltaRebaseOnShapeChange(t *testing.T) {
+	st := NewDelta()
+	if err := st.Put(Key{Epoch: 1}, Capture(randData(t, 1, 64<<10), testChunk, 1)); err != nil {
+		t.Fatal(err)
+	}
+	grown := randData(t, 2, 96<<10)
+	if err := st.Put(Key{Epoch: 2}, Capture(grown, testChunk, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c := st.Counters(); c.ChunksReused != 0 {
+		t.Fatalf("shape change reused %d chunks", c.ChunksReused)
+	}
+	got, err := st.Get(Key{Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes()) != string(grown) {
+		t.Fatal("rebase lost data")
+	}
+	// Epoch 3 diffs against the new base.
+	if err := st.Put(Key{Epoch: 3}, Capture(append([]byte(nil), grown...), testChunk, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c := st.Counters(); c.ChunksReused != int64((96<<10)/testChunk) {
+		t.Fatalf("reused %d chunks after rebase, want all %d", c.ChunksReused, (96<<10)/testChunk)
+	}
+}
+
+// Evicting the base epoch while diffs survive must re-anchor them, and a
+// later Put must keep working against the re-anchored base.
+func TestDeltaEvictReanchorsThenDiffs(t *testing.T) {
+	st := NewDelta()
+	data := randData(t, 5, 64<<10)
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		buf := append([]byte(nil), data...)
+		buf[int(epoch)*testChunk] ^= byte(epoch) // one chunk differs per epoch
+		if err := st.Put(Key{Epoch: epoch}, Capture(buf, testChunk, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := st.Evict(3); n != 2 {
+		t.Fatalf("evicted %d, want 2", n)
+	}
+	got, err := st.Get(Key{Epoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data...)
+	want[3*testChunk] ^= 3
+	if string(got.Bytes()) != string(want) {
+		t.Fatal("re-anchored epoch corrupted")
+	}
+	// New epoch diffs against the re-anchored base (identical payload:
+	// everything reused).
+	before := st.Counters().ChunksReused
+	if err := st.Put(Key{Epoch: 4}, Capture(append([]byte(nil), want...), testChunk, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c := st.Counters(); c.ChunksReused-before != int64((64<<10)/testChunk) {
+		t.Fatalf("post-evict put reused %d chunks, want all", c.ChunksReused-before)
+	}
+}

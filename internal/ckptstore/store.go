@@ -1,0 +1,259 @@
+// Package ckptstore is ACR's tiered checkpoint storage subsystem.
+//
+// The paper's protection scheme (§2.1, §4.2) lives or dies by how fast
+// buddy checkpoints can be produced, shipped, and compared. The original
+// core treated a checkpoint as one opaque byte blob: serial Fletcher-64
+// over the whole buffer, whole-blob byte comparison, one in-memory copy.
+// This package replaces that with a storage abstraction in the spirit of
+// multilevel checkpointing systems (CRAFT, FTI, SCR):
+//
+//   - Checkpoints are chunked: capture splits the pup buffer into
+//     fixed-size chunks and computes per-chunk Fletcher-64 sums with a
+//     worker pool (checksum.Fletcher64Chunks), folded into a
+//     position-dependent root.
+//   - Comparison is a Merkle-style two-phase check: roots first (the
+//     32-byte exchange of §4.2), then — only on mismatch — per-chunk sums
+//     to localize the corrupted chunk. SDC diagnostics name the chunk,
+//     not just the task.
+//   - Storage is pluggable behind the Store interface, keyed by
+//     {replica, node, task, epoch}: an in-memory buddy tier (Mem), a
+//     disk tier wired to the parallel-file-system cost model of
+//     internal/model (Disk), and a delta tier that keeps a base epoch
+//     plus per-chunk diffs (Delta).
+//
+// Every backend maintains Counters (bytes written/read, chunks reused,
+// compare time, last localized chunk) that internal/core surfaces through
+// core.Stats and trace events.
+package ckptstore
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"acr/internal/checksum"
+)
+
+// Key identifies one task's checkpoint at one epoch. Epochs are assigned
+// by the controller and increase monotonically; epoch 0 is reserved for
+// "no checkpoint".
+type Key struct {
+	Replica int
+	Node    int
+	Task    int
+	Epoch   uint64
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("r%d/n%d/t%d@e%d", k.Replica, k.Node, k.Task, k.Epoch)
+}
+
+// ident is the epoch-less task identity, used by backends that track
+// per-task history (the delta tier).
+type ident struct {
+	Replica, Node, Task int
+}
+
+func (k Key) ident() ident { return ident{k.Replica, k.Node, k.Task} }
+
+// ErrNotFound reports a Get/Compare against a key the store does not hold.
+var ErrNotFound = errors.New("ckptstore: checkpoint not found")
+
+// Checkpoint is one chunked, checksummed task checkpoint. The zero value
+// is not useful; build one with Capture.
+type Checkpoint struct {
+	// ChunkSize is the chunk granularity the sums were computed at.
+	ChunkSize int
+	// Root is the position-dependent fold of Sums (checksum.ChunkRoot).
+	Root uint64
+	// Sums holds the per-chunk Fletcher-64 sums.
+	Sums []uint64
+	// data is the full packed task state. Backends may share it; callers
+	// must treat Bytes() as read-only.
+	data []byte
+}
+
+// Capture chunks data and computes its checksums on up to workers
+// goroutines. The data slice is retained (not copied); the caller must not
+// mutate it afterwards — checkpoint capture hands ownership to the store,
+// mirroring how a real runtime would hand the buffer to the checkpoint
+// transport.
+func Capture(data []byte, chunkSize, workers int) *Checkpoint {
+	if chunkSize <= 0 {
+		chunkSize = checksum.DefaultChunkSize
+	}
+	root, sums := checksum.Fletcher64Chunks(data, chunkSize, workers)
+	return &Checkpoint{ChunkSize: chunkSize, Root: root, Sums: sums, data: data}
+}
+
+// Bytes returns the full packed state. Read-only.
+func (c *Checkpoint) Bytes() []byte { return c.data }
+
+// Len returns the packed state size in bytes.
+func (c *Checkpoint) Len() int { return len(c.data) }
+
+// NumChunks returns the chunk count.
+func (c *Checkpoint) NumChunks() int { return len(c.Sums) }
+
+// Chunk returns the i-th chunk window (shorter at the tail).
+func (c *Checkpoint) Chunk(i int) []byte {
+	lo := i * c.ChunkSize
+	if lo >= len(c.data) {
+		return nil
+	}
+	hi := lo + c.ChunkSize
+	if hi > len(c.data) {
+		hi = len(c.data)
+	}
+	return c.data[lo:hi]
+}
+
+// CompareResult is the outcome of a two-phase buddy comparison.
+type CompareResult struct {
+	// Match is true when the roots agree.
+	Match bool
+	// Chunk is the first mismatching chunk index when Match is false and
+	// the chunk structure agrees; -1 otherwise. This is the localization
+	// the Merkle-style compare buys: rollback diagnostics can attribute
+	// the SDC to a byte range instead of a whole task.
+	Chunk int
+	// Structural is true when the two checkpoints cannot be aligned
+	// (different lengths, chunk sizes, or chunk counts) — divergence, not
+	// a bit flip.
+	Structural bool
+}
+
+func (r CompareResult) String() string {
+	switch {
+	case r.Match:
+		return "match"
+	case r.Structural:
+		return "structural divergence"
+	case r.Chunk >= 0:
+		return fmt.Sprintf("mismatch at chunk %d", r.Chunk)
+	}
+	return "mismatch"
+}
+
+// CompareCheckpoints runs the two-phase comparison on two captured
+// checkpoints: roots first (cheap, what the buddies actually exchange),
+// then per-chunk sums to localize the first corrupted chunk.
+func CompareCheckpoints(a, b *Checkpoint) CompareResult {
+	if a.ChunkSize != b.ChunkSize || len(a.Sums) != len(b.Sums) || a.Len() != b.Len() {
+		return CompareResult{Chunk: -1, Structural: true}
+	}
+	if a.Root == b.Root {
+		return CompareResult{Match: true, Chunk: -1}
+	}
+	for i := range a.Sums {
+		if a.Sums[i] != b.Sums[i] {
+			return CompareResult{Chunk: i}
+		}
+	}
+	// Roots differ but every chunk sum agrees: impossible unless the root
+	// fold itself was corrupted in flight; report without localization.
+	return CompareResult{Chunk: -1}
+}
+
+// Store is the pluggable checkpoint tier. Implementations must be safe
+// for concurrent use: capture Puts per-task checkpoints from a worker
+// pool.
+type Store interface {
+	// Put stores a checkpoint under the key, overwriting any previous
+	// value at the same key.
+	Put(k Key, ck *Checkpoint) error
+	// Get retrieves the checkpoint stored under the key, or ErrNotFound.
+	Get(k Key) (*Checkpoint, error)
+	// Compare runs the two-phase buddy comparison between two stored
+	// checkpoints without materializing either one's data.
+	Compare(a, b Key) (CompareResult, error)
+	// Evict drops every checkpoint with epoch < olderThan and returns
+	// the number of task checkpoints removed. Backends with internal
+	// bases (the delta tier) re-anchor surviving epochs first.
+	Evict(olderThan uint64) int
+	// Counters returns a snapshot of the store's activity counters.
+	Counters() Counters
+	// Name identifies the backend in stats and trace events.
+	Name() string
+}
+
+// Counters aggregates a store's activity. All fields are cumulative.
+type Counters struct {
+	Puts         int64
+	Gets         int64
+	Compares     int64
+	Mismatches   int64 // compares that found a difference
+	BytesWritten int64 // payload bytes accepted by Put (after dedup/delta)
+	BytesRead    int64 // payload bytes materialized by Get
+	BytesEvicted int64
+	// ChunksStored / ChunksReused split each Put's chunks into freshly
+	// stored versus reused-from-base (delta tier; other tiers store all).
+	ChunksStored int64
+	ChunksReused int64
+	// CompareTime is the cumulative wall time spent in Compare.
+	CompareTime time.Duration
+	// LastLocalizedChunk is the chunk index of the most recent localized
+	// mismatch, -1 when no mismatch has been localized yet.
+	LastLocalizedChunk int64
+}
+
+// counters is the embeddable atomic implementation behind Counters.
+type counters struct {
+	puts, gets, compares, mismatches      atomic.Int64
+	bytesWritten, bytesRead, bytesEvicted atomic.Int64
+	chunksStored, chunksReused            atomic.Int64
+	compareNanos                          atomic.Int64
+	lastLocalized                         atomic.Int64
+}
+
+func newCounters() *counters {
+	c := &counters{}
+	c.lastLocalized.Store(-1)
+	return c
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		Puts:               c.puts.Load(),
+		Gets:               c.gets.Load(),
+		Compares:           c.compares.Load(),
+		Mismatches:         c.mismatches.Load(),
+		BytesWritten:       c.bytesWritten.Load(),
+		BytesRead:          c.bytesRead.Load(),
+		BytesEvicted:       c.bytesEvicted.Load(),
+		ChunksStored:       c.chunksStored.Load(),
+		ChunksReused:       c.chunksReused.Load(),
+		CompareTime:        time.Duration(c.compareNanos.Load()),
+		LastLocalizedChunk: c.lastLocalized.Load(),
+	}
+}
+
+// recordCompare folds one comparison outcome into the counters.
+func (c *counters) recordCompare(res CompareResult, elapsed time.Duration) {
+	c.compares.Add(1)
+	c.compareNanos.Add(int64(elapsed))
+	if !res.Match {
+		c.mismatches.Add(1)
+		if res.Chunk >= 0 {
+			c.lastLocalized.Store(int64(res.Chunk))
+		}
+	}
+}
+
+// compareVia is the shared Compare implementation for backends that can
+// hand out *Checkpoint views cheaply.
+func compareVia(c *counters, get func(Key) (*Checkpoint, error), a, b Key) (CompareResult, error) {
+	ca, err := get(a)
+	if err != nil {
+		return CompareResult{}, fmt.Errorf("ckptstore: compare %v: %w", a, err)
+	}
+	cb, err := get(b)
+	if err != nil {
+		return CompareResult{}, fmt.Errorf("ckptstore: compare %v: %w", b, err)
+	}
+	began := time.Now()
+	res := CompareCheckpoints(ca, cb)
+	c.recordCompare(res, time.Since(began))
+	return res, nil
+}

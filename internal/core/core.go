@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"acr/internal/ckptstore"
 	"acr/internal/consensus"
 	"acr/internal/failure"
 	"acr/internal/runtime"
@@ -152,6 +153,19 @@ type Config struct {
 	Timeline *trace.Timeline
 	// MailboxCap forwards to runtime.Config.
 	MailboxCap int
+	// Store is the checkpoint storage tier holding every committed (and
+	// in-flight) checkpoint, keyed by {replica, node, task, epoch}. Nil
+	// selects the in-memory buddy tier (ckptstore.NewMem), the paper's
+	// double in-memory checkpoint; a disk or delta tier composes with any
+	// scheme/comparison combination.
+	Store ckptstore.Store
+	// ChunkSize is the checkpoint chunk granularity for parallel
+	// checksumming and corruption localization; <= 0 selects
+	// checksum.DefaultChunkSize (64 KiB).
+	ChunkSize int
+	// ChecksumWorkers bounds the per-replica capture worker pool; <= 0
+	// selects GOMAXPROCS.
+	ChecksumWorkers int
 }
 
 func (c *Config) validate() error {
@@ -196,25 +210,16 @@ type Stats struct {
 	// the capture time under SemiBlocking.
 	BlockedTimes []time.Duration
 	Elapsed      time.Duration
-}
-
-// snapshot is one coordinated checkpoint: [node][task] packed states, one
-// copy per replica (each node stores its own local checkpoint; the buddy's
-// copy doubles as the remote checkpoint, §2.1).
-type snapshot struct {
-	data [2][][][]byte
-	when time.Time
-}
-
-func newSnapshotShell(nodes, tasks int) *snapshot {
-	s := &snapshot{}
-	for rep := 0; rep < 2; rep++ {
-		s.data[rep] = make([][][]byte, nodes)
-		for n := range s.data[rep] {
-			s.data[rep][n] = make([][]byte, tasks)
-		}
-	}
-	return s
+	// StoreName identifies the checkpoint-store backend the run used.
+	StoreName string
+	// Store is the checkpoint store's counter snapshot at run end: bytes
+	// written/read, chunks reused by the delta tier, cumulative compare
+	// time, and the last localized corrupted chunk.
+	Store ckptstore.Counters
+	// LocalizedChunks records, per detected SDC, the chunk index the
+	// two-phase comparison attributed the corruption to (-1 when the
+	// mismatch could not be localized to one chunk).
+	LocalizedChunks []int
 }
 
 // Controller runs an ACR job.
@@ -222,12 +227,19 @@ type Controller struct {
 	cfg     Config
 	machine *runtime.Machine
 	coord   *consensus.Coordinator
+	store   ckptstore.Store
 
-	committed *snapshot // last verified (or trusted) checkpoint; nil = job start
-	history   failure.History
-	interval  time.Duration
-	start     time.Time
-	stats     Stats
+	// committedEpoch is the last verified (or trusted) checkpoint epoch in
+	// the store; 0 = job start, nothing committed. epochSeq is the last
+	// epoch handed out to a capture (aborted rounds burn epochs; they are
+	// reclaimed by the eviction at the next commit).
+	committedEpoch uint64
+	epochSeq       uint64
+
+	history  failure.History
+	interval time.Duration
+	start    time.Time
+	stats    Stats
 
 	// pendingWeak[rep] marks a crashed replica awaiting weak-scheme
 	// recovery at the next periodic checkpoint.
@@ -264,10 +276,15 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := cfg.Store
+	if st == nil {
+		st = ckptstore.NewMem()
+	}
 	return &Controller{
 		cfg:        cfg,
 		machine:    m,
 		coord:      coord,
+		store:      st,
 		interval:   cfg.CheckpointInterval,
 		injectSeed: 1,
 		waitErr:    make(chan error, 1),
@@ -288,6 +305,10 @@ func (c *Controller) PredictFailure() {
 
 // Machine exposes the underlying runtime machine (for tests and demos).
 func (c *Controller) Machine() *runtime.Machine { return c.machine }
+
+// Store exposes the checkpoint store the controller commits through (for
+// tests and demos).
+func (c *Controller) Store() ckptstore.Store { return c.store }
 
 // InjectSDCAtNextCheckpoint schedules a single-bit corruption of the given
 // task's user data at the next checkpoint round (applied at the quiescent
@@ -324,6 +345,8 @@ func (c *Controller) Run() (Stats, error) {
 	c.machine.Stop()
 	c.stats.FinalInterval = c.interval
 	c.stats.Elapsed = time.Since(c.start)
+	c.stats.StoreName = c.store.Name()
+	c.stats.Store = c.store.Counters()
 	return c.stats, err
 }
 
@@ -399,7 +422,15 @@ func (c *Controller) adaptInterval() {
 	if !ok {
 		return
 	}
-	delta := c.avgCheckpointSeconds()
+	delta, measured := c.avgCheckpointSeconds()
+	if !measured {
+		// No committed round yet, so no delta to plug into Young/Daly.
+		// Fall back to the most protective legal interval — checkpoint at
+		// MinInterval until a real measurement exists — instead of
+		// guessing the cost from the configured interval.
+		c.interval = c.cfg.MinInterval
+		return
+	}
 	tau := math.Sqrt(2 * delta * mtbf)
 	d := time.Duration(tau * float64(time.Second))
 	if d < c.cfg.MinInterval {
@@ -411,15 +442,15 @@ func (c *Controller) adaptInterval() {
 	c.interval = d
 }
 
-func (c *Controller) avgCheckpointSeconds() float64 {
+// avgCheckpointSeconds returns the mean wall duration of the committed
+// checkpoint rounds; measured is false while no round has committed.
+func (c *Controller) avgCheckpointSeconds() (delta float64, measured bool) {
 	if len(c.stats.CheckpointTimes) == 0 {
-		// No measurement yet: assume the configured interval targets
-		// ~1% overhead.
-		return c.cfg.CheckpointInterval.Seconds() / 100
+		return 0, false
 	}
 	var sum time.Duration
 	for _, d := range c.stats.CheckpointTimes {
 		sum += d
 	}
-	return (sum / time.Duration(len(c.stats.CheckpointTimes))).Seconds()
+	return (sum / time.Duration(len(c.stats.CheckpointTimes))).Seconds(), true
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"acr/internal/checksum"
+	"acr/internal/ckptstore"
 	"acr/internal/consensus"
 	"acr/internal/failure"
 	"acr/internal/pup"
@@ -33,6 +34,18 @@ func (c *Controller) checkpointRound() error {
 	return c.normalRound()
 }
 
+// nextEpoch allocates a fresh checkpoint epoch. Epochs burnt by aborted
+// or corrupted rounds are reclaimed by the eviction at the next commit.
+func (c *Controller) nextEpoch() uint64 {
+	c.epochSeq++
+	return c.epochSeq
+}
+
+// key addresses one task's checkpoint at an epoch.
+func (c *Controller) key(rep, n, t int, epoch uint64) ckptstore.Key {
+	return ckptstore.Key{Replica: rep, Node: n, Task: t, Epoch: epoch}
+}
+
 // normalRound checkpoints both replicas and cross-checks buddies.
 func (c *Controller) normalRound() error {
 	began := time.Now()
@@ -45,10 +58,11 @@ func (c *Controller) normalRound() error {
 		return err
 	}
 	// All tasks are parked (or done): apply any scheduled SDC
-	// injections, then capture both replicas.
+	// injections, then capture both replicas into the store under a
+	// fresh epoch — chunked, checksummed, one key per task.
 	c.applyPendingSDC(consensus.BothReplicas)
-	snap, err := c.captureBoth()
-	if err != nil {
+	epoch := c.nextEpoch()
+	if err := c.captureScope(consensus.BothReplicas, epoch); err != nil {
 		c.coord.Release()
 		return err
 	}
@@ -61,7 +75,7 @@ func (c *Controller) normalRound() error {
 		// moving again), so the captured bytes are compared directly.
 		c.coord.Release()
 	}
-	mismatch, err := c.compare(snap)
+	mismatch, chunk, err := c.compare(epoch)
 	if err != nil {
 		if !c.cfg.SemiBlocking {
 			c.coord.Release()
@@ -73,16 +87,31 @@ func (c *Controller) normalRound() error {
 		// previous safely stored checkpoint (§2.1). Under semi-blocking
 		// the application also loses the overlap window it just ran.
 		c.stats.SDCDetected++
+		c.stats.LocalizedChunks = append(c.stats.LocalizedChunks, chunk)
 		c.mark(trace.Failure, "sdc detected: "+mismatch)
 		if !c.cfg.SemiBlocking {
 			c.coord.Release()
 		}
 		return c.rollbackBoth()
 	}
-	c.commit(snap, began)
+	c.commit(epoch, began)
 	c.stats.BlockedTimes = append(c.stats.BlockedTimes, blocked)
 	if !c.cfg.SemiBlocking {
 		c.coord.Release()
+	}
+	return nil
+}
+
+// captureScope captures every replica in scope into the store under the
+// epoch, through the chunked-parallel capture path.
+func (c *Controller) captureScope(scope consensus.Scope, epoch uint64) error {
+	for rep := 0; rep < 2; rep++ {
+		if !scope[rep] {
+			continue
+		}
+		if err := c.machine.CaptureReplica(rep, epoch, c.store, c.cfg.ChunkSize, c.cfg.ChecksumWorkers); err != nil {
+			return fmt.Errorf("core: capture replica %d: %w", rep, err)
+		}
 	}
 	return nil
 }
@@ -103,31 +132,36 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 		return err
 	}
 	c.applyPendingSDC(consensus.OnlyReplica(healthy))
-	snap := newSnapshotShell(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)
-	snap.when = time.Now()
+	epoch := c.nextEpoch()
+	if err := c.captureScope(consensus.OnlyReplica(healthy), epoch); err != nil {
+		c.coord.Release()
+		return err
+	}
+	// The healthy node's local checkpoint is simultaneously the remote
+	// checkpoint of its buddy in the crashed replica: "sends the
+	// checkpoint to the crashed replica" (§2.3). Mirror the stored
+	// checkpoints under the crashed replica's keys; the chunked capture
+	// is shared, not recomputed.
 	for n := 0; n < c.cfg.NodesPerReplica; n++ {
 		for t := 0; t < c.cfg.TasksPerNode; t++ {
-			data, err := c.machine.PackTask(runtime.Addr{Replica: healthy, Node: n, Task: t})
+			ck, err := c.store.Get(c.key(healthy, n, t, epoch))
 			if err != nil {
 				c.coord.Release()
-				return fmt.Errorf("core: pack healthy replica: %w", err)
+				return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
 			}
-			// The healthy node's local checkpoint is simultaneously the
-			// remote checkpoint of its buddy in the crashed replica:
-			// "sends the checkpoint to the crashed replica" (§2.3).
-			snap.data[healthy][n][t] = data
-			snap.data[crashed][n][t] = data
+			if err := c.store.Put(c.key(crashed, n, t, epoch), ck); err != nil {
+				c.coord.Release()
+				return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
+			}
 		}
 	}
 	// This checkpoint is trusted without comparison: SDC that struck the
 	// healthy replica since the last verified checkpoint is undetectable
 	// here — the medium/weak vulnerability window of §2.3 and Figure 7b.
-	c.committed = snap
-	c.stats.Checkpoints++
-	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
+	c.commitTrusted(epoch, began)
 	c.mark(trace.Checkpoint, fmt.Sprintf("recovery checkpoint by replica %d", healthy))
 	// Restore the crashed replica from the fresh checkpoint.
-	if err := c.restartReplicaFrom(crashed, snap); err != nil {
+	if err := c.restartReplicaFromEpoch(crashed, epoch); err != nil {
 		c.coord.Release()
 		return err
 	}
@@ -170,67 +204,107 @@ func (c *Controller) awaitReady(ready <-chan int) (bool, error) {
 	}
 }
 
-// captureBoth packs every task of both replicas while parked.
-func (c *Controller) captureBoth() (*snapshot, error) {
-	snap := newSnapshotShell(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)
-	snap.when = time.Now()
-	for rep := 0; rep < 2; rep++ {
-		for n := 0; n < c.cfg.NodesPerReplica; n++ {
-			for t := 0; t < c.cfg.TasksPerNode; t++ {
-				data, err := c.machine.PackTask(runtime.Addr{Replica: rep, Node: n, Task: t})
-				if err != nil {
-					return nil, fmt.Errorf("core: pack r%d/n%d/t%d: %w", rep, n, t, err)
-				}
-				snap.data[rep][n][t] = data
-			}
-		}
-	}
-	return snap, nil
-}
-
-// compare cross-checks buddy checkpoints and returns a description of the
-// first mismatch ("" when clean).
-func (c *Controller) compare(snap *snapshot) (string, error) {
+// compare cross-checks the buddy checkpoints stored under the epoch and
+// returns a description of the first mismatch ("" when clean) plus the
+// chunk index the mismatch was localized to (-1 when not localized).
+func (c *Controller) compare(epoch uint64) (string, int, error) {
 	for n := 0; n < c.cfg.NodesPerReplica; n++ {
 		for t := 0; t < c.cfg.TasksPerNode; t++ {
-			local := snap.data[1][n][t]  // replica 2's local checkpoint
-			remote := snap.data[0][n][t] // buddy's checkpoint, shipped over
 			switch c.cfg.Comparison {
 			case ChecksumCompare:
-				if checksum.Fletcher64(remote) != checksum.Fletcher64(local) {
-					return fmt.Sprintf("checksum mismatch at n%d/t%d", n, t), nil
+				// Two-phase Merkle-style compare inside the store: roots
+				// first (the 32-byte exchange of §4.2), per-chunk sums
+				// only on mismatch, which names the corrupted chunk.
+				res, err := c.store.Compare(c.key(0, n, t, epoch), c.key(1, n, t, epoch))
+				if err != nil {
+					return "", -1, fmt.Errorf("core: checksum compare n%d/t%d: %w", n, t, err)
+				}
+				if !res.Match {
+					return fmt.Sprintf("checksum %v at n%d/t%d", res, n, t), res.Chunk, nil
 				}
 			case FullCompare:
+				remote, err := c.store.Get(c.key(0, n, t, epoch)) // buddy's checkpoint, shipped over
+				if err != nil {
+					return "", -1, fmt.Errorf("core: fetch remote checkpoint n%d/t%d: %w", n, t, err)
+				}
 				if c.cfg.RelTol == 0 || c.cfg.SemiBlocking {
 					// Exact comparison on the captured bytes. The
 					// tolerance-aware checker needs the live state to
 					// be quiescent, so semi-blocking mode always
 					// compares captures.
-					if !bytes.Equal(remote, local) {
-						return fmt.Sprintf("byte mismatch at n%d/t%d", n, t), nil
+					local, err := c.store.Get(c.key(1, n, t, epoch)) // replica 2's local checkpoint
+					if err != nil {
+						return "", -1, fmt.Errorf("core: fetch local checkpoint n%d/t%d: %w", n, t, err)
+					}
+					if !bytes.Equal(remote.Bytes(), local.Bytes()) {
+						chunk := firstDiffChunk(remote.Bytes(), local.Bytes(), remote.ChunkSize)
+						return fmt.Sprintf("byte mismatch at n%d/t%d chunk %d", n, t, chunk), chunk, nil
 					}
 					continue
 				}
 				// Tolerance-aware comparison via the checker PUPer
 				// against replica 2's live (parked) state.
-				res, err := c.machine.CheckTask(runtime.Addr{Replica: 1, Node: n, Task: t}, remote, c.cfg.RelTol)
+				res, err := c.machine.CheckTask(runtime.Addr{Replica: 1, Node: n, Task: t}, remote.Bytes(), c.cfg.RelTol)
 				if err != nil {
-					return fmt.Sprintf("structural divergence at n%d/t%d: %v", n, t, err), nil
+					return fmt.Sprintf("structural divergence at n%d/t%d: %v", n, t, err), -1, nil
 				}
 				if !res.Match {
-					return fmt.Sprintf("mismatch at n%d/t%d: %v", n, t, res.Mismatches[0]), nil
+					m := res.Mismatches[0]
+					chunk := m.ChunkIndex(remote.ChunkSize)
+					return fmt.Sprintf("mismatch at n%d/t%d chunk %d: %v", n, t, chunk, m), chunk, nil
 				}
 			}
 		}
 	}
-	return "", nil
+	return "", -1, nil
 }
 
-func (c *Controller) commit(snap *snapshot, began time.Time) {
-	c.committed = snap
+// firstDiffChunk localizes the first differing byte of two equal-length
+// buffers to its chunk.
+func firstDiffChunk(a, b []byte, chunkSize int) int {
+	if chunkSize <= 0 {
+		chunkSize = checksum.DefaultChunkSize
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i / chunkSize
+		}
+	}
+	return -1
+}
+
+// commit marks the epoch as the verified checkpoint, evicts every older
+// epoch (including ones burnt by aborted rounds), and publishes the
+// store's counters to the timeline.
+func (c *Controller) commit(epoch uint64, began time.Time) {
+	c.committedEpoch = epoch
 	c.stats.Checkpoints++
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
-	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed", c.stats.Checkpoints))
+	c.store.Evict(epoch)
+	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed (epoch %d)", c.stats.Checkpoints, epoch))
+	c.markStore()
+}
+
+// commitTrusted is commit for recovery checkpoints, which are trusted
+// without buddy comparison (medium/weak schemes).
+func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
+	c.committedEpoch = epoch
+	c.stats.Checkpoints++
+	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
+	c.store.Evict(epoch)
+	c.markStore()
+}
+
+// markStore emits a trace.Store event carrying the store's counters.
+func (c *Controller) markStore() {
+	if c.cfg.Timeline == nil {
+		return
+	}
+	ctr := c.store.Counters()
+	c.mark(trace.Store, fmt.Sprintf(
+		"store=%s written=%dB read=%dB chunks-stored=%d chunks-reused=%d compares=%d compare-time=%s localized-chunk=%d",
+		c.store.Name(), ctr.BytesWritten, ctr.BytesRead, ctr.ChunksStored, ctr.ChunksReused,
+		ctr.Compares, ctr.CompareTime, ctr.LastLocalizedChunk))
 }
 
 // handleFailure recovers from one detected fail-stop error per the
@@ -288,32 +362,43 @@ func (c *Controller) handleFailure(f runtime.Failure) error {
 	return fmt.Errorf("core: unknown scheme %v", c.cfg.Scheme)
 }
 
-// rollbackReplica restarts one replica from the committed checkpoint (or
-// from the beginning when none exists).
+// rollbackReplica restarts one replica from the committed checkpoint
+// epoch in the store (or from the beginning when none exists).
 func (c *Controller) rollbackReplica(rep int) error {
 	c.machine.StopReplica(rep)
 	c.coord.ForgetProgress(rep)
 	c.coord.Undone(rep)
-	var ckpts [][][]byte
-	if c.committed != nil {
-		ckpts = c.committed.data[rep]
-	} else {
-		ckpts = emptySet(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)
-	}
-	if err := c.machine.RestartReplica(rep, ckpts); err != nil {
-		return fmt.Errorf("core: restart replica %d: %w", rep, err)
+	if err := c.restartFromCommitted(rep); err != nil {
+		return err
 	}
 	c.stats.Rollbacks++
 	return nil
 }
 
-// restartReplicaFrom restarts a replica from a specific snapshot (the
-// medium/weak recovery transfer).
-func (c *Controller) restartReplicaFrom(rep int, snap *snapshot) error {
+// restartFromCommitted launches the replica from the committed epoch, or
+// from factory state when nothing has committed yet. Restoration reads
+// every task checkpoint back out of the store — the restart path, like
+// commit and compare, goes exclusively through the storage tier.
+func (c *Controller) restartFromCommitted(rep int) error {
+	if c.committedEpoch == 0 {
+		if err := c.machine.RestartReplica(rep, emptySet(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)); err != nil {
+			return fmt.Errorf("core: restart replica %d: %w", rep, err)
+		}
+		return nil
+	}
+	if err := c.machine.RestartReplicaFromStore(rep, c.committedEpoch, c.store); err != nil {
+		return fmt.Errorf("core: restart replica %d: %w", rep, err)
+	}
+	return nil
+}
+
+// restartReplicaFromEpoch restarts a replica from a specific stored epoch
+// (the medium/weak recovery transfer).
+func (c *Controller) restartReplicaFromEpoch(rep int, epoch uint64) error {
 	c.machine.StopReplica(rep)
 	c.coord.ForgetProgress(rep)
 	c.coord.Undone(rep)
-	if err := c.machine.RestartReplica(rep, snap.data[rep]); err != nil {
+	if err := c.machine.RestartReplicaFromStore(rep, epoch, c.store); err != nil {
 		return fmt.Errorf("core: restart replica %d: %w", rep, err)
 	}
 	c.stats.Rollbacks++

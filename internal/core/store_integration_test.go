@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"acr/internal/ckptstore"
+	"acr/internal/runtime"
+)
+
+// The controller must commit, compare and restart exclusively through the
+// configured store backend, and surface its counters in Stats.
+func TestRunThroughConfiguredStoreBackends(t *testing.T) {
+	backends := map[string]func(t *testing.T) ckptstore.Store{
+		"mem":   func(t *testing.T) ckptstore.Store { return ckptstore.NewMem() },
+		"delta": func(t *testing.T) ckptstore.Store { return ckptstore.NewDelta() },
+		"disk": func(t *testing.T) ckptstore.Store {
+			st, err := ckptstore.NewDisk(t.TempDir(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		},
+	}
+	for name, mk := range backends {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(2, 2, 3000)
+			cfg.Comparison = ChecksumCompare
+			cfg.Store = mk(t)
+			ctrl, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl.InjectSDCAtNextCheckpoint(runtime.Addr{Replica: 1, Node: 0, Task: 1})
+			stats, err := ctrl.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.StoreName != name {
+				t.Fatalf("StoreName = %q, want %q", stats.StoreName, name)
+			}
+			if stats.SDCDetected == 0 {
+				t.Fatal("injected SDC was not detected")
+			}
+			// The two-phase compare must have localized the corruption to a
+			// concrete chunk.
+			if len(stats.LocalizedChunks) == 0 {
+				t.Fatal("no localized chunk recorded for the detected SDC")
+			}
+			for _, chunk := range stats.LocalizedChunks {
+				if chunk < 0 {
+					t.Fatalf("unlocalized chunk index %d in %v", chunk, stats.LocalizedChunks)
+				}
+			}
+			if stats.Store.Puts == 0 || stats.Store.BytesWritten == 0 {
+				t.Fatalf("store counters not populated: %+v", stats.Store)
+			}
+			if stats.Store.Compares == 0 || stats.Store.Mismatches == 0 {
+				t.Fatalf("compare counters not populated: %+v", stats.Store)
+			}
+			if stats.Store.CompareTime <= 0 {
+				t.Fatalf("compare time not accrued: %+v", stats.Store)
+			}
+			verifyFinalState(t, ctrl, 2, 2, 3000)
+		})
+	}
+}

@@ -28,6 +28,20 @@ func (d DiskSystem) Delta(sockets int) (float64, error) {
 	return d.BytesPerSocket * float64(sockets) / d.AggregateBandwidth, nil
 }
 
+// WriteSeconds returns the modeled time to push the given payload through
+// the PFS, the per-write cost the ckptstore disk tier accrues so runs can
+// report what their checkpoint stream would have cost on a parallel file
+// system (§1's bandwidth wall).
+func (d DiskSystem) WriteSeconds(bytes float64) (float64, error) {
+	if d.AggregateBandwidth <= 0 {
+		return 0, fmt.Errorf("model: need positive PFS bandwidth")
+	}
+	if bytes < 0 {
+		return 0, fmt.Errorf("model: negative write size")
+	}
+	return bytes / d.AggregateBandwidth, nil
+}
+
 // DiskVsMemoryPoint contrasts classic disk checkpoint/restart with ACR's
 // in-memory double checkpointing at one machine size.
 type DiskVsMemoryPoint struct {

@@ -66,6 +66,19 @@ func (m Mismatch) String() string {
 	return fmt.Sprintf("%s@%d: local %v != remote %v", m.Label, m.Offset, m.Local, m.Remote)
 }
 
+// ChunkIndex attributes the mismatch to a chunk of the packed stream at
+// the given chunk size, aligning the checker PUPer's field-level
+// diagnostics with the chunked checkpoint store's localization: a
+// FullCompare mismatch and a ChecksumCompare mismatch of the same
+// corruption name the same chunk. Offset points just past the mismatched
+// field, so the chunk is derived from the last byte of the field.
+func (m Mismatch) ChunkIndex(chunkSize int) int {
+	if chunkSize <= 0 || m.Offset <= 0 {
+		return 0
+	}
+	return (m.Offset - 1) / chunkSize
+}
+
 // MaxMismatches bounds how many mismatches a checker records; one is enough
 // to trigger a rollback, more are kept only for diagnostics.
 const MaxMismatches = 16

@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"acr/internal/ckptstore"
+)
+
+// This file routes the machine's state capture and restore through the
+// tiered checkpoint store: per-task pup buffers are chunked and
+// checksummed at capture time (ckptstore.Capture) and land in a pluggable
+// Store keyed by {replica, node, task, epoch}, instead of being handed
+// around as flat [][][]byte blobs.
+
+// CaptureReplica packs every task of the replica and stores the chunked,
+// checksummed checkpoints under the epoch. The caller must guarantee the
+// replica is quiescent (parked in Progress, completed, or stopped), same
+// as PackTask. Tasks are packed and checksummed concurrently on up to
+// workers goroutines (<= 0 selects GOMAXPROCS): serialization of one
+// task's state is inherently serial, but nothing couples distinct tasks.
+func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, chunkSize, workers int) error {
+	nodes, tasks := m.cfg.NodesPerReplica, m.cfg.TasksPerNode
+	total := nodes * tasks
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || firstErr.Load() != nil {
+					return
+				}
+				addr := Addr{Replica: rep, Node: i / tasks, Task: i % tasks}
+				data, err := m.PackTask(addr)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("runtime: capture %v: %w", addr, err))
+					return
+				}
+				ck := ckptstore.Capture(data, chunkSize, 1)
+				key := ckptstore.Key{Replica: rep, Node: addr.Node, Task: addr.Task, Epoch: epoch}
+				if err := st.Put(key, ck); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("runtime: store %v: %w", key, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return err.(error)
+	}
+	return nil
+}
+
+// RestartReplicaFromStore restores every task of the replica from the
+// checkpoints stored under the epoch and launches fresh incarnations. A
+// task with no checkpoint at the epoch restarts from factory state (the
+// job-start case). The replica must be quiescent (StopReplica).
+func (m *Machine) RestartReplicaFromStore(rep int, epoch uint64, st ckptstore.Store) error {
+	nodes, tasks := m.cfg.NodesPerReplica, m.cfg.TasksPerNode
+	ckpts := make([][][]byte, nodes)
+	for n := 0; n < nodes; n++ {
+		ckpts[n] = make([][]byte, tasks)
+		for t := 0; t < tasks; t++ {
+			ck, err := st.Get(ckptstore.Key{Replica: rep, Node: n, Task: t, Epoch: epoch})
+			switch {
+			case err == nil:
+				ckpts[n][t] = ck.Bytes()
+			case errors.Is(err, ckptstore.ErrNotFound):
+				// Factory state.
+			default:
+				return fmt.Errorf("runtime: restore r%d/n%d/t%d@e%d: %w", rep, n, t, epoch, err)
+			}
+		}
+	}
+	return m.RestartReplica(rep, ckpts)
+}

@@ -22,6 +22,11 @@ const (
 	Checkpoint
 	Restart
 	Failure
+	// Store carries checkpoint-storage telemetry (bytes written, chunks
+	// reused by the delta tier, compare time, localized chunk index) from
+	// the ckptstore subsystem. Store events annotate the timeline but do
+	// not draw on it.
+	Store
 )
 
 // Glyph returns the timeline character for the kind.
@@ -52,6 +57,8 @@ func (k Kind) String() string {
 		return "restart"
 	case Failure:
 		return "failure"
+	case Store:
+		return "store"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -133,7 +140,7 @@ func (tl *Timeline) Render(horizon float64, width int) string {
 		return 1
 	}
 	for _, e := range tl.Events() {
-		if e.Kind == Work || e.Kind == Progress {
+		if e.Kind == Work || e.Kind == Progress || e.Kind == Store {
 			continue
 		}
 		col := int(e.Time / horizon * float64(width))
