@@ -1,0 +1,232 @@
+// Command acrsoak drives deterministic fault-injection campaigns against
+// the live controller (internal/chaos) and judges every run with the
+// invariant oracle. The default campaign sweeps the stock scenario set
+// across a seed range; the same seed range always yields a byte-identical
+// JSON report (unless -budget truncates the sweep).
+//
+// Usage:
+//
+//	acrsoak -seeds 25 -budget 30s          # CI soak smoke
+//	acrsoak -seeds 100 -parallel 8 -json report.json
+//	acrsoak -campaign my.json -seeds 10    # custom scenario file
+//	acrsoak -repro 17                      # replay seed 17, verbose
+//	acrsoak -repro 17 -minimize            # + shrink violating schedules
+//
+// Exit status: 0 clean, 1 invariant violations found, 2 usage or
+// execution error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"acr/internal/chaos"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 5, "seeds per scenario (seed range is seed-base..seed-base+seeds-1)")
+		seedBase = flag.Int64("seed-base", 1, "first seed of the range")
+		parallel = flag.Int("parallel", 4, "concurrent runs")
+		budget   = flag.Duration("budget", 0, "wall-clock budget for the whole campaign; 0 = unlimited (runs past the budget are skipped and counted as truncated)")
+		watchdog = flag.Duration("watchdog", 0, "per-run deadlock watchdog; 0 = default")
+		campFile = flag.String("campaign", "", "JSON file with a scenario or an array of scenarios (default: built-in campaign)")
+		scenName = flag.String("scenario", "", "run only the scenario with this name")
+		jsonOut  = flag.String("json", "", "write the deterministic JSON report to this file ('-' = stdout)")
+		csvOut   = flag.String("csv", "", "write a per-run CSV to this file ('-' = stdout)")
+		repro    = flag.Int64("repro", 0, "replay every scenario at this single seed with verbose per-fault output")
+		minimize = flag.Bool("minimize", false, "with -repro: shrink each violating fault schedule to a 1-minimal subset (ddmin)")
+		quiet    = flag.Bool("quiet", false, "suppress the progress line per finished run")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "acrsoak: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	scenarios, name, err := loadScenarios(*campFile, *scenName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrsoak:", err)
+		os.Exit(2)
+	}
+
+	if *repro != 0 {
+		os.Exit(runRepro(scenarios, *repro, *watchdog, *minimize))
+	}
+
+	cfg := chaos.CampaignConfig{
+		Name:      name,
+		Scenarios: scenarios,
+		SeedBase:  *seedBase,
+		Seeds:     *seeds,
+		Parallel:  *parallel,
+		Budget:    *budget,
+		Watchdog:  *watchdog,
+	}
+	if !*quiet {
+		cfg.OnRun = func(res chaos.RunResult) {
+			fmt.Fprintf(os.Stderr, "  %-28s seed %-4d %s\n",
+				res.Report.Scenario, res.Report.Seed, res.Report.Outcome)
+		}
+	}
+	start := time.Now()
+	rep, err := chaos.RunCampaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrsoak:", err)
+		os.Exit(2)
+	}
+	if err := emit(rep, *jsonOut, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "acrsoak:", err)
+		os.Exit(2)
+	}
+	summarize(rep, time.Since(start))
+	if rep.Violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadScenarios resolves the scenario set: the built-in campaign, or a
+// JSON file holding one scenario or an array of them, optionally filtered
+// by name.
+func loadScenarios(path, only string) ([]chaos.Scenario, string, error) {
+	scenarios := chaos.DefaultCampaign()
+	name := "default"
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := json.Unmarshal(data, &scenarios); err != nil {
+			// Not an array; accept a single scenario object.
+			scn, serr := chaos.ParseScenario(data)
+			if serr != nil {
+				return nil, "", fmt.Errorf("%s: not a scenario array (%v) nor a scenario (%v)", path, err, serr)
+			}
+			scenarios = []chaos.Scenario{scn}
+		}
+		name = path
+	}
+	if only != "" {
+		var kept []chaos.Scenario
+		for _, s := range scenarios {
+			if s.Name == only {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, "", fmt.Errorf("no scenario named %q", only)
+		}
+		scenarios = kept
+	}
+	for i := range scenarios {
+		if err := scenarios[i].Validate(); err != nil {
+			return nil, "", err
+		}
+	}
+	return scenarios, name, nil
+}
+
+// runRepro replays every scenario at one seed with full fault records —
+// the single-run debugging mode. Returns the process exit code.
+func runRepro(scenarios []chaos.Scenario, seed int64, watchdog time.Duration, minimize bool) int {
+	code := 0
+	for _, scn := range scenarios {
+		res, err := chaos.RunScenario(scn, seed, watchdog, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrsoak:", err)
+			return 2
+		}
+		r := res.Report
+		fmt.Printf("%s seed %d: %s\n", r.Scenario, r.Seed, r.Outcome)
+		for _, f := range r.Faults {
+			status := "executed"
+			if !f.Executed {
+				status = "NOT executed"
+			}
+			fmt.Printf("  fault %s on %s at %s occurrence %d: %s\n",
+				f.Kind, f.Target, f.Point, f.Occurrence, status)
+		}
+		for _, v := range r.Violations {
+			fmt.Printf("  VIOLATION %s: %s\n", v.Invariant, v.Detail)
+		}
+		if len(r.Violations) > 0 {
+			code = 1
+			if minimize {
+				min, err := chaos.MinimizeSchedule(scn, seed, watchdog)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "acrsoak: minimize:", err)
+					return 2
+				}
+				out, err := json.MarshalIndent(min.Scenario, "", "  ")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "acrsoak:", err)
+					return 2
+				}
+				fmt.Printf("  minimal schedule (%d fault(s), %d runs spent):\n%s\n",
+					len(min.Scenario.Faults), min.Runs, out)
+			}
+		}
+	}
+	return code
+}
+
+// emit writes the requested report renderings ('-' = stdout).
+func emit(rep *chaos.Report, jsonOut, csvOut string) error {
+	write := func(path string, data []byte) error {
+		if path == "-" {
+			_, err := os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	}
+	if jsonOut != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := write(jsonOut, data); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := write(csvOut, []byte(rep.CSV())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summarize prints the human-readable campaign digest to stderr, keeping
+// stdout clean for '-json -' / '-csv -'.
+func summarize(rep *chaos.Report, elapsed time.Duration) {
+	outcomes := map[string]int{}
+	for _, run := range rep.Runs {
+		outcomes[run.Outcome]++
+	}
+	fmt.Fprintf(os.Stderr, "campaign %q: %d runs in %s", rep.Campaign, len(rep.Runs), elapsed.Round(time.Millisecond))
+	for _, k := range []string{chaos.OutcomeOK, chaos.OutcomeDetectedAtRest, chaos.OutcomeUnrecoverable, chaos.OutcomeViolation} {
+		if n := outcomes[k]; n > 0 {
+			fmt.Fprintf(os.Stderr, ", %d %s", n, k)
+		}
+	}
+	if rep.Truncated > 0 {
+		fmt.Fprintf(os.Stderr, ", %d truncated by budget", rep.Truncated)
+	}
+	fmt.Fprintln(os.Stderr)
+	missed := 0
+	for _, c := range rep.Coverage {
+		if !c.Exercised {
+			missed++
+			fmt.Fprintf(os.Stderr, "coverage: injection point %s never exercised\n", c.Point)
+		}
+	}
+	if missed == 0 {
+		fmt.Fprintf(os.Stderr, "coverage: all %d injection points exercised\n", len(rep.Coverage))
+	}
+	if rep.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violation(s); rerun with -repro <seed> [-minimize]\n", rep.Violations)
+	}
+}

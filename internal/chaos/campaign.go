@@ -1,0 +1,435 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
+	"acr/internal/core"
+	"acr/internal/trace"
+)
+
+// DefaultWatchdog bounds one run's wall time; expiry is the no-deadlock
+// invariant firing.
+const DefaultWatchdog = 20 * time.Second
+
+// RunReport is the deterministic account of one scenario × seed run. It
+// deliberately contains no wall-clock-dependent fields (durations, round
+// counts): everything here is a function of the seed and the schedule, so
+// two runs of the same seed produce byte-identical reports.
+type RunReport struct {
+	Scenario   string      `json:"scenario"`
+	Seed       int64       `json:"seed"`
+	Outcome    string      `json:"outcome"`
+	Faults     []Record    `json:"faults"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// RunResult pairs the report with the non-deterministic run diagnostics
+// (kept out of the report on purpose).
+type RunResult struct {
+	Report   RunReport
+	Coverage []PointCoverage
+	Stats    core.Stats
+}
+
+// RunScenario executes one campaign run: build the machine, arm the
+// engine, race the controller against the watchdog, and put the outcome to
+// the oracle. A nil timeline skips injection tracing.
+func RunScenario(scn Scenario, seed int64, watchdog time.Duration, tl *trace.Timeline) (RunResult, error) {
+	if err := scn.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if watchdog <= 0 {
+		watchdog = DefaultWatchdog
+	}
+	scheme, _ := schemeOf(scn.Scheme)
+	cmp, _ := comparisonOf(scn.Comparison)
+
+	var store ckptstore.Store
+	if scn.Store == "disk" {
+		d, err := ckptstore.NewDisk("", nil)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("chaos: %w", err)
+		}
+		defer d.Close()
+		store = d
+	}
+
+	engine := NewEngine(&scn, seed, tl)
+	ctrl, err := core.New(core.Config{
+		NodesPerReplica: scn.Nodes,
+		TasksPerNode:    scn.Tasks,
+		Spares:          scn.Spares,
+		Factory:         ringFactory(scn.Tasks, scn.Iters),
+		Scheme:          scheme,
+		Comparison:      cmp,
+		// No wall-clock checkpoint timer: the engine paces rounds off
+		// progress reports (Scenario.PaceEvery), so the protocol phases a
+		// fault schedule triggers on do not depend on host speed.
+		CheckpointInterval: 0,
+		HeartbeatInterval:  500 * time.Microsecond,
+		HeartbeatTimeout:   5 * time.Millisecond,
+		Store:              store,
+		Timeline:           tl,
+		Chaos:              engine,
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("chaos: %w", err)
+	}
+	engine.Bind(ctrl)
+
+	type outcome struct {
+		stats core.Stats
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		s, e := ctrl.Run()
+		ch <- outcome{s, e}
+	}()
+	var stats core.Stats
+	var runErr error
+	timedOut := false
+	select {
+	case o := <-ch:
+		stats, runErr = o.stats, o.err
+	case <-time.After(watchdog):
+		timedOut = true
+		// Force the machine down so the run goroutine can exit; if the
+		// hang survives even that, abandon it (the report already says
+		// deadlock).
+		ctrl.Machine().Stop()
+		select {
+		case o := <-ch:
+			stats, runErr = o.stats, o.err
+		case <-time.After(2 * time.Second):
+		}
+	}
+
+	records := engine.Records()
+	commits, corrupt, liveViol := engine.snapshot()
+	vd := verify(oracleInput{
+		scn:      &scn,
+		ctrl:     ctrl,
+		stats:    stats,
+		runErr:   runErr,
+		timedOut: timedOut,
+		records:  records,
+		commits:  commits,
+		corrupt:  corrupt,
+		liveViol: liveViol,
+	})
+	return RunResult{
+		Report: RunReport{
+			Scenario:   scn.Name,
+			Seed:       seed,
+			Outcome:    vd.Outcome,
+			Faults:     records,
+			Violations: vd.Violations,
+		},
+		Coverage: engine.Coverage(),
+		Stats:    stats,
+	}, nil
+}
+
+// CoverageEntry is the campaign-level view of one injection point.
+type CoverageEntry struct {
+	Point     point.ID `json:"point"`
+	Exercised bool     `json:"exercised"`
+}
+
+// Report is a full campaign's deterministic output.
+type Report struct {
+	Campaign   string          `json:"campaign"`
+	SeedBase   int64           `json:"seed_base"`
+	Seeds      int             `json:"seeds"`
+	Runs       []RunReport     `json:"runs"`
+	Coverage   []CoverageEntry `json:"coverage"`
+	Violations int             `json:"violations"`
+	// Truncated counts runs skipped because the wall-clock budget ran out
+	// (budget-limited campaigns trade the byte-identical guarantee for a
+	// bounded runtime; run without a budget when diffing reports).
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// JSON renders the report with a stable field order and trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CSV renders one row per run.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,seed,outcome,violations,faults_executed\n")
+	for _, run := range r.Runs {
+		executed := 0
+		for _, f := range run.Faults {
+			if f.Executed {
+				executed++
+			}
+		}
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%d\n", run.Scenario, run.Seed, run.Outcome, len(run.Violations), executed)
+	}
+	return b.String()
+}
+
+// CampaignConfig parameterizes RunCampaign.
+type CampaignConfig struct {
+	Name      string
+	Scenarios []Scenario
+	SeedBase  int64 // first seed; seeds are SeedBase..SeedBase+Seeds-1
+	Seeds     int   // seeds per scenario
+	Parallel  int   // concurrent runs; <= 0 means 4
+	Budget    time.Duration
+	Watchdog  time.Duration
+	// OnRun, if non-nil, is called after each finished run (from worker
+	// goroutines; must be safe for concurrent use).
+	OnRun func(RunResult)
+}
+
+// RunCampaign sweeps every scenario across the seed range with a worker
+// pool. Results land at fixed positions (scenario-major, seed-minor), so
+// the report is independent of completion order; with no budget it is
+// byte-identical across invocations of the same configuration.
+func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	if len(cfg.Scenarios) == 0 {
+		return nil, fmt.Errorf("chaos: campaign has no scenarios")
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 1
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 4
+	}
+	for i := range cfg.Scenarios {
+		if err := cfg.Scenarios[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	type job struct {
+		scn  int
+		seed int64
+		idx  int
+	}
+	jobs := make([]job, 0, len(cfg.Scenarios)*cfg.Seeds)
+	for s := range cfg.Scenarios {
+		for k := 0; k < cfg.Seeds; k++ {
+			jobs = append(jobs, job{scn: s, seed: cfg.SeedBase + int64(k), idx: len(jobs)})
+		}
+	}
+
+	deadline := time.Time{}
+	if cfg.Budget > 0 {
+		deadline = time.Now().Add(cfg.Budget)
+	}
+	results := make([]*RunResult, len(jobs))
+	var firstErr error
+	var truncated int
+	var mu sync.Mutex
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					mu.Lock()
+					truncated++
+					mu.Unlock()
+					continue
+				}
+				res, err := RunScenario(cfg.Scenarios[j.scn], j.seed, cfg.Watchdog, nil)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					results[j.idx] = &res
+				}
+				mu.Unlock()
+				if err == nil && cfg.OnRun != nil {
+					cfg.OnRun(res)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &Report{Campaign: cfg.Name, SeedBase: cfg.SeedBase, Seeds: cfg.Seeds, Truncated: truncated}
+	fired := make(map[point.ID]bool)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		rep.Runs = append(rep.Runs, res.Report)
+		rep.Violations += len(res.Report.Violations)
+		for _, pc := range res.Coverage {
+			if pc.Fired > 0 {
+				fired[pc.Point] = true
+			}
+		}
+	}
+	for _, id := range point.All() {
+		rep.Coverage = append(rep.Coverage, CoverageEntry{Point: id, Exercised: fired[id]})
+	}
+	return rep, nil
+}
+
+// DefaultCampaign is the stock scenario set: together the six scenarios
+// exercise every registered injection point, all three schemes, both
+// comparison modes, and both storage tiers, while staying violation-free —
+// the soak baseline a regression breaks loudly.
+func DefaultCampaign() []Scenario {
+	return []Scenario{
+		{
+			// Crash immediately before a capture; strong scheme rolls the
+			// replica back through the store's read path.
+			Name: "strong-crash-capture", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{{
+				Kind:    Crash,
+				Target:  Target{Replica: 1, Node: 0, Task: -1},
+				Trigger: Trigger{Point: point.CoreCapture, Occurrence: 2},
+			}},
+		},
+		{
+			// One in-flight message bit flip early in the run; buddy
+			// comparison must catch the divergence and replay cleanly.
+			Name: "strong-msg-bitflip", Nodes: 2, Tasks: 2, Spares: 1, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{{
+				Kind:    MsgBitFlip,
+				Target:  Target{Replica: -1, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.RuntimeDeliver, Occurrence: 5},
+			}},
+		},
+		{
+			// Medium scheme: crash during a commit, forced recovery
+			// checkpoint by the healthy replica.
+			Name: "medium-crash-recovery", Nodes: 2, Tasks: 2, Spares: 3, Iters: 60,
+			Scheme: "medium", Comparison: "checksum", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{{
+				Kind:    Crash,
+				Target:  Target{Replica: 0, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.CoreCommit, Occurrence: 2},
+			}},
+		},
+		{
+			// Both buddies of one node die at a consensus cut; strong
+			// scheme rolls both replicas back.
+			Name: "strong-buddy-double-crash", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{{
+				Kind:    BuddyDoubleCrash,
+				Target:  Target{Replica: 0, Node: 1, Task: -1},
+				Trigger: Trigger{Point: point.CorePostConsensus, Occurrence: 3},
+			}},
+		},
+		{
+			// Weak scheme: a crash plus a stalled heartbeat; recovery waits
+			// for the next periodic checkpoint.
+			Name: "weak-crash-heartbeat-delay", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "weak", Comparison: "checksum", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{
+				{
+					Kind:    HeartbeatDelay,
+					Target:  Target{Replica: 1, Node: 0, Task: 0},
+					Trigger: Trigger{Point: point.RuntimeHeartbeat, Occurrence: 4},
+					Delay:   Duration(2 * time.Millisecond),
+				},
+				{
+					Kind:    Crash,
+					Target:  Target{Replica: 0, Node: 1, Task: -1},
+					Trigger: Trigger{Point: point.CorePostConsensus, Occurrence: 2},
+				},
+			},
+		},
+		{
+			// Checkpoint corruption on the write path (memory tier): the
+			// full comparison must flag the round as SDC and roll back.
+			Name: "strong-ckpt-corrupt-mem", Nodes: 2, Tasks: 2, Spares: 1, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{{
+				Kind:    CkptCorrupt,
+				Target:  Target{Replica: 0, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.StoreWrite, Occurrence: 2},
+			}},
+		},
+		{
+			// At-rest corruption on the disk tier followed by a crash: the
+			// restore path's re-verification must report ErrCorrupt
+			// instead of silently restoring bad state.
+			Name: "strong-ckpt-corrupt-disk", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "strong", Comparison: "checksum", Store: "disk", PaceEvery: 40,
+			Faults: []Fault{
+				{
+					Kind:    CkptCorrupt,
+					Target:  Target{Replica: 0, Node: 0, Task: 0},
+					Trigger: Trigger{Point: point.StoreWrite, Occurrence: 1},
+				},
+				{
+					Kind:    Crash,
+					Target:  Target{Replica: 0, Node: 1, Task: -1},
+					Trigger: Trigger{Point: point.CoreCommit, Occurrence: 1},
+				},
+			},
+		},
+	}
+}
+
+// SensitivityScenario is the oracle's own regression check: a Both-mode
+// corruption plants the identical bit flip in both buddies' stored
+// checkpoints — semantically, a disabled buddy comparison — and a later
+// crash forces a restore from the corrupted epoch. A healthy oracle MUST
+// report an sdc-escape (and golden-result) violation here; if this
+// scenario ever comes back clean, the oracle has gone blind.
+func SensitivityScenario() Scenario {
+	return Scenario{
+		Name: "oracle-sensitivity-both-corrupt", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+		Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+		Faults: []Fault{
+			{
+				Kind:    CkptCorrupt,
+				Target:  Target{Replica: 0, Node: 0, Task: 0},
+				Trigger: Trigger{Point: point.StoreWrite, Occurrence: 1},
+				Both:    true,
+			},
+			{
+				Kind:    Crash,
+				Target:  Target{Replica: 0, Node: 1, Task: -1},
+				Trigger: Trigger{Point: point.CoreCommit, Occurrence: 1},
+			},
+		},
+	}
+}
+
+// resolvedCopy returns the scenario with its fault schedule pre-resolved
+// for the seed, exactly as NewEngine would resolve it. Minimization uses
+// this so removing faults from the schedule cannot shift the wildcard
+// resolution of the survivors.
+func resolvedCopy(scn Scenario, seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	out := scn
+	out.Faults = scn.resolveFaults(rng)
+	return out
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"acr/internal/chaos/point"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	scn := DefaultCampaign()[0]
+	scn.Faults = append(scn.Faults, Fault{
+		Kind:    HeartbeatDelay,
+		Target:  Target{Replica: 1, Node: 1, Task: 0},
+		Trigger: Trigger{Point: point.RuntimeHeartbeat, Occurrence: 3},
+		Delay:   Duration(4 * time.Millisecond),
+	})
+	data, err := json.Marshal(&scn)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("round trip changed the scenario:\n%s\n%s", data, data2)
+	}
+	if back.Faults[1].Delay != Duration(4*time.Millisecond) {
+		t.Fatalf("delay did not round-trip: %v", back.Faults[1].Delay)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := DefaultCampaign()[0]
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"zero nodes", func(s *Scenario) { s.Nodes = 0 }},
+		{"zero pace", func(s *Scenario) { s.PaceEvery = 0 }},
+		{"bad scheme", func(s *Scenario) { s.Scheme = "heroic" }},
+		{"bad comparison", func(s *Scenario) { s.Comparison = "vibes" }},
+		{"bad store", func(s *Scenario) { s.Store = "tape" }},
+		{"bad kind", func(s *Scenario) { s.Faults[0].Kind = "gamma_ray" }},
+		{"bad point", func(s *Scenario) { s.Faults[0].Trigger.Point = "core.nonsense" }},
+		{"both on crash", func(s *Scenario) { s.Faults[0].Both = true }},
+	}
+	for _, tc := range cases {
+		scn := base
+		scn.Faults = append([]Fault(nil), base.Faults...)
+		tc.mutate(&scn)
+		if err := scn.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default scenario invalid: %v", err)
+	}
+}
+
+func TestGoldenFinalMatchesFaultFreeRun(t *testing.T) {
+	scn := Scenario{
+		Name: "fault-free", Nodes: 2, Tasks: 2, Spares: 0, Iters: 40,
+		Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+	}
+	res, err := RunScenario(scn, 1, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeOK {
+		t.Fatalf("fault-free run outcome %q, violations %v", res.Report.Outcome, res.Report.Violations)
+	}
+}
+
+// TestDefaultCampaignCleanAndCovered is the acceptance gate: the stock
+// campaign must stay violation-free while exercising every registered
+// injection point.
+func TestDefaultCampaignCleanAndCovered(t *testing.T) {
+	rep, err := RunCampaign(CampaignConfig{
+		Name:      "default",
+		Scenarios: DefaultCampaign(),
+		SeedBase:  1,
+		Seeds:     2,
+		Parallel:  4,
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	for _, run := range rep.Runs {
+		if run.Outcome != OutcomeOK && run.Outcome != OutcomeDetectedAtRest {
+			t.Errorf("%s seed %d: outcome %q, violations %v", run.Scenario, run.Seed, run.Outcome, run.Violations)
+		}
+		for _, f := range run.Faults {
+			if !f.Executed {
+				t.Errorf("%s seed %d: fault %s@%s never executed", run.Scenario, run.Seed, f.Kind, f.Point)
+			}
+		}
+	}
+	if rep.Violations != 0 {
+		t.Errorf("campaign reported %d violations, want 0", rep.Violations)
+	}
+	if len(rep.Coverage) != len(point.All()) {
+		t.Fatalf("coverage has %d entries, want %d", len(rep.Coverage), len(point.All()))
+	}
+	for _, c := range rep.Coverage {
+		if !c.Exercised {
+			t.Errorf("injection point %s never exercised by the default campaign", c.Point)
+		}
+	}
+}
+
+// TestCampaignReportDeterministic: same seed range twice, byte-identical
+// JSON.
+func TestCampaignReportDeterministic(t *testing.T) {
+	run := func() []byte {
+		rep, err := RunCampaign(CampaignConfig{
+			Name:      "determinism",
+			Scenarios: DefaultCampaign(),
+			SeedBase:  7,
+			Seeds:     2,
+			Parallel:  4,
+		})
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("json: %v", err)
+		}
+		return out
+	}
+	a := run()
+	b := run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed range produced different reports:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestOracleSensitivity: blinding the buddy comparison (identical
+// corruption in both buddies) MUST fire the sdc-escape invariant. If this
+// fails, the oracle can no longer see escaped corruption.
+func TestOracleSensitivity(t *testing.T) {
+	res, err := RunScenario(SensitivityScenario(), 3, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeViolation {
+		t.Fatalf("outcome %q, want %q (violations: %v)", res.Report.Outcome, OutcomeViolation, res.Report.Violations)
+	}
+	var escaped bool
+	for _, v := range res.Report.Violations {
+		if v.Invariant == InvSDCEscape {
+			escaped = true
+		}
+	}
+	if !escaped {
+		t.Fatalf("sdc-escape invariant did not fire; violations: %v", res.Report.Violations)
+	}
+}
+
+// TestMinimizeSchedule: ddmin strips decoy faults down to the single
+// corruption that causes the violation.
+func TestMinimizeSchedule(t *testing.T) {
+	scn := SensitivityScenario()
+	// Pad the schedule with harmless decoys the minimizer must discard.
+	// (A msg bit flip would NOT be harmless here: by desynchronizing the
+	// buddies it makes the comparison catch the round the Both-corruption
+	// was built to sneak through, masking the violation.)
+	scn.Faults = append(scn.Faults,
+		Fault{
+			Kind:    HeartbeatDelay,
+			Target:  Target{Replica: 1, Node: 1, Task: 0},
+			Trigger: Trigger{Point: point.RuntimeHeartbeat, Occurrence: 2},
+			Delay:   Duration(time.Millisecond),
+		},
+		Fault{
+			Kind:    Crash,
+			Target:  Target{Replica: 1, Node: 0, Task: -1},
+			Trigger: Trigger{Point: point.CoreCapture, Occurrence: 5},
+		},
+	)
+	res, err := MinimizeSchedule(scn, 3, 0)
+	if err != nil {
+		t.Fatalf("minimize: %v", err)
+	}
+	if len(res.Scenario.Faults) >= len(scn.Faults) {
+		t.Fatalf("minimization did not shrink the schedule: %d faults", len(res.Scenario.Faults))
+	}
+	var hasCorrupt bool
+	for _, f := range res.Scenario.Faults {
+		if f.Kind == CkptCorrupt {
+			hasCorrupt = true
+		}
+	}
+	if !hasCorrupt {
+		t.Fatalf("minimal schedule lost the corruption fault: %+v", res.Scenario.Faults)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("minimal schedule reports no violations")
+	}
+	if res.Runs < 2 {
+		t.Fatalf("minimization claims %d runs", res.Runs)
+	}
+}
+
+// TestDiskAtRestDetection: at-rest corruption on the disk tier must
+// surface as the detected-at-rest outcome, never as a silent restore.
+func TestDiskAtRestDetection(t *testing.T) {
+	var scn Scenario
+	for _, s := range DefaultCampaign() {
+		if s.Store == "disk" {
+			scn = s
+		}
+	}
+	if scn.Name == "" {
+		t.Fatal("default campaign has no disk scenario")
+	}
+	res, err := RunScenario(scn, 5, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeDetectedAtRest {
+		t.Fatalf("outcome %q, want %q (violations: %v)", res.Report.Outcome, OutcomeDetectedAtRest, res.Report.Violations)
+	}
+}

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// MinimizeResult is the outcome of a fault-schedule minimization.
+type MinimizeResult struct {
+	// Scenario is the input scenario with the minimized (and pre-resolved)
+	// fault schedule.
+	Scenario Scenario
+	// Violations is what the minimal schedule still provokes.
+	Violations []Violation
+	// Runs counts the oracle-checked executions minimization spent.
+	Runs int
+}
+
+// MinimizeSchedule reduces a violating scenario's fault schedule to a
+// 1-minimal subset — removing any single remaining fault makes the
+// violation disappear — using ddmin-style delta debugging. The schedule is
+// resolved once up front (same resolution NewEngine would apply for the
+// seed), so dropping faults never shifts the wildcard targets of the
+// survivors. Returns an error when the full schedule does not violate.
+func MinimizeSchedule(scn Scenario, seed int64, watchdog time.Duration) (MinimizeResult, error) {
+	if err := scn.Validate(); err != nil {
+		return MinimizeResult{}, err
+	}
+	resolved := resolvedCopy(scn, seed)
+	runs := 0
+	var lastViol []Violation
+	test := func(faults []Fault) (bool, error) {
+		trial := resolved
+		trial.Faults = faults
+		runs++
+		res, err := RunScenario(trial, seed, watchdog, nil)
+		if err != nil {
+			return false, err
+		}
+		if len(res.Report.Violations) > 0 {
+			lastViol = res.Report.Violations
+			return true, nil
+		}
+		return false, nil
+	}
+
+	ok, err := test(resolved.Faults)
+	if err != nil {
+		return MinimizeResult{}, err
+	}
+	if !ok {
+		return MinimizeResult{}, fmt.Errorf("chaos: scenario %q seed %d does not violate; nothing to minimize", scn.Name, seed)
+	}
+	baseline := lastViol
+
+	current := append([]Fault(nil), resolved.Faults...)
+	n := 2
+	for len(current) >= 2 {
+		chunk := (len(current) + n - 1) / n
+		reduced := false
+		// Try each complement: the schedule minus one chunk.
+		for lo := 0; lo < len(current); lo += chunk {
+			hi := lo + chunk
+			if hi > len(current) {
+				hi = len(current)
+			}
+			complement := make([]Fault, 0, len(current)-(hi-lo))
+			complement = append(complement, current[:lo]...)
+			complement = append(complement, current[hi:]...)
+			if len(complement) == 0 {
+				continue
+			}
+			ok, err := test(complement)
+			if err != nil {
+				return MinimizeResult{}, err
+			}
+			if ok {
+				current = complement
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(current) {
+			break // granularity exhausted: 1-minimal
+		}
+		n *= 2
+		if n > len(current) {
+			n = len(current)
+		}
+	}
+
+	out := resolved
+	out.Faults = current
+	viol := lastViol
+	if len(viol) == 0 {
+		viol = baseline
+	}
+	return MinimizeResult{Scenario: out, Violations: viol, Runs: runs}, nil
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acr/internal/ckptstore"
+	"acr/internal/core"
+	"acr/internal/pup"
+	"acr/internal/runtime"
+)
+
+// Invariant names one property the oracle checks. Each one is a guarantee
+// the paper's protocol claims (or a sanity property of this
+// implementation); a Violation is evidence the run broke it.
+type Invariant string
+
+// Oracle invariants.
+const (
+	// InvGoldenResult: a run that completes must converge to the bit-exact
+	// fault-free result — recovery loses time, never answers.
+	InvGoldenResult Invariant = "golden-result"
+	// InvSDCEscape: under the strong scheme no resident checkpoint
+	// corruption may reach a committed epoch undetected (§2.1: every
+	// commit is buddy-verified). Fires when a corrupted epoch commits —
+	// which is exactly what disabling or blinding the buddy comparison
+	// (Fault.Both) produces.
+	InvSDCEscape Invariant = "sdc-escape"
+	// InvProgressMonotonic: a task's reported iteration never decreases
+	// except across an explicit replica restart.
+	InvProgressMonotonic Invariant = "progress-monotonic"
+	// InvCommitMonotonic: committed checkpoint epochs strictly increase.
+	InvCommitMonotonic Invariant = "commit-monotonic"
+	// InvNoDeadlock: the run finishes before the watchdog budget; a
+	// controller that hangs mid-protocol is a liveness bug, whatever the
+	// fault schedule.
+	InvNoDeadlock Invariant = "no-deadlock"
+	// InvNoPhantomFailure: the controller recovers at most as many hard
+	// errors as the schedule actually killed nodes — false suspicions must
+	// be filtered, not repaired.
+	InvNoPhantomFailure Invariant = "no-phantom-failure"
+	// InvRunError: the run failed with an error that is neither detected
+	// at-rest corruption nor a typed unrecoverable verdict.
+	InvRunError Invariant = "run-error"
+)
+
+// Violation is one broken invariant with human-readable evidence.
+type Violation struct {
+	Invariant Invariant `json:"invariant"`
+	Detail    string    `json:"detail"`
+}
+
+// Run outcomes.
+const (
+	// OutcomeOK: the run completed, every invariant held.
+	OutcomeOK = "ok"
+	// OutcomeDetectedAtRest: the run stopped because a restore read
+	// at-rest corruption the store's verification caught
+	// (ckptstore.ErrCorrupt) — detection worked; not a violation.
+	OutcomeDetectedAtRest = "detected-at-rest"
+	// OutcomeUnrecoverable: the scheme ran out of recovery options and
+	// said so with the typed core.ErrUnrecoverable — an accepted verdict,
+	// not a hang or a wrong answer.
+	OutcomeUnrecoverable = "unrecoverable"
+	// OutcomeViolation: at least one invariant fired.
+	OutcomeViolation = "violation"
+)
+
+// oracleInput is everything Verify needs about a finished (or hung) run.
+type oracleInput struct {
+	scn      *Scenario
+	ctrl     *core.Controller
+	stats    core.Stats
+	runErr   error
+	timedOut bool
+	records  []Record
+	commits  []uint64
+	corrupt  map[uint64]bool
+	liveViol []Violation
+}
+
+// verdict is the oracle's output: the outcome plus the evidence.
+type verdict struct {
+	Outcome    string
+	Violations []Violation
+}
+
+// verify applies every invariant to one finished run.
+func verify(in oracleInput) verdict {
+	var v []Violation
+	v = append(v, in.liveViol...)
+
+	// Liveness first: a hung run yields no trustworthy final state.
+	if in.timedOut {
+		v = append(v, Violation{InvNoDeadlock, "watchdog expired before the run finished"})
+		return verdict{Outcome: OutcomeViolation, Violations: v}
+	}
+
+	// SDC escape: a commit of an epoch whose resident bytes were
+	// corrupted means the buddy comparison let corruption through.
+	for _, epoch := range in.commits {
+		if in.corrupt[epoch] {
+			v = append(v, Violation{InvSDCEscape,
+				fmt.Sprintf("epoch %d committed with resident corruption", epoch)})
+			break
+		}
+	}
+
+	// Phantom failures: every recovered hard error must map to a node the
+	// schedule killed.
+	if kills := killsScheduled(in.records); in.stats.HardErrors > kills {
+		v = append(v, Violation{InvNoPhantomFailure,
+			fmt.Sprintf("recovered %d hard errors but the schedule killed %d nodes", in.stats.HardErrors, kills)})
+	}
+
+	if in.runErr != nil {
+		switch {
+		case errors.Is(in.runErr, ckptstore.ErrCorrupt):
+			if len(v) > 0 {
+				return verdict{Outcome: OutcomeViolation, Violations: v}
+			}
+			return verdict{Outcome: OutcomeDetectedAtRest}
+		case errors.Is(in.runErr, core.ErrUnrecoverable):
+			if len(v) > 0 {
+				return verdict{Outcome: OutcomeViolation, Violations: v}
+			}
+			return verdict{Outcome: OutcomeUnrecoverable}
+		default:
+			v = append(v, Violation{InvRunError, in.runErr.Error()})
+			return verdict{Outcome: OutcomeViolation, Violations: v}
+		}
+	}
+
+	// Golden result: both replicas, every task, bit for bit.
+	v = append(v, checkGolden(in.scn, in.ctrl)...)
+
+	if len(v) > 0 {
+		return verdict{Outcome: OutcomeViolation, Violations: v}
+	}
+	return verdict{Outcome: OutcomeOK}
+}
+
+// killsScheduled counts the nodes the executed schedule fail-stopped.
+func killsScheduled(records []Record) int {
+	n := 0
+	for _, r := range records {
+		if !r.Executed {
+			continue
+		}
+		switch r.Kind {
+		case Crash:
+			n++
+		case BuddyDoubleCrash:
+			n += 2
+		}
+	}
+	return n
+}
+
+// checkGolden compares every task's final state against the serial
+// fault-free reference.
+func checkGolden(scn *Scenario, ctrl *core.Controller) []Violation {
+	golden := GoldenFinal(scn.Nodes*scn.Tasks, scn.Iters)
+	var v []Violation
+	for rep := 0; rep < 2; rep++ {
+		for n := 0; n < scn.Nodes; n++ {
+			for t := 0; t < scn.Tasks; t++ {
+				g := n*scn.Tasks + t
+				data, err := ctrl.Machine().PackTask(runtime.Addr{Replica: rep, Node: n, Task: t})
+				if err != nil {
+					v = append(v, Violation{InvGoldenResult,
+						fmt.Sprintf("pack final state r%d/n%d/t%d: %v", rep, n, t, err)})
+					continue
+				}
+				var final RingProg
+				if err := pup.Unpack(data, &final); err != nil {
+					v = append(v, Violation{InvGoldenResult,
+						fmt.Sprintf("unpack final state r%d/n%d/t%d: %v", rep, n, t, err)})
+					continue
+				}
+				if final.Iter != scn.Iters {
+					v = append(v, Violation{InvGoldenResult,
+						fmt.Sprintf("task r%d/n%d/t%d finished at iteration %d, want %d", rep, n, t, final.Iter, scn.Iters)})
+					continue
+				}
+				if math.Float64bits(final.Val) != math.Float64bits(golden[g]) {
+					v = append(v, Violation{InvGoldenResult,
+						fmt.Sprintf("task r%d/n%d/t%d final value %v, golden %v", rep, n, t, final.Val, golden[g])})
+				}
+			}
+		}
+	}
+	return v
+}

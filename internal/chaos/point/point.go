@@ -1,0 +1,113 @@
+// Package point defines ACR's labeled fault-injection points: the named
+// places in the runtime, controller, and checkpoint store where the chaos
+// engine (internal/chaos) may observe or perturb an execution. It is a
+// dependency-free leaf so that internal/runtime, internal/core, and
+// internal/ckptstore can fire points without importing the engine.
+//
+// A point firing is synchronous: the instrumented code calls Hook.Fire at
+// the point and continues when it returns. Hooks must therefore be fast on
+// the non-injecting path and safe for concurrent use (message delivery and
+// heartbeat points fire from many goroutines).
+package point
+
+import "sort"
+
+// ID names one injection point. The catalog below is the complete set; a
+// campaign coverage map reports which of these a run exercised.
+type ID string
+
+// The injection-point catalog. Quiescence per point:
+//
+//   - Quiescent points (CorePostConsensus, CoreCapture, CoreRecovery) fire
+//     while every task in scope is parked by the consensus gate; hooks may
+//     mutate task or checkpoint state race-free.
+//   - All other points fire while the application is running; hooks must
+//     restrict themselves to actions that are safe against live state
+//     (node crashes, heartbeat delays, payload value replacement).
+const (
+	// RuntimeDeliver fires on every message delivery attempt, before the
+	// payload is enqueued at the destination. Info carries the destination
+	// address and the payload; a hook may replace Info.Payload to corrupt
+	// the message in flight.
+	RuntimeDeliver ID = "runtime.deliver"
+	// RuntimeProgress fires when a task reports iteration progress, before
+	// the consensus gate sees the report. Info.Iter is the iteration.
+	RuntimeProgress ID = "runtime.progress"
+	// RuntimeHeartbeat fires on every heartbeat refresh of a physical
+	// node, before the beat is recorded. Info.Node is the physical node
+	// id; a hook that sleeps here delays the node's heartbeat.
+	RuntimeHeartbeat ID = "runtime.heartbeat"
+	// CorePreConsensus fires when the controller begins a periodic
+	// checkpoint round, before the consensus cut is requested.
+	CorePreConsensus ID = "core.pre_consensus"
+	// CorePostConsensus fires once the cut is ready: every task in scope
+	// is parked, nothing has been captured yet. Quiescent.
+	CorePostConsensus ID = "core.post_consensus"
+	// CoreCapture fires per replica inside captureScope, immediately
+	// before the replica's state is packed into the store. Quiescent.
+	CoreCapture ID = "core.capture"
+	// CoreRecovery fires at the start of recoveryCheckpoint, before the
+	// healthy replica's trusted checkpoint is requested — the medium/weak
+	// recovery window of §2.3.
+	CoreRecovery ID = "core.recovery"
+	// CoreRestart fires in restartReplicaFromEpoch before the crashed
+	// replica is restored from a stored epoch.
+	CoreRestart ID = "core.restart"
+	// CoreCommit fires after a checkpoint epoch is committed (verified or
+	// trusted). Info.Epoch is the committed epoch.
+	CoreCommit ID = "core.commit"
+	// StoreWrite fires after a checkpoint is accepted by Store.Put; a hook
+	// may corrupt the stored copy (at-rest corruption).
+	StoreWrite ID = "ckptstore.write"
+	// StoreRead fires after a checkpoint is materialized by Store.Get.
+	StoreRead ID = "ckptstore.read"
+)
+
+// All returns the complete point catalog, sorted by ID.
+func All() []ID {
+	ids := []ID{
+		RuntimeDeliver, RuntimeProgress, RuntimeHeartbeat,
+		CorePreConsensus, CorePostConsensus, CoreCapture,
+		CoreRecovery, CoreRestart, CoreCommit,
+		StoreWrite, StoreRead,
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Quiescent reports whether the point fires while every task in scope is
+// parked, making state mutation race-free.
+func (id ID) Quiescent() bool {
+	switch id {
+	case CorePostConsensus, CoreCapture, CoreRecovery:
+		return true
+	}
+	return false
+}
+
+// Info carries the context of one firing. Field validity depends on the
+// point; unused fields are zero. Replica/Node/Task default to -1 where the
+// firing has no task context.
+type Info struct {
+	Replica int
+	Node    int
+	Task    int
+	Epoch   uint64
+	Iter    int
+	// Payload is point-specific: the message payload at RuntimeDeliver
+	// (hooks may replace it), the *ckptstore.Checkpoint at StoreWrite /
+	// StoreRead. Nil elsewhere.
+	Payload any
+}
+
+// Hook receives point firings. A nil Hook everywhere means chaos is off;
+// instrumented code must nil-check before firing.
+type Hook interface {
+	Fire(id ID, info *Info)
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(id ID, info *Info)
+
+// Fire implements Hook.
+func (f HookFunc) Fire(id ID, info *Info) { f(id, info) }

@@ -1,0 +1,253 @@
+// Package chaos is ACR's deterministic fault-injection campaign engine:
+// the systematic counterpart of the paper's §6.1 injection experiments.
+//
+// Where internal/failure replays a time-ordered plan against the wall
+// clock, chaos aims faults at *protocol-phase boundaries* — mid-consensus,
+// during capture, inside the medium/weak recovery window, on the store's
+// read/write paths — which is exactly where checkpoint/restart protocols
+// break. A Scenario describes a fault campaign (kinds, targets, and
+// phase-aware triggers); the Engine arms it against labeled injection
+// points threaded through internal/runtime, internal/core, and
+// internal/ckptstore; the Oracle checks every run against the scheme's
+// guarantees; and the campaign runner (cmd/acrsoak) sweeps seed ranges with
+// same-seed→identical-report determinism plus ddmin-style fault-schedule
+// minimization.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"acr/internal/chaos/point"
+	"acr/internal/core"
+)
+
+// FaultKind is the action a fault performs when its trigger fires.
+type FaultKind string
+
+// Fault kinds.
+const (
+	// MsgBitFlip flips one random bit of a scalar message payload in
+	// flight (point.RuntimeDeliver). Non-scalar payloads are left intact
+	// and the fault stays armed for the next matching delivery.
+	MsgBitFlip FaultKind = "msg_bitflip"
+	// CkptCorrupt flips one random bit in the user-data tail of a
+	// checkpoint just accepted by the store (point.StoreWrite). On a disk
+	// tier the flip lands in the file — true at-rest corruption that the
+	// tier's read-path verification catches; on the memory tier it lands
+	// in the resident payload, which the buddy comparison catches.
+	CkptCorrupt FaultKind = "ckpt_corrupt"
+	// Crash fail-stops the target node.
+	Crash FaultKind = "crash"
+	// BuddyDoubleCrash fail-stops the target node and its buddy (the same
+	// node index in the other replica) in one firing.
+	BuddyDoubleCrash FaultKind = "buddy_double_crash"
+	// HeartbeatDelay stalls the target physical node's heartbeat refresh
+	// by Fault.Delay once (point.RuntimeHeartbeat).
+	HeartbeatDelay FaultKind = "heartbeat_delay"
+)
+
+// validKind reports whether k is a known fault kind.
+func validKind(k FaultKind) bool {
+	switch k {
+	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay:
+		return true
+	}
+	return false
+}
+
+// Target names the fault's victim. A -1 field is resolved to a uniformly
+// random legal value from the run seed when the scenario is armed, so the
+// resolved campaign is still deterministic per seed.
+type Target struct {
+	Replica int `json:"replica"`
+	Node    int `json:"node"`
+	Task    int `json:"task"`
+}
+
+func (t Target) String() string {
+	f := func(v int) string {
+		if v < 0 {
+			return "*"
+		}
+		return fmt.Sprint(v)
+	}
+	return "r" + f(t.Replica) + "/n" + f(t.Node) + "/t" + f(t.Task)
+}
+
+// Trigger is a protocol-phase-aware firing condition: the fault executes on
+// the Occurrence-th firing of Point whose context matches the fault target.
+// Occurrence <= 0 means the first matching firing.
+type Trigger struct {
+	Point      point.ID `json:"point"`
+	Occurrence int      `json:"occurrence"`
+}
+
+// Fault is one planned injection.
+type Fault struct {
+	Kind    FaultKind `json:"kind"`
+	Target  Target    `json:"target"`
+	Trigger Trigger   `json:"trigger"`
+	// Both (CkptCorrupt only) corrupts the target's checkpoint AND its
+	// buddy's checkpoint of the same epoch with the identical bit flip —
+	// the corruption the buddy comparison is structurally blind to. This
+	// is the oracle-sensitivity mode: it emulates a disabled comparison,
+	// and a correct oracle must report the resulting SDC escape.
+	Both bool `json:"both,omitempty"`
+	// Delay is the heartbeat stall for HeartbeatDelay.
+	Delay Duration `json:"delay,omitempty"`
+}
+
+// Duration is a time.Duration that marshals as a string ("8ms") so
+// scenario JSON stays human-editable.
+type Duration time.Duration
+
+// MarshalJSON encodes the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("chaos: bad duration %s", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Scenario is one fault campaign against one machine shape and scheme. The
+// zero value is not runnable; fill the fields or parse JSON.
+type Scenario struct {
+	Name string `json:"name"`
+	// Machine shape and workload length.
+	Nodes  int `json:"nodes"`
+	Tasks  int `json:"tasks"`
+	Spares int `json:"spares"`
+	Iters  int `json:"iters"`
+	// Scheme is "strong" | "medium" | "weak"; Comparison "full" |
+	// "checksum"; Store "mem" | "disk".
+	Scheme     string `json:"scheme"`
+	Comparison string `json:"comparison"`
+	Store      string `json:"store"`
+	// PaceEvery forces a checkpoint round every N progress reports —
+	// deterministic, progress-based pacing instead of the wall-clock
+	// interval, so the same seed schedules the same number of faults
+	// against the same protocol phases regardless of host speed.
+	PaceEvery int `json:"pace_every"`
+	// Faults is the campaign schedule.
+	Faults []Fault `json:"faults"`
+}
+
+// Validate checks the scenario is runnable.
+func (s *Scenario) Validate() error {
+	switch {
+	case s.Nodes <= 0 || s.Tasks <= 0:
+		return fmt.Errorf("chaos: invalid machine shape %dx%d", s.Nodes, s.Tasks)
+	case s.Iters <= 0:
+		return fmt.Errorf("chaos: Iters must be positive")
+	case s.PaceEvery <= 0:
+		return fmt.Errorf("chaos: PaceEvery must be positive (deterministic pacing is required)")
+	}
+	if _, err := schemeOf(s.Scheme); err != nil {
+		return err
+	}
+	if _, err := comparisonOf(s.Comparison); err != nil {
+		return err
+	}
+	if s.Store != "" && s.Store != "mem" && s.Store != "disk" {
+		return fmt.Errorf("chaos: unknown store tier %q", s.Store)
+	}
+	known := map[point.ID]bool{}
+	for _, id := range point.All() {
+		known[id] = true
+	}
+	for i, f := range s.Faults {
+		if !validKind(f.Kind) {
+			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
+		}
+		if !known[f.Trigger.Point] {
+			return fmt.Errorf("chaos: fault %d: unknown injection point %q", i, f.Trigger.Point)
+		}
+		if f.Both && f.Kind != CkptCorrupt {
+			return fmt.Errorf("chaos: fault %d: Both applies only to %s", i, CkptCorrupt)
+		}
+	}
+	return nil
+}
+
+func schemeOf(s string) (core.Scheme, error) {
+	switch s {
+	case "strong", "":
+		return core.Strong, nil
+	case "medium":
+		return core.Medium, nil
+	case "weak":
+		return core.Weak, nil
+	}
+	return 0, fmt.Errorf("chaos: unknown scheme %q", s)
+}
+
+func comparisonOf(s string) (core.Comparison, error) {
+	switch s {
+	case "full", "":
+		return core.FullCompare, nil
+	case "checksum":
+		return core.ChecksumCompare, nil
+	}
+	return 0, fmt.Errorf("chaos: unknown comparison %q", s)
+}
+
+// ParseScenario decodes and validates a JSON scenario.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: parse scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// resolveFaults returns a copy of the scenario's faults with every wildcard
+// target field fixed to a concrete value drawn from rng, and occurrences
+// normalized to >= 1. Resolution order is fault order, so the resolved
+// schedule is deterministic for a fixed seed.
+func (s *Scenario) resolveFaults(rng *rand.Rand) []Fault {
+	out := make([]Fault, len(s.Faults))
+	for i, f := range s.Faults {
+		if f.Target.Replica < 0 {
+			f.Target.Replica = rng.Intn(2)
+		}
+		if f.Target.Node < 0 {
+			f.Target.Node = rng.Intn(s.Nodes)
+		}
+		if f.Target.Task < 0 {
+			f.Target.Task = rng.Intn(s.Tasks)
+		}
+		if f.Kind == CkptCorrupt && f.Both {
+			// The engine corrupts the replica-0 copy first and mirrors
+			// the flip onto the buddy write that follows it (capture
+			// stores replica 0 before replica 1).
+			f.Target.Replica = 0
+		}
+		if f.Trigger.Occurrence <= 0 {
+			f.Trigger.Occurrence = 1
+		}
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"math"
+
+	"acr/internal/pup"
+	"acr/internal/runtime"
+)
+
+// RingProg is the campaign workload: every task holds one float64 and each
+// iteration sends it to its right ring neighbour, receives from the left,
+// and folds the two values with a nonlinear mix. The fold makes any
+// injected bit flip spread through the whole ring within N iterations, so
+// an escaped corruption is always visible in the final state — exactly the
+// property the golden-result invariant needs.
+//
+// The Pup layout puts Val last: the trailing 8 bytes of a packed RingProg
+// are the float payload, which lets CkptCorrupt flip checkpoint bits that
+// always unpack cleanly (a wrong value, never a structural error).
+type RingProg struct {
+	Iter  int
+	Iters int
+	Val   float64
+
+	// self is the task's dense global index; set by the factory, derived
+	// (not checkpointed).
+	self int
+}
+
+// Pup implements pup.Pupable. Keep Val the final field (see type comment).
+func (r *RingProg) Pup(p *pup.PUPer) {
+	p.Label("iter")
+	p.Int(&r.Iter)
+	p.Label("iters")
+	p.Int(&r.Iters)
+	p.Label("val")
+	p.Float64(&r.Val)
+}
+
+// initialVal seeds task g's value; distinct per task so a misrouted or
+// corrupted exchange cannot cancel out.
+func initialVal(g int) float64 { return 1 + 0.5*float64(g) }
+
+// fold mixes the local value with the left neighbour's. Nonlinear in the
+// difference, so single-bit perturbations never converge back to the
+// fault-free trajectory.
+func fold(local, left float64, iter int) float64 {
+	return (local+left)/2 + 0.25*math.Sin(local-left) + 1e-3*float64(iter%7)
+}
+
+// Run implements runtime.Program.
+func (r *RingProg) Run(ctx *runtime.Ctx) error {
+	me := ctx.GlobalTask()
+	right := ctx.AddrOfGlobal((me + 1) % ctx.NumTasks())
+	for r.Iter < r.Iters {
+		if err := ctx.Send(right, r.Iter, r.Val); err != nil {
+			return err
+		}
+		msg, err := ctx.Recv()
+		if err != nil {
+			return err
+		}
+		left := msg.Data.(float64)
+		r.Val = fold(r.Val, left, r.Iter)
+		r.Iter++ // advance before yielding, per the Progress contract
+		if err := ctx.Progress(r.Iter - 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ringFactory builds the campaign's task factory for a replica shape.
+func ringFactory(tasksPerNode, iters int) runtime.Factory {
+	return func(addr runtime.Addr) runtime.Program {
+		g := addr.Node*tasksPerNode + addr.Task
+		return &RingProg{Iters: iters, Val: initialVal(g), self: g}
+	}
+}
+
+// GoldenFinal computes the fault-free final values serially: the reference
+// the oracle compares recovered runs against, bit for bit.
+func GoldenFinal(numTasks, iters int) []float64 {
+	vals := make([]float64, numTasks)
+	for g := range vals {
+		vals[g] = initialVal(g)
+	}
+	next := make([]float64, numTasks)
+	for it := 0; it < iters; it++ {
+		for g := range vals {
+			left := (g - 1 + numTasks) % numTasks
+			next[g] = fold(vals[g], vals[left], it)
+		}
+		vals, next = next, vals
+	}
+	return vals
+}

@@ -162,11 +162,42 @@ func (s *Disk) Get(k Key) (*Checkpoint, error) {
 	}
 	root, sums := checksum.Fletcher64Chunks(data, e.chunkSize, 0)
 	if root != e.root {
-		return nil, fmt.Errorf("ckptstore: disk get %v: checkpoint corrupted at rest (root %#x, want %#x)", k, root, e.root)
+		return nil, fmt.Errorf("disk get %v: %w (root %#x, want %#x)", k, ErrCorrupt, root, e.root)
 	}
 	s.ctrs.gets.Add(1)
 	s.ctrs.bytesRead.Add(int64(len(data)))
 	return &Checkpoint{ChunkSize: e.chunkSize, Root: e.root, Sums: sums, data: data}, nil
+}
+
+// CorruptAtRest flips one bit of the stored payload *in the backing file*,
+// leaving the resident metadata untouched — the at-rest corruption a fault
+// injector needs. byteIdx counts from the start of the payload; negative
+// values count back from its end (-1 is the last byte). The next Get of k
+// re-verifies the root and reports ErrCorrupt.
+func (s *Disk) CorruptAtRest(k Key, byteIdx, bit int) error {
+	e, err := s.entry(k)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(e.path)
+	if err != nil {
+		return fmt.Errorf("ckptstore: corrupt %v: %w", k, err)
+	}
+	header := len(diskMagic) + 24 + 8*len(e.sums)
+	if len(raw) < header || len(raw)-header != e.size {
+		return fmt.Errorf("ckptstore: corrupt %v: malformed checkpoint file", k)
+	}
+	if byteIdx < 0 {
+		byteIdx += e.size
+	}
+	if byteIdx < 0 || byteIdx >= e.size {
+		return fmt.Errorf("ckptstore: corrupt %v: byte %d out of range [0,%d)", k, byteIdx, e.size)
+	}
+	raw[header+byteIdx] ^= 1 << (uint(bit) & 7)
+	if err := os.WriteFile(e.path, raw, 0o644); err != nil {
+		return fmt.Errorf("ckptstore: corrupt %v: %w", k, err)
+	}
+	return nil
 }
 
 // Compare implements Store using only the resident metadata: no file IO.

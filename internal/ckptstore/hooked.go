@@ -1,0 +1,63 @@
+package ckptstore
+
+import "acr/internal/chaos/point"
+
+// Hooked interposes a fault-injection hook on a Store's read and write
+// paths: point.StoreWrite fires after every accepted Put (the hook may
+// corrupt the stored copy — at-rest corruption), point.StoreRead after
+// every successful Get. Compare and Evict pass through untouched: the
+// two-phase compare works on resident metadata, which real at-rest
+// corruption does not reach.
+type Hooked struct {
+	inner Store
+	hook  point.Hook
+}
+
+// WithHook wraps the store; a nil hook returns the store unchanged.
+func WithHook(inner Store, hook point.Hook) Store {
+	if hook == nil {
+		return inner
+	}
+	return &Hooked{inner: inner, hook: hook}
+}
+
+// Inner returns the wrapped store (for tests and tier-specific access such
+// as Disk.Dir).
+func (s *Hooked) Inner() Store { return s.inner }
+
+// Name implements Store.
+func (s *Hooked) Name() string { return s.inner.Name() }
+
+// Put implements Store: store first, then expose the stored checkpoint to
+// the hook so corruption lands on the at-rest copy.
+func (s *Hooked) Put(k Key, ck *Checkpoint) error {
+	if err := s.inner.Put(k, ck); err != nil {
+		return err
+	}
+	s.hook.Fire(point.StoreWrite, &point.Info{Replica: k.Replica, Node: k.Node, Task: k.Task, Epoch: k.Epoch, Payload: ck})
+	return nil
+}
+
+// Get implements Store.
+func (s *Hooked) Get(k Key) (*Checkpoint, error) {
+	ck, err := s.inner.Get(k)
+	if err != nil {
+		return nil, err
+	}
+	s.hook.Fire(point.StoreRead, &point.Info{Replica: k.Replica, Node: k.Node, Task: k.Task, Epoch: k.Epoch, Payload: ck})
+	return ck, nil
+}
+
+// Compare implements Store.
+func (s *Hooked) Compare(a, b Key) (CompareResult, error) { return s.inner.Compare(a, b) }
+
+// Evict implements Store.
+func (s *Hooked) Evict(olderThan uint64) int { return s.inner.Evict(olderThan) }
+
+// Counters implements Store.
+func (s *Hooked) Counters() Counters { return s.inner.Counters() }
+
+// MutableBytes exposes a checkpoint's stored payload for in-place
+// corruption by injection hooks. It exists solely for fault injection:
+// every other caller must treat Bytes as read-only.
+func (c *Checkpoint) MutableBytes() []byte { return c.data }

@@ -60,6 +60,13 @@ func (k Key) ident() ident { return ident{k.Replica, k.Node, k.Task} }
 // ErrNotFound reports a Get/Compare against a key the store does not hold.
 var ErrNotFound = errors.New("ckptstore: checkpoint not found")
 
+// ErrCorrupt reports a stored checkpoint whose payload no longer matches
+// its resident metadata — corruption at rest, caught by a tier's read-path
+// re-verification. Callers distinguish it with errors.Is: a corrupt
+// checkpoint is *detected* damage (restore from an older epoch, count an
+// SDC), where ErrNotFound is merely absence.
+var ErrCorrupt = errors.New("ckptstore: checkpoint corrupted at rest")
+
 // Checkpoint is one chunked, checksummed task checkpoint. The zero value
 // is not useful; build one with Capture.
 type Checkpoint struct {

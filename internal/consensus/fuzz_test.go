@@ -20,79 +20,100 @@ import (
 //  4. after Release, all tasks run on unimpeded.
 func TestCoordinatorFuzz(t *testing.T) {
 	f := func(seed int64, nodesRaw, tasksRaw uint8) bool {
-		nodes := int(nodesRaw)%3 + 1
-		tasks := int(tasksRaw)%3 + 1
-		rng := rand.New(rand.NewSource(seed))
-		c := New(nodes, tasks)
-
-		total := 2 * nodes * tasks
-		stop := make(chan struct{})
-		var wg sync.WaitGroup
-		// Emulated tasks: report 0,1,2,... until stopped; block when the
-		// gate says so.
-		_ = rng
-		for rep := 0; rep < 2; rep++ {
-			for n := 0; n < nodes; n++ {
-				for tk := 0; tk < tasks; tk++ {
-					addr := runtime.Addr{Replica: rep, Node: n, Task: tk}
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						for iter := 0; ; iter++ {
-							ch := c.Report(addr, iter)
-							if ch != nil {
-								select {
-								case <-ch:
-								case <-stop:
-									return
-								}
-							}
-							select {
-							case <-stop:
-								return
-							default:
-							}
-						}
-					}()
-				}
-			}
-		}
-
-		ok := true
-		for round := 0; round < 3 && ok; round++ {
-			before := c.MaxProgress(BothReplicas)
-			ready, err := c.Request(BothReplicas)
-			if err != nil {
-				ok = false
-				break
-			}
-			target := <-ready // invariant 1: must terminate
-			if target < before {
-				ok = false // invariant 2
-			}
-			// Invariant 3: every participant parked at >= target.
-			c.mu.Lock()
-			parked := len(c.parkedIter)
-			for a, it := range c.parkedIter {
-				if it < target {
-					ok = false
-				}
-				_ = a
-			}
-			if parked != total {
-				ok = false
-			}
-			c.mu.Unlock()
-			c.Release()
-		}
-		close(stop)
-		c.Release() // idempotent; frees any stragglers
-		wg.Wait()
-		return ok
+		return coordinatorFuzzDriver(seed, nodesRaw, tasksRaw)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzConsensus is the native-fuzzing entry over the same driver, so
+// `go test -fuzz=FuzzConsensus` can explore coordinator schedules beyond
+// the quick.Check sample.
+func FuzzConsensus(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(1), uint8(2))
+	f.Add(int64(-7), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nodesRaw, tasksRaw uint8) {
+		if !coordinatorFuzzDriver(seed, nodesRaw, tasksRaw) {
+			t.Fatalf("coordinator invariant violated: seed=%d nodes=%d tasks=%d",
+				seed, int(nodesRaw)%3+1, int(tasksRaw)%3+1)
+		}
+	})
+}
+
+// coordinatorFuzzDriver runs one randomized coordinator schedule and
+// reports whether every protocol invariant held.
+func coordinatorFuzzDriver(seed int64, nodesRaw, tasksRaw uint8) bool {
+	nodes := int(nodesRaw)%3 + 1
+	tasks := int(tasksRaw)%3 + 1
+	rng := rand.New(rand.NewSource(seed))
+	c := New(nodes, tasks)
+
+	total := 2 * nodes * tasks
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Emulated tasks: report 0,1,2,... until stopped; block when the
+	// gate says so.
+	_ = rng
+	for rep := 0; rep < 2; rep++ {
+		for n := 0; n < nodes; n++ {
+			for tk := 0; tk < tasks; tk++ {
+				addr := runtime.Addr{Replica: rep, Node: n, Task: tk}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for iter := 0; ; iter++ {
+						ch := c.Report(addr, iter)
+						if ch != nil {
+							select {
+							case <-ch:
+							case <-stop:
+								return
+							}
+						}
+						select {
+						case <-stop:
+							return
+						default:
+						}
+					}
+				}()
+			}
+		}
+	}
+
+	ok := true
+	for round := 0; round < 3 && ok; round++ {
+		before := c.MaxProgress(BothReplicas)
+		ready, err := c.Request(BothReplicas)
+		if err != nil {
+			ok = false
+			break
+		}
+		target := <-ready // invariant 1: must terminate
+		if target < before {
+			ok = false // invariant 2
+		}
+		// Invariant 3: every participant parked at >= target.
+		c.mu.Lock()
+		parked := len(c.parkedIter)
+		for a, it := range c.parkedIter {
+			if it < target {
+				ok = false
+			}
+			_ = a
+		}
+		if parked != total {
+			ok = false
+		}
+		c.mu.Unlock()
+		c.Release()
+	}
+	close(stop)
+	c.Release() // idempotent; frees any stragglers
+	wg.Wait()
+	return ok
 }
 
 // TestCoordinatorTargetMonotone: across consecutive rounds the decided

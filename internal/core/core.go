@@ -13,17 +13,24 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"acr/internal/chaos/point"
 	"acr/internal/ckptstore"
 	"acr/internal/consensus"
 	"acr/internal/failure"
 	"acr/internal/runtime"
 	"acr/internal/trace"
 )
+
+// ErrUnrecoverable reports a hard error the configured scheme cannot
+// recover from (typically spare-pool exhaustion): the job cannot continue,
+// but the controller returns instead of hanging.
+var ErrUnrecoverable = errors.New("core: unrecoverable hard error")
 
 // Scheme is one of ACR's three resilience levels (§2.3).
 type Scheme int
@@ -166,6 +173,11 @@ type Config struct {
 	// ChecksumWorkers bounds the per-replica capture worker pool; <= 0
 	// selects GOMAXPROCS.
 	ChecksumWorkers int
+	// Chaos, if non-nil, receives fault-injection point firings at the
+	// controller's protocol-phase boundaries (consensus, capture,
+	// recovery, restart, commit) and is forwarded to the runtime and the
+	// checkpoint store. See internal/chaos.
+	Chaos point.Hook
 }
 
 func (c *Config) validate() error {
@@ -272,6 +284,7 @@ func New(cfg Config) (*Controller, error) {
 		MailboxCap:        cfg.MailboxCap,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		Chaos:             cfg.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -280,6 +293,9 @@ func New(cfg Config) (*Controller, error) {
 	if st == nil {
 		st = ckptstore.NewMem()
 	}
+	// Interpose the injection hook on the store's read/write paths so
+	// at-rest corruption campaigns see every checkpoint that lands.
+	st = ckptstore.WithHook(st, cfg.Chaos)
 	return &Controller{
 		cfg:        cfg,
 		machine:    m,
@@ -330,6 +346,13 @@ func (c *Controller) now() float64 { return time.Since(c.start).Seconds() }
 func (c *Controller) mark(k trace.Kind, detail string) {
 	if c.cfg.Timeline != nil {
 		c.cfg.Timeline.Add(c.now(), k, detail)
+	}
+}
+
+// fire notifies the chaos hook of a protocol-phase injection point.
+func (c *Controller) fire(id point.ID, info point.Info) {
+	if c.cfg.Chaos != nil {
+		c.cfg.Chaos.Fire(id, &info)
 	}
 }
 

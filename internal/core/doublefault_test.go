@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"acr/internal/chaos/point"
+)
+
+// recoveryKiller is an inline injection hook that fail-stops a node of the
+// HEALTHY replica the instant the controller opens the medium/weak
+// recovery window (point.CoreRecovery fires with the crashed replica; the
+// hook kills the other one). This is the §2.3 double-fault: the recovery
+// source itself dies mid-recovery.
+type recoveryKiller struct {
+	ctrl *Controller
+
+	mu    sync.Mutex
+	armed bool
+	fired bool
+}
+
+func (k *recoveryKiller) Fire(id point.ID, info *point.Info) {
+	if id != point.CoreRecovery {
+		return
+	}
+	k.mu.Lock()
+	fire := k.armed && !k.fired
+	k.fired = k.fired || fire
+	k.mu.Unlock()
+	if fire {
+		k.ctrl.KillNode(1-info.Replica, 0)
+	}
+}
+
+// runWithWatchdog runs the controller with a hang detector: the double
+// fault may legitimately fail the job, but it must never deadlock it.
+func runWithWatchdog(t *testing.T, ctrl *Controller) (Stats, error) {
+	t.Helper()
+	type result struct {
+		stats Stats
+		err   error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		stats, err := ctrl.Run()
+		ch <- result{stats, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.stats, r.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("controller hung after buddy double fault during recoveryCheckpoint")
+		return Stats{}, nil
+	}
+}
+
+// TestDoubleFaultDuringRecoveryCheckpoint: the healthy replica crashes
+// inside recoveryCheckpoint. With spares available the controller must
+// fall back to a full rollback and still produce the golden result.
+func TestDoubleFaultDuringRecoveryCheckpoint(t *testing.T) {
+	const nodes, tasks, iters = 2, 2, 3000
+	cfg := baseConfig(nodes, tasks, iters)
+	cfg.Scheme = Medium
+	cfg.Spares = 3
+	killer := &recoveryKiller{}
+	cfg.Chaos = killer
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killer.ctrl = ctrl
+	killer.mu.Lock()
+	killer.armed = true
+	killer.mu.Unlock()
+
+	// The first fault: kill a replica-0 node mid-run; the medium scheme
+	// responds with recoveryCheckpoint(0), whose CoreRecovery firing makes
+	// the hook kill replica 1's node 0 — the double fault.
+	go func() {
+		time.Sleep(6 * time.Millisecond)
+		ctrl.KillNode(0, 1)
+	}()
+
+	stats, err := runWithWatchdog(t, ctrl)
+	if err != nil {
+		t.Fatalf("double fault with spares must recover, got: %v", err)
+	}
+	if !killer.fired {
+		t.Fatal("hook never fired: the run ended before the recovery window opened")
+	}
+	if stats.HardErrors < 2 {
+		t.Fatalf("expected both hard errors recovered, got %d", stats.HardErrors)
+	}
+	verifyFinalState(t, ctrl, nodes, tasks, iters)
+}
+
+// TestDoubleFaultWithoutSparesIsTyped: with an empty spare pool the second
+// crash is unrecoverable — the controller must return ErrUnrecoverable,
+// not hang and not panic.
+func TestDoubleFaultWithoutSparesIsTyped(t *testing.T) {
+	const nodes, tasks, iters = 2, 2, 200000
+	cfg := baseConfig(nodes, tasks, iters)
+	cfg.Scheme = Medium
+	cfg.Spares = 1 // consumed by the first fault; none left for the second
+	killer := &recoveryKiller{}
+	cfg.Chaos = killer
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killer.ctrl = ctrl
+	killer.mu.Lock()
+	killer.armed = true
+	killer.mu.Unlock()
+
+	go func() {
+		time.Sleep(6 * time.Millisecond)
+		ctrl.KillNode(0, 1)
+	}()
+
+	_, err = runWithWatchdog(t, ctrl)
+	if err == nil {
+		t.Fatal("expected an unrecoverable error, run succeeded")
+	}
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("error is not typed ErrUnrecoverable: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"acr/internal/chaos/point"
 	"acr/internal/checksum"
 	"acr/internal/ckptstore"
 	"acr/internal/consensus"
@@ -49,6 +50,7 @@ func (c *Controller) key(rep, n, t int, epoch uint64) ckptstore.Key {
 // normalRound checkpoints both replicas and cross-checks buddies.
 func (c *Controller) normalRound() error {
 	began := time.Now()
+	c.fire(point.CorePreConsensus, point.Info{Replica: -1, Node: -1, Task: -1})
 	ready, err := c.coord.Request(consensus.BothReplicas)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint request: %w", err)
@@ -60,6 +62,7 @@ func (c *Controller) normalRound() error {
 	// All tasks are parked (or done): apply any scheduled SDC
 	// injections, then capture both replicas into the store under a
 	// fresh epoch — chunked, checksummed, one key per task.
+	c.fire(point.CorePostConsensus, point.Info{Replica: -1, Node: -1, Task: -1})
 	c.applyPendingSDC(consensus.BothReplicas)
 	epoch := c.nextEpoch()
 	if err := c.captureScope(consensus.BothReplicas, epoch); err != nil {
@@ -109,6 +112,9 @@ func (c *Controller) captureScope(scope consensus.Scope, epoch uint64) error {
 		if !scope[rep] {
 			continue
 		}
+		// Quiescent: every task in scope is parked, so hooks may mutate
+		// task state here and the corruption lands in this capture.
+		c.fire(point.CoreCapture, point.Info{Replica: rep, Node: -1, Task: -1, Epoch: epoch})
 		if err := c.machine.CaptureReplica(rep, epoch, c.store, c.cfg.ChunkSize, c.cfg.ChecksumWorkers); err != nil {
 			return fmt.Errorf("core: capture replica %d: %w", rep, err)
 		}
@@ -123,6 +129,12 @@ func (c *Controller) captureScope(scope consensus.Scope, epoch uint64) error {
 func (c *Controller) recoveryCheckpoint(crashed int) error {
 	healthy := 1 - crashed
 	began := time.Now()
+	// The recovery window of §2.3 opens here: what happens between this
+	// point and the trusted commit is invisible to SDC detection. A hook
+	// that crashes the healthy replica here exercises the double-fault
+	// path; the firing precedes the consensus request, so the crash races
+	// the cut exactly as a real mid-recovery failure would.
+	c.fire(point.CoreRecovery, point.Info{Replica: crashed, Node: -1, Task: -1})
 	ready, err := c.coord.Request(consensus.OnlyReplica(healthy))
 	if err != nil {
 		return fmt.Errorf("core: recovery checkpoint request: %w", err)
@@ -282,6 +294,7 @@ func (c *Controller) commit(epoch uint64, began time.Time) {
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
 	c.store.Evict(epoch)
 	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed (epoch %d)", c.stats.Checkpoints, epoch))
+	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
 	c.markStore()
 }
 
@@ -292,6 +305,7 @@ func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
 	c.stats.Checkpoints++
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
 	c.store.Evict(epoch)
+	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
 	c.markStore()
 }
 
@@ -320,7 +334,7 @@ func (c *Controller) handleFailure(f runtime.Failure) error {
 	c.adaptInterval()
 
 	if err := c.machine.ReplaceWithSpare(f.Replica, f.Node); err != nil {
-		return fmt.Errorf("core: unrecoverable hard error at r%d/n%d: %w", f.Replica, f.Node, err)
+		return fmt.Errorf("%w at r%d/n%d: %v", ErrUnrecoverable, f.Replica, f.Node, err)
 	}
 	c.stats.SparesUsed++
 
@@ -380,6 +394,7 @@ func (c *Controller) rollbackReplica(rep int) error {
 // every task checkpoint back out of the store — the restart path, like
 // commit and compare, goes exclusively through the storage tier.
 func (c *Controller) restartFromCommitted(rep int) error {
+	c.fire(point.CoreRestart, point.Info{Replica: rep, Node: -1, Task: -1, Epoch: c.committedEpoch})
 	if c.committedEpoch == 0 {
 		if err := c.machine.RestartReplica(rep, emptySet(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)); err != nil {
 			return fmt.Errorf("core: restart replica %d: %w", rep, err)
@@ -396,6 +411,10 @@ func (c *Controller) restartFromCommitted(rep int) error {
 // (the medium/weak recovery transfer).
 func (c *Controller) restartReplicaFromEpoch(rep int, epoch uint64) error {
 	c.machine.StopReplica(rep)
+	// Fire only once the replica is quiescent: hooks use this firing as the
+	// boundary after which task progress legitimately regresses, so no
+	// stale pre-stop progress report may follow it.
+	c.fire(point.CoreRestart, point.Info{Replica: rep, Node: -1, Task: -1, Epoch: epoch})
 	c.coord.ForgetProgress(rep)
 	c.coord.Undone(rep)
 	if err := c.machine.RestartReplicaFromStore(rep, epoch, c.store); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Kind distinguishes the two error classes ACR protects against.
@@ -40,23 +41,53 @@ type Event struct {
 // Plan is a time-ordered list of injections.
 type Plan []Event
 
+// Targeting pins plan events to a fixed replica and/or node; a -1 field
+// keeps the classical uniform-random assignment. Chaos scenarios use pinned
+// targets to aim faults at a specific protocol participant (e.g. always the
+// buddy of the previously crashed node) instead of spraying uniformly.
+type Targeting struct {
+	Replica int // 0 or 1, or -1 for uniform-random
+	Node    int // node index, or -1 for uniform-random
+}
+
+// RandomTarget is the uniform-random assignment NewPlan has always used.
+var RandomTarget = Targeting{Replica: -1, Node: -1}
+
+// resolve draws the event target, consuming rng draws only for wildcard
+// fields so pinned plans stay deterministic under the same seed.
+func (tg Targeting) resolve(nodesPerReplica int, rng *rand.Rand) (replica, node int) {
+	replica, node = tg.Replica, tg.Node
+	if replica < 0 {
+		replica = rng.Intn(2)
+	}
+	if node < 0 {
+		node = rng.Intn(nodesPerReplica)
+	}
+	return replica, node
+}
+
 // NewPlan merges hard-error and SDC schedules into a single injection plan,
 // assigning each event to a uniformly random node of a uniformly random
 // replica.
 func NewPlan(hard, sdc Schedule, nodesPerReplica int, rng *rand.Rand) Plan {
-	var p Plan
+	return NewPlanTargeted(hard, sdc, nodesPerReplica, RandomTarget, RandomTarget, rng)
+}
+
+// NewPlanTargeted is NewPlan with per-kind targeting: hardTgt aims the
+// fail-stop events, sdcTgt the corruption events. The result is stably
+// time-ordered: events at equal times keep hard-before-SDC schedule order,
+// and the plan is deterministic for a fixed rng seed.
+func NewPlanTargeted(hard, sdc Schedule, nodesPerReplica int, hardTgt, sdcTgt Targeting, rng *rand.Rand) Plan {
+	p := make(Plan, 0, len(hard)+len(sdc))
 	for _, t := range hard {
-		p = append(p, Event{Time: t, Kind: Hard, Replica: rng.Intn(2), Node: rng.Intn(nodesPerReplica)})
+		rep, node := hardTgt.resolve(nodesPerReplica, rng)
+		p = append(p, Event{Time: t, Kind: Hard, Replica: rep, Node: node})
 	}
 	for _, t := range sdc {
-		p = append(p, Event{Time: t, Kind: SDC, Replica: rng.Intn(2), Node: rng.Intn(nodesPerReplica)})
+		rep, node := sdcTgt.resolve(nodesPerReplica, rng)
+		p = append(p, Event{Time: t, Kind: SDC, Replica: rep, Node: node})
 	}
-	// Merge by time (insertion sort; plans are short).
-	for i := 1; i < len(p); i++ {
-		for j := i; j > 0 && p[j].Time < p[j-1].Time; j-- {
-			p[j], p[j-1] = p[j-1], p[j]
-		}
-	}
+	sort.SliceStable(p, func(i, j int) bool { return p[i].Time < p[j].Time })
 	return p
 }
 

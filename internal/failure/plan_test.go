@@ -1,0 +1,99 @@
+package failure
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPlanOrderedAndDeterministic: for any pair of schedules and any seed,
+// the merged plan is non-decreasing in time, contains every input event
+// exactly once, and two plans built from the same inputs and seed are
+// identical.
+func TestPlanOrderedAndDeterministic(t *testing.T) {
+	f := func(seed int64, hardRaw, sdcRaw []float64, nodesRaw uint8) bool {
+		nodes := int(nodesRaw)%4 + 1
+		mk := func(raw []float64) Schedule {
+			s := make(Schedule, 0, len(raw))
+			for _, v := range raw {
+				if v < 0 {
+					v = -v
+				}
+				s = append(s, v)
+			}
+			sort.Float64s(s)
+			return s
+		}
+		hard, sdc := mk(hardRaw), mk(sdcRaw)
+
+		p1 := NewPlan(hard, sdc, nodes, rand.New(rand.NewSource(seed)))
+		p2 := NewPlan(hard, sdc, nodes, rand.New(rand.NewSource(seed)))
+		if !reflect.DeepEqual(p1, p2) {
+			return false // same seed must give byte-identical plans
+		}
+		if len(p1) != len(hard)+len(sdc) {
+			return false
+		}
+		hardLeft, sdcLeft := len(hard), len(sdc)
+		for i, ev := range p1 {
+			if i > 0 && ev.Time < p1[i-1].Time {
+				return false // time order violated
+			}
+			if ev.Replica < 0 || ev.Replica > 1 || ev.Node < 0 || ev.Node >= nodes {
+				return false // target out of range
+			}
+			switch ev.Kind {
+			case Hard:
+				hardLeft--
+			case SDC:
+				sdcLeft--
+			}
+		}
+		return hardLeft == 0 && sdcLeft == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanTargeting: pinned fields land every event on the pinned target;
+// wildcard fields still spread across the machine.
+func TestPlanTargeting(t *testing.T) {
+	hard := Schedule{1, 2, 3, 4, 5, 6, 7, 8}
+	sdc := Schedule{1.5, 2.5, 3.5, 4.5}
+	const nodes = 4
+	rng := rand.New(rand.NewSource(7))
+	p := NewPlanTargeted(hard, sdc, nodes, Targeting{Replica: 1, Node: 2}, Targeting{Replica: 0, Node: -1}, rng)
+	if len(p) != len(hard)+len(sdc) {
+		t.Fatalf("plan has %d events, want %d", len(p), len(hard)+len(sdc))
+	}
+	sdcNodes := map[int]bool{}
+	for _, ev := range p {
+		switch ev.Kind {
+		case Hard:
+			if ev.Replica != 1 || ev.Node != 2 {
+				t.Fatalf("pinned hard event landed at r%d/n%d", ev.Replica, ev.Node)
+			}
+		case SDC:
+			if ev.Replica != 0 {
+				t.Fatalf("SDC pinned to replica 0 landed at r%d", ev.Replica)
+			}
+			sdcNodes[ev.Node] = true
+		}
+	}
+	if len(sdcNodes) < 2 {
+		t.Fatalf("wildcard SDC node never varied: %v", sdcNodes)
+	}
+}
+
+// TestPlanStableAtEqualTimes: events at identical times keep schedule order
+// (hard entries precede SDC entries, each in input order).
+func TestPlanStableAtEqualTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPlan(Schedule{5, 5}, Schedule{5}, 2, rng)
+	if p[0].Kind != Hard || p[1].Kind != Hard || p[2].Kind != SDC {
+		t.Fatalf("equal-time ordering not stable: %+v", p)
+	}
+}

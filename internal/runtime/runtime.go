@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"acr/internal/chaos/point"
 	"acr/internal/pup"
 )
 
@@ -119,6 +120,11 @@ type Config struct {
 	// per-task stream checksum for message-based SDC detection — the
 	// §3.3 alternative, provided as a comparative baseline.
 	MsgChecker *MsgChecker
+	// Chaos, if non-nil, receives fault-injection point firings at message
+	// delivery (point.RuntimeDeliver, payload replaceable), progress
+	// reports (point.RuntimeProgress), and heartbeat refreshes
+	// (point.RuntimeHeartbeat). See internal/chaos.
+	Chaos point.Hook
 }
 
 func (c *Config) validate() error {
@@ -429,6 +435,11 @@ func (m *Machine) detectorLoop() {
 			for {
 				select {
 				case now := <-tick.C:
+					if h := m.cfg.Chaos; h != nil {
+						// A hook that sleeps here delays this node's
+						// heartbeat past the refresh it was due for.
+						h.Fire(point.RuntimeHeartbeat, &point.Info{Replica: -1, Node: p.id, Task: -1})
+					}
 					p.beat(now)
 				case <-p.dead:
 					return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"acr/internal/chaos/point"
 	"acr/internal/pup"
 )
 
@@ -81,6 +82,15 @@ func (c *Ctx) Send(to Addr, tag int, data any) error {
 	if err := c.checkLive(); err != nil {
 		return err
 	}
+	if h := c.m.cfg.Chaos; h != nil {
+		// Fire outside the machine lock: hooks may take machine-level
+		// actions (kill a node) that re-enter the lock. The hook may
+		// replace the payload — a bit flip in flight (§6.1 applied to the
+		// message path instead of checkpoint data).
+		info := point.Info{Replica: to.Replica, Node: to.Node, Task: to.Task, Payload: data}
+		h.Fire(point.RuntimeDeliver, &info)
+		data = info.Payload
+	}
 	c.m.mu.RLock()
 	defer c.m.mu.RUnlock()
 	if to.Node < 0 || to.Node >= c.m.cfg.NodesPerReplica || to.Task < 0 || to.Task >= c.m.cfg.TasksPerNode {
@@ -151,6 +161,9 @@ func (c *Ctx) Recv() (Message, error) {
 func (c *Ctx) Progress(iter int) error {
 	if err := c.checkLive(); err != nil {
 		return err
+	}
+	if h := c.m.cfg.Chaos; h != nil {
+		h.Fire(point.RuntimeProgress, &point.Info{Replica: c.addr.Replica, Node: c.addr.Node, Task: c.addr.Task, Iter: iter})
 	}
 	waitCh := c.m.cfg.Gate.Report(c.addr, iter)
 	if waitCh == nil {

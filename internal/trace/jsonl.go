@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the machine-readable counterpart of the ASCII timeline: one
+// JSON object per line, the format shared by acrsoak campaign reports and
+// chaos run traces, so a soak report and the trace of the run it summarizes
+// can be processed by the same tooling.
+
+// jsonEvent is the wire form of an Event. Kind travels as its String so the
+// lines stay greppable and stable across Kind renumbering.
+type jsonEvent struct {
+	Time   float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// MarshalJSON encodes the event in wire form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonEvent{Time: e.Time, Kind: e.Kind.String(), Detail: e.Detail})
+}
+
+// UnmarshalJSON decodes the wire form.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j jsonEvent
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	k, err := ParseKind(j.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{Time: j.Time, Kind: k, Detail: j.Detail}
+	return nil
+}
+
+// WriteJSONL writes the events as JSON Lines: one event object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for i, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: write jsonl event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines stream produced by WriteJSONL. Blank lines
+// are skipped; a malformed line is an error naming its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read jsonl: %w", err)
+	}
+	return out, nil
+}
+
+// WriteTimelineJSONL writes the timeline's time-sorted events as JSONL.
+func WriteTimelineJSONL(w io.Writer, tl *Timeline) error {
+	return WriteJSONL(w, tl.Events())
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 0.001, Kind: Checkpoint, Detail: "checkpoint 1 committed (epoch 1)"},
+		{Time: 0.002, Kind: Failure, Detail: "hard error r0/n1"},
+		{Time: 0.003, Kind: Inject, Detail: "point=core.capture kind=crash target=r0/n1"},
+		{Time: 0.004, Kind: Restart, Detail: "strong: replica 0 rolls back"},
+		{Time: 0.005, Kind: Oracle, Detail: "golden-result: ok"},
+		{Time: 0.006, Kind: Store},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(events) {
+		t.Fatalf("wrote %d lines, want %d", got, len(events))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("read %d events, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestJSONLTimelineAndBlankLines(t *testing.T) {
+	var tl Timeline
+	tl.Add(0.2, Inject, "late")
+	tl.Add(0.1, Oracle, "early")
+	var buf bytes.Buffer
+	if err := WriteTimelineJSONL(&buf, &tl); err != nil {
+		t.Fatal(err)
+	}
+	// Events come out time-sorted.
+	got, err := ReadJSONL(strings.NewReader("\n" + buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Detail != "early" || got[1].Detail != "late" {
+		t.Fatalf("unexpected events: %+v", got)
+	}
+}
+
+func TestJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"kind":"nope"}` + "\n")); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := ParseKind("inject"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind must reject unknown names")
+	}
+}
+
+func TestNewKindGlyphs(t *testing.T) {
+	if Inject.String() != "inject" || Oracle.String() != "oracle" {
+		t.Fatal("new kind names broken")
+	}
+	if Inject.Glyph() != '!' || Oracle.Glyph() != '?' {
+		t.Fatal("new kind glyphs broken")
+	}
+}

@@ -27,6 +27,12 @@ const (
 	// the ckptstore subsystem. Store events annotate the timeline but do
 	// not draw on it.
 	Store
+	// Inject marks a chaos-engine fault injection (internal/chaos): the
+	// detail names the injection point, fault kind, and target.
+	Inject
+	// Oracle marks an invariant-oracle verdict (internal/chaos): a checked
+	// invariant passing or firing at the end of a chaos run.
+	Oracle
 )
 
 // Glyph returns the timeline character for the kind.
@@ -40,6 +46,10 @@ func (k Kind) Glyph() byte {
 		return 'R'
 	case Progress:
 		return '.'
+	case Inject:
+		return '!'
+	case Oracle:
+		return '?'
 	default:
 		return ' '
 	}
@@ -59,8 +69,22 @@ func (k Kind) String() string {
 		return "failure"
 	case Store:
 		return "store"
+	case Inject:
+		return "inject"
+	case Oracle:
+		return "oracle"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k := Work; k <= Oracle; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
 }
 
 // Event is one timestamped occurrence.
