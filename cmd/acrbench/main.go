@@ -1,0 +1,130 @@
+// Command acrbench measures the live checkpoint commit path — replica
+// capture, buddy comparison, and the full round — at several machine
+// shapes, each in two variants: the pinned serial baseline
+// (core.Config.SerialCommitPath, the pre-fast-path behavior) and the
+// default fast path (concurrent replica capture, size-hint single-pass
+// packing, pooled checkpoint buffers, parallel compare). It emits the
+// results as a JSON report, the repo's benchmark trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/acrbench                         # full matrix, writes BENCH_checkpoint.json
+//	go run ./cmd/acrbench -quick                  # CI smoke subset
+//	go run ./cmd/acrbench -quick -against BENCH_checkpoint.json -tolerance 0.25
+//
+// With -against, the run is additionally checked for regressions versus a
+// baseline report: a case fails when its speedup ratio degrades by more
+// than -tolerance relative to the baseline (only enforced where the
+// baseline itself showed a speedup), or its fast-path allocs/op grow by
+// more than -tolerance. Ratios, not absolute nanoseconds, so the gate is
+// meaningful across machines.
+//
+// Exit status: 0 clean, 1 regression detected, 2 usage or execution error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	stdruntime "runtime"
+
+	"acr/internal/core"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "run only the smoke-subset of machine shapes")
+		count     = flag.Int("count", 3, "measure each cell this many times, keep the fastest")
+		out       = flag.String("out", "BENCH_checkpoint.json", "write the JSON report to this file ('-' = stdout only)")
+		against   = flag.String("against", "", "baseline report to check for regressions")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed relative regression vs the baseline")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	logf("acrbench: GOMAXPROCS=%d quick=%v count=%d", stdruntime.GOMAXPROCS(0), *quick, *count)
+
+	report, err := core.RunCheckpointBench(*quick, *count, stdruntime.GOMAXPROCS(0), logf)
+	if err != nil {
+		fatalf("bench: %v", err)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		logf("acrbench: wrote %s (%d cases)", *out, len(report.Cases))
+	}
+
+	if *against == "" {
+		return
+	}
+	base, err := readReport(*against)
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	if regressions := check(base, report, *tolerance); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	logf("acrbench: no regressions vs %s (tolerance %.0f%%)", *against, *tolerance*100)
+}
+
+func readReport(path string) (*core.BenchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r core.BenchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// check compares the fresh run against the baseline case by case (by
+// name, so a -quick run checks against the matching subset of a full
+// baseline). Gated quantities are machine-portable ratios:
+//
+//   - speedup (serial and fast are measured in the same run, so their
+//     ratio cancels the machine's absolute speed), enforced only where
+//     the baseline itself showed a >1.05x speedup;
+//   - fast-path allocs/op, which are deterministic counts, with a small
+//     absolute slack for one-off warmup allocations.
+func check(base, cur *core.BenchReport, tol float64) []string {
+	var regressions []string
+	for i := range cur.Cases {
+		c := &cur.Cases[i]
+		b := base.Find(c.Name)
+		if b == nil {
+			continue
+		}
+		if b.Speedup > 1.05 && c.Speedup < b.Speedup*(1-tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: speedup %.2fx, baseline %.2fx (allowed >= %.2fx)",
+				c.Name, c.Speedup, b.Speedup, b.Speedup*(1-tol)))
+		}
+		allowedAllocs := int64(float64(b.Fast.AllocsPerOp)*(1+tol)) + 4
+		if c.Fast.AllocsPerOp > allowedAllocs {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fast path %d allocs/op, baseline %d (allowed <= %d)",
+				c.Name, c.Fast.AllocsPerOp, b.Fast.AllocsPerOp, allowedAllocs))
+		}
+	}
+	return regressions
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "acrbench: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -89,4 +89,19 @@ func main() {
 	}
 	fmt.Printf("task 0 final state: iter=%d total=%d (identical to a failure-free run)\n",
 		final.Iter, final.Total)
+
+	// Where each committed round's blocked time went: capture (packing +
+	// chunked checksums), exchange (checkpoint bytes crossing the store
+	// boundary), compare (buddy SDC check). The phase arrays are parallel
+	// with stats.CheckpointTimes, one entry per committed checkpoint.
+	var capture, exchange, compare time.Duration
+	for i := range stats.CaptureTimes {
+		capture += stats.CaptureTimes[i]
+		exchange += stats.ExchangeTimes[i]
+		compare += stats.CompareTimes[i]
+	}
+	fmt.Printf("checkpoint phases over %d round(s): capture=%v exchange=%v compare=%v\n",
+		len(stats.CaptureTimes), capture, exchange, compare)
+	fmt.Printf("fast path: %d single-pass pack(s), %d two-pass fallback(s); pool: %d/%d buffer reuse hit(s)\n",
+		stats.PackFastPath, stats.PackSlowPath, stats.Pool.Hits, stats.Pool.Gets)
 }

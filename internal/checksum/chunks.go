@@ -43,11 +43,22 @@ func NumChunks(n, chunkSize int) int {
 // swapping two chunks changes the root even though the multiset of chunk
 // sums is unchanged.
 func Fletcher64Chunks(data []byte, chunkSize, workers int) (root uint64, chunks []uint64) {
+	return Fletcher64ChunksInto(nil, data, chunkSize, workers)
+}
+
+// Fletcher64ChunksInto is Fletcher64Chunks with a caller-provided sum
+// slice: dst's capacity is reused when it suffices, so steady-state
+// re-capture of a stable-size checkpoint allocates nothing. dst may be nil.
+func Fletcher64ChunksInto(dst []uint64, data []byte, chunkSize, workers int) (root uint64, chunks []uint64) {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
 	n := NumChunks(len(data), chunkSize)
-	chunks = make([]uint64, n)
+	if cap(dst) >= n {
+		chunks = dst[:n]
+	} else {
+		chunks = make([]uint64, n)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,6 +71,15 @@ func Fletcher64Chunks(data []byte, chunkSize, workers int) (root uint64, chunks 
 		}
 		return ChunkRoot(chunks), chunks
 	}
+	// The goroutine fan-out lives in its own function so the serial path
+	// above stays allocation-free: a closure here would move this
+	// function's locals to the heap even on calls that never spawn it.
+	fletcherChunksParallel(chunks, data, chunkSize, workers)
+	return ChunkRoot(chunks), chunks
+}
+
+func fletcherChunksParallel(chunks []uint64, data []byte, chunkSize, workers int) {
+	n := len(chunks)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -76,7 +96,6 @@ func Fletcher64Chunks(data []byte, chunkSize, workers int) (root uint64, chunks 
 		}()
 	}
 	wg.Wait()
-	return ChunkRoot(chunks), chunks
 }
 
 // ChunkRoot folds per-chunk Fletcher-64 sums into the position-dependent

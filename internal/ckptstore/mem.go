@@ -13,6 +13,7 @@ type Mem struct {
 	mu   sync.RWMutex
 	m    map[Key]*Checkpoint
 	ctrs *counters
+	pool *Pool
 }
 
 // NewMem returns an empty in-memory store.
@@ -60,6 +61,17 @@ func (s *Mem) Compare(a, b Key) (CompareResult, error) {
 	return compareVia(s.ctrs, s.lookup, a, b)
 }
 
+// SetPool implements Recycler: subsequent Evicts retire dropped
+// checkpoints into pool for reuse by later captures. Only attach a pool
+// when this store is owned exclusively by one controller — recycling
+// invalidates evicted payloads, so no external reader may hold Bytes() of
+// an epoch that can still be evicted.
+func (s *Mem) SetPool(pool *Pool) {
+	s.mu.Lock()
+	s.pool = pool
+	s.mu.Unlock()
+}
+
 // Evict implements Store.
 func (s *Mem) Evict(olderThan uint64) int {
 	s.mu.Lock()
@@ -69,6 +81,13 @@ func (s *Mem) Evict(olderThan uint64) int {
 		if k.Epoch < olderThan {
 			s.ctrs.bytesEvicted.Add(int64(ck.Len()))
 			delete(s.m, k)
+			if s.pool != nil {
+				// Pool.Put never calls back into the store, so recycling
+				// under the store lock is deadlock-free; it dedupes
+				// checkpoints mirrored under two keys (the recovery path)
+				// by pointer.
+				s.pool.Put(ck)
+			}
 			n++
 		}
 	}

@@ -94,8 +94,30 @@ func Capture(data []byte, chunkSize, workers int) *Checkpoint {
 	return &Checkpoint{ChunkSize: chunkSize, Root: root, Sums: sums, data: data}
 }
 
+// CaptureInto is Capture reusing a retired checkpoint's Sums slice and
+// struct (typically obtained from a Pool). ck == nil behaves exactly like
+// Capture. The previous contents of ck are overwritten; its payload is NOT
+// reused here — pack into ck.Scratch() first and pass the result as data.
+func CaptureInto(ck *Checkpoint, data []byte, chunkSize, workers int) *Checkpoint {
+	if ck == nil {
+		return Capture(data, chunkSize, workers)
+	}
+	if chunkSize <= 0 {
+		chunkSize = checksum.DefaultChunkSize
+	}
+	root, sums := checksum.Fletcher64ChunksInto(ck.Sums, data, chunkSize, workers)
+	*ck = Checkpoint{ChunkSize: chunkSize, Root: root, Sums: sums, data: data}
+	return ck
+}
+
 // Bytes returns the full packed state. Read-only.
 func (c *Checkpoint) Bytes() []byte { return c.data }
+
+// Scratch returns the checkpoint's payload buffer truncated to zero
+// length, for reuse as a pack destination. Only call it on a retired
+// checkpoint obtained from a Pool — on a live stored checkpoint the
+// returned window aliases data other readers still trust.
+func (c *Checkpoint) Scratch() []byte { return c.data[:0] }
 
 // Len returns the packed state size in bytes.
 func (c *Checkpoint) Len() int { return len(c.data) }

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"acr/internal/pup"
+	"acr/internal/runtime"
+)
+
+// This file is the live benchmark harness behind cmd/acrbench: it measures
+// the checkpoint commit path — capture, buddy comparison, and the full
+// round — on a real Machine + Controller, in two variants per machine
+// shape: the pinned serial baseline (SerialCommitPath: the pre-fast-path
+// behavior) and the fast path (concurrent replica capture, size-hint
+// single-pass packing, pooled buffers, parallel compare). The harness
+// lives in package core so it can drive checkpointRound/compare directly,
+// without the event loop's timers adding noise.
+
+// benchParticle is one MD-style particle: six doubles piped field by
+// field. The per-object Pup traversal is deliberate — it is the shape
+// (apps.MD, any struct-of-structs state) where the Sizing pass costs as
+// much as the Packing pass, which is exactly what the size-hint fast path
+// eliminates. A flat []float64 state would make Sizing O(1) and hide the
+// effect.
+type benchParticle struct {
+	X, Y, Z, VX, VY, VZ float64
+}
+
+func (a *benchParticle) Pup(p *pup.PUPer) {
+	p.Float64(&a.X)
+	p.Float64(&a.Y)
+	p.Float64(&a.Z)
+	p.Float64(&a.VX)
+	p.Float64(&a.VY)
+	p.Float64(&a.VZ)
+}
+
+// benchProgram advances a deterministic function of (initial state,
+// iteration count), so the two replicas' tasks are byte-identical whenever
+// the consensus cut parks them at the same iteration — which it always
+// does. It never completes on its own; the harness stops the machine.
+type benchProgram struct {
+	iter  int64
+	atoms []benchParticle
+}
+
+func (b *benchProgram) Pup(p *pup.PUPer) {
+	p.Int64(&b.iter)
+	n := len(b.atoms)
+	p.Int(&n)
+	if p.Mode() == pup.Unpacking && len(b.atoms) != n {
+		b.atoms = make([]benchParticle, n)
+	}
+	for i := range b.atoms {
+		p.Object(&b.atoms[i])
+	}
+}
+
+func (b *benchProgram) step() {
+	i := int(b.iter) % len(b.atoms)
+	b.atoms[i].X += 0.25
+	b.atoms[i].VX = -b.atoms[i].VX
+	b.iter++
+}
+
+// Run circulates tokens around a task ring, one hop per iteration. The
+// communication is not decoration: it keeps the replica's tasks in lock
+// step, like a halo-exchanging HPC app. A compute-only loop would let the
+// scheduler run one task thousands of iterations ahead, and every
+// checkpoint round would start with a long catch-up march to the consensus
+// target — measuring scheduler skew, not the commit path.
+func (b *benchProgram) Run(ctx *runtime.Ctx) error {
+	next := ctx.AddrOfGlobal((ctx.GlobalTask() + 1) % ctx.NumTasks())
+	for {
+		// Contract: state advances before Progress, so a checkpoint taken
+		// while parked resumes at the next iteration.
+		b.step()
+		// nil payload: a boxed value would allocate per hop and charge
+		// task-side noise to whichever benchmark op is running.
+		if err := ctx.Send(next, 0, nil); err != nil {
+			return err
+		}
+		if _, err := ctx.Recv(); err != nil {
+			return err
+		}
+		if err := ctx.Progress(int(b.iter)); err != nil {
+			return err
+		}
+	}
+}
+
+// benchFactory seeds particles deterministically from (node, task) only —
+// never the replica — so buddy tasks start identical.
+func benchFactory(particles int) runtime.Factory {
+	return func(addr runtime.Addr) runtime.Program {
+		atoms := make([]benchParticle, particles)
+		for i := range atoms {
+			v := float64(addr.Node*1000+addr.Task*100+i) * 0.001
+			atoms[i] = benchParticle{X: v, Y: v + 1, Z: v + 2, VX: -v, VY: v * 2, VZ: 1 - v}
+		}
+		return &benchProgram{atoms: atoms}
+	}
+}
+
+// BenchSpec is one benchmarked machine shape.
+type BenchSpec struct {
+	Name      string `json:"name"`
+	Nodes     int    `json:"nodes"`     // nodes per replica
+	Tasks     int    `json:"tasks"`     // tasks per node
+	Particles int    `json:"particles"` // per task; state ≈ 48 B/particle
+}
+
+// DefaultBenchSpecs returns the benchmarked shapes. Quick mode keeps the
+// subset CI smoke-runs; names are stable, so a quick run can be checked
+// against a full baseline.
+func DefaultBenchSpecs(quick bool) []BenchSpec {
+	specs := []BenchSpec{
+		{Name: "2x2nodes-4tasks-96KB", Nodes: 2, Tasks: 2, Particles: 2048},
+	}
+	if !quick {
+		specs = append(specs,
+			BenchSpec{Name: "2x4nodes-16tasks-192KB", Nodes: 4, Tasks: 4, Particles: 4096},
+			BenchSpec{Name: "2x8nodes-8tasks-384KB", Nodes: 8, Tasks: 1, Particles: 8192},
+		)
+	}
+	return specs
+}
+
+// BenchMeasurement is one variant's measured cost per operation.
+type BenchMeasurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// BenchCase compares the serial baseline against the fast path for one
+// (shape, operation) pair.
+type BenchCase struct {
+	Name string `json:"name"` // "<spec>/<op>"
+	// Serial is the pinned pre-fast-path behavior (SerialCommitPath);
+	// Fast is the default commit path.
+	Serial BenchMeasurement `json:"serial"`
+	Fast   BenchMeasurement `json:"fast"`
+	// Speedup is Serial ns / Fast ns; AllocRatio is Serial allocs / Fast
+	// allocs (capped denominators at 1).
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// BenchReport is the serialized benchmark trajectory (BENCH_checkpoint.json).
+type BenchReport struct {
+	Version  int         `json:"version"`
+	Quick    bool        `json:"quick"`
+	MaxProcs int         `json:"maxprocs"`
+	Cases    []BenchCase `json:"cases"`
+}
+
+// Find returns the case with the given name, or nil.
+func (r *BenchReport) Find(name string) *BenchCase {
+	for i := range r.Cases {
+		if r.Cases[i].Name == name {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+func measurement(r testing.BenchmarkResult) BenchMeasurement {
+	return BenchMeasurement{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func benchCase(name string, serial, fast testing.BenchmarkResult) BenchCase {
+	s, f := measurement(serial), measurement(fast)
+	spd := 0.0
+	if f.NsPerOp > 0 {
+		spd = round2(float64(s.NsPerOp) / float64(f.NsPerOp))
+	}
+	fAllocs := f.AllocsPerOp
+	if fAllocs < 1 {
+		fAllocs = 1
+	}
+	return BenchCase{
+		Name:       name,
+		Serial:     s,
+		Fast:       f,
+		Speedup:    spd,
+		AllocRatio: round2(float64(s.AllocsPerOp) / float64(fAllocs)),
+	}
+}
+
+// benchController builds an idle controller for the spec. The machine is
+// not started: every task sits quiescent at its factory state, which
+// satisfies the capture/compare quiescence contract without consensus.
+func benchController(spec BenchSpec, serial bool) (*Controller, error) {
+	return New(Config{
+		NodesPerReplica:  spec.Nodes,
+		TasksPerNode:     spec.Tasks,
+		Factory:          benchFactory(spec.Particles),
+		Comparison:       FullCompare,
+		SerialCommitPath: serial,
+	})
+}
+
+// benchCapture measures one steady-state replica capture: capture under a
+// fresh epoch, then evict the previous epoch — exactly the commit path's
+// lifecycle, so on the fast path eviction feeds the pool that the next
+// capture draws from (the zero-allocation steady state).
+func benchCapture(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
+	ctrl, err := benchController(spec, serial)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	opts := ctrl.captureOptions()
+	epoch := uint64(0)
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			epoch++
+			if err := ctrl.machine.CaptureReplica(0, epoch, ctrl.store, opts); err != nil {
+				benchErr = fmt.Errorf("capture: %w", err)
+				b.FailNow()
+			}
+			ctrl.store.Evict(epoch)
+		}
+	})
+	return res, benchErr
+}
+
+// benchCompare measures the buddy comparison of one committed epoch, both
+// replicas captured once up front.
+func benchCompare(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
+	ctrl, err := benchController(spec, serial)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	opts := ctrl.captureOptions()
+	for rep := 0; rep < 2; rep++ {
+		if err := ctrl.machine.CaptureReplica(rep, 1, ctrl.store, opts); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mismatch, _, err := ctrl.compare(1)
+			if err != nil || mismatch != "" {
+				benchErr = fmt.Errorf("compare: mismatch=%q err=%v", mismatch, err)
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchRound measures the full live checkpoint round — consensus cut,
+// two-replica capture, buddy comparison, commit + eviction — against a
+// running machine whose tasks are mid-iteration when each round begins.
+func benchRound(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
+	ctrl, err := benchController(spec, serial)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ctrl.start = time.Now()
+	ctrl.machine.Start()
+	defer ctrl.machine.Stop()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ctrl.checkpointRound(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr == nil && ctrl.stats.SDCDetected > 0 {
+		benchErr = fmt.Errorf("round: spurious SDC detected (%d)", ctrl.stats.SDCDetected)
+	}
+	return res, benchErr
+}
+
+// RunCheckpointBench runs the full serial-vs-fast matrix and assembles the
+// report. Each (shape, operation, variant) cell is measured count times and
+// the fastest run is kept — live rounds share the CPU with the replicas'
+// task goroutines, so the minimum is the measurement least polluted by
+// scheduler noise. logf (may be nil) receives one progress line per case.
+func RunCheckpointBench(quick bool, count, maxProcs int, logf func(format string, args ...any)) (*BenchReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if count < 1 {
+		count = 1
+	}
+	type op struct {
+		name string
+		run  func(BenchSpec, bool) (testing.BenchmarkResult, error)
+	}
+	ops := []op{
+		{"capture", benchCapture},
+		{"compare", benchCompare},
+		{"round", benchRound},
+	}
+	best := func(spec BenchSpec, o op, serial bool) (testing.BenchmarkResult, error) {
+		var min testing.BenchmarkResult
+		for i := 0; i < count; i++ {
+			r, err := o.run(spec, serial)
+			if err != nil {
+				return testing.BenchmarkResult{}, err
+			}
+			if i == 0 || r.NsPerOp() < min.NsPerOp() {
+				min = r
+			}
+		}
+		return min, nil
+	}
+	report := &BenchReport{Version: 1, Quick: quick, MaxProcs: maxProcs}
+	for _, spec := range DefaultBenchSpecs(quick) {
+		for _, o := range ops {
+			serial, err := best(spec, o, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s serial: %w", spec.Name, o.name, err)
+			}
+			fast, err := best(spec, o, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s fast: %w", spec.Name, o.name, err)
+			}
+			cs := benchCase(spec.Name+"/"+o.name, serial, fast)
+			report.Cases = append(report.Cases, cs)
+			logf("%-28s serial %10d ns/op %7d allocs/op | fast %10d ns/op %7d allocs/op | %.2fx, %.1fx fewer allocs",
+				cs.Name, cs.Serial.NsPerOp, cs.Serial.AllocsPerOp, cs.Fast.NsPerOp, cs.Fast.AllocsPerOp,
+				cs.Speedup, cs.AllocRatio)
+		}
+	}
+	return report, nil
+}

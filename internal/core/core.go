@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"acr/internal/chaos/point"
@@ -170,9 +171,26 @@ type Config struct {
 	// checksumming and corruption localization; <= 0 selects
 	// checksum.DefaultChunkSize (64 KiB).
 	ChunkSize int
-	// ChecksumWorkers bounds the per-replica capture worker pool; <= 0
-	// selects GOMAXPROCS.
+	// ChecksumWorkers bounds the per-replica capture worker pool (the
+	// outer, task-parallel level); <= 0 selects GOMAXPROCS.
 	ChecksumWorkers int
+	// ChunkChecksumWorkers bounds the inner chunk-checksum parallelism of
+	// each task capture; <= 0 auto-sizes against the outer pool (1 when
+	// the outer pool saturates GOMAXPROCS, more for single-task-per-node
+	// shapes). See runtime.CaptureOptions.
+	ChunkChecksumWorkers int
+	// CompareWorkers bounds the parallel buddy-comparison worker pool;
+	// <= 0 selects GOMAXPROCS. The parallel compare cancels early on the
+	// first mismatch but always reports the lowest (node, task) mismatch,
+	// so its outcome is identical to the serial walk.
+	CompareWorkers int
+	// SerialCommitPath pins the pre-fast-path commit behavior: replicas
+	// captured one after the other with two-pass packing and no buffer
+	// recycling, and buddies compared serially. It exists as the measured
+	// baseline for the benchmark harness (cmd/acrbench) and as an escape
+	// hatch. Chaos runs (Chaos != nil) pin the serial schedule implicitly
+	// so fault-injection campaign reports stay byte-identical.
+	SerialCommitPath bool
 	// Chaos, if non-nil, receives fault-injection point firings at the
 	// controller's protocol-phase boundaries (consensus, capture,
 	// recovery, restart, commit) and is forwarded to the runtime and the
@@ -221,7 +239,23 @@ type Stats struct {
 	// paused per round; equals CheckpointTimes when blocking, and only
 	// the capture time under SemiBlocking.
 	BlockedTimes []time.Duration
-	Elapsed      time.Duration
+	// CaptureTimes / ExchangeTimes / CompareTimes split each committed
+	// round's cost into its phases (parallel arrays with CheckpointTimes):
+	// packing+checksumming the replicas, moving checkpoint bytes through
+	// the store (Get/Put on the compare and recovery-mirror paths), and
+	// deciding match/mismatch. Exchange time is also contained in compare
+	// time when the exchange happens inside the comparison loop.
+	CaptureTimes  []time.Duration
+	ExchangeTimes []time.Duration
+	CompareTimes  []time.Duration
+	// PackFastPath / PackSlowPath count task packs that skipped the
+	// Sizing traversal via the size-hint fast path versus two-pass packs.
+	PackFastPath int64
+	PackSlowPath int64
+	// Pool is the checkpoint-recycling pool's counter snapshot (zero when
+	// no pool was attached).
+	Pool    ckptstore.PoolCounters
+	Elapsed time.Duration
 	// StoreName identifies the checkpoint-store backend the run used.
 	StoreName string
 	// Store is the checkpoint store's counter snapshot at run end: bytes
@@ -240,6 +274,18 @@ type Controller struct {
 	machine *runtime.Machine
 	coord   *consensus.Coordinator
 	store   ckptstore.Store
+	// pool recycles retired checkpoints from Evict back into capture; nil
+	// when the store does not support recycling or the serial path is
+	// pinned.
+	pool *ckptstore.Pool
+
+	// roundCapture / roundCompare accumulate the current round's phase
+	// wall times; roundExchange totals store Get/Put time observed inside
+	// capture-adjacent paths (recovery mirroring) and the comparison loop.
+	// They are reset as each phase starts and harvested by commit.
+	roundCapture  time.Duration
+	roundCompare  time.Duration
+	roundExchange atomicDuration
 
 	// committedEpoch is the last verified (or trusted) checkpoint epoch in
 	// the store; 0 = job start, nothing committed. epochSeq is the last
@@ -290,13 +336,26 @@ func New(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	st := cfg.Store
+	var pool *ckptstore.Pool
 	if st == nil {
 		st = ckptstore.NewMem()
+		// The controller owns this store exclusively, so recycling evicted
+		// checkpoints back into capture is safe: nothing outside the commit
+		// path can hold Bytes() of an evictable epoch. A caller-supplied
+		// store is left unpooled — the caller may retain checkpoint views —
+		// but can opt in through ckptstore.Recycler before passing it.
+		if !cfg.SerialCommitPath {
+			if rec, ok := st.(ckptstore.Recycler); ok {
+				pool = ckptstore.NewPool(0)
+				rec.SetPool(pool)
+			}
+		}
 	}
 	// Interpose the injection hook on the store's read/write paths so
 	// at-rest corruption campaigns see every checkpoint that lands.
 	st = ckptstore.WithHook(st, cfg.Chaos)
 	return &Controller{
+		pool:       pool,
 		cfg:        cfg,
 		machine:    m,
 		coord:      coord,
@@ -370,8 +429,19 @@ func (c *Controller) Run() (Stats, error) {
 	c.stats.Elapsed = time.Since(c.start)
 	c.stats.StoreName = c.store.Name()
 	c.stats.Store = c.store.Counters()
+	c.stats.PackFastPath, c.stats.PackSlowPath = c.machine.PackCounters()
+	if c.pool != nil {
+		c.stats.Pool = c.pool.Counters()
+	}
 	return c.stats, err
 }
+
+// atomicDuration is a duration accumulated from concurrent workers.
+type atomicDuration struct{ ns atomic.Int64 }
+
+func (d *atomicDuration) Reset()              { d.ns.Store(0) }
+func (d *atomicDuration) Add(x time.Duration) { d.ns.Add(int64(x)) }
+func (d *atomicDuration) Load() time.Duration { return time.Duration(d.ns.Load()) }
 
 func (c *Controller) eventLoop() error {
 	var timer *time.Timer

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"acr/internal/ckptstore"
+	"acr/internal/runtime"
+)
+
+// fastpathController builds an idle controller over the bench workload. The
+// machine is never started: every task sits quiescent at its deterministic
+// factory state, which satisfies the capture/compare quiescence contract.
+func fastpathController(t *testing.T, nodes, tasks int, comparison Comparison, relTol float64) *Controller {
+	t.Helper()
+	ctrl, err := New(Config{
+		NodesPerReplica: nodes,
+		TasksPerNode:    tasks,
+		Factory:         benchFactory(64),
+		Comparison:      comparison,
+		RelTol:          relTol,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ctrl
+}
+
+func captureBoth(t *testing.T, ctrl *Controller, epoch uint64) {
+	t.Helper()
+	opts := ctrl.captureOptions()
+	for rep := 0; rep < 2; rep++ {
+		if err := ctrl.machine.CaptureReplica(rep, epoch, ctrl.store, opts); err != nil {
+			t.Fatalf("capture replica %d: %v", rep, err)
+		}
+	}
+}
+
+// corrupt replaces the stored checkpoint at (rep, n, task) with a copy whose
+// payload has one flipped exponent bit in the last float — non-structural,
+// outside any length prefix — and returns a restore function.
+func corrupt(t *testing.T, ctrl *Controller, rep, n, task int, epoch uint64) func() {
+	t.Helper()
+	key := ctrl.key(rep, n, task, epoch)
+	orig, err := ctrl.store.Get(key)
+	if err != nil {
+		t.Fatalf("get %v: %v", key, err)
+	}
+	data := append([]byte(nil), orig.Bytes()...)
+	data[len(data)-1] ^= 0x40
+	if err := ctrl.store.Put(key, ckptstore.Capture(data, ctrl.cfg.ChunkSize, 1)); err != nil {
+		t.Fatalf("put corrupted %v: %v", key, err)
+	}
+	return func() {
+		if err := ctrl.store.Put(key, orig); err != nil {
+			t.Fatalf("restore %v: %v", key, err)
+		}
+	}
+}
+
+// TestCompareParallelMatchesSerial plants an SDC at every single (node,
+// task) in turn and checks that the parallel comparison reproduces the
+// serial walk's outcome bit for bit — same mismatch string, same localized
+// chunk — at several worker counts and for every comparison mode.
+func TestCompareParallelMatchesSerial(t *testing.T) {
+	const nodes, tasks = 3, 2
+	modes := []struct {
+		name       string
+		comparison Comparison
+		relTol     float64
+	}{
+		{"full", FullCompare, 0},
+		{"checksum", ChecksumCompare, 0},
+		{"reltol", FullCompare, 1e-12},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			ctrl := fastpathController(t, nodes, tasks, mode.comparison, mode.relTol)
+			captureBoth(t, ctrl, 1)
+
+			// Clean store: both paths must agree there is nothing to find.
+			sMsg, sChunk, sErr := ctrl.compareSerial(1)
+			if sMsg != "" || sErr != nil {
+				t.Fatalf("clean compare: %q, %v", sMsg, sErr)
+			}
+			for _, workers := range []int{2, 8} {
+				pMsg, pChunk, pErr := ctrl.compareParallel(1, workers)
+				if pMsg != sMsg || pChunk != sChunk || !errEq(pErr, sErr) {
+					t.Fatalf("clean parallel(%d) = (%q, %d, %v), serial = (%q, %d, %v)",
+						workers, pMsg, pChunk, pErr, sMsg, sChunk, sErr)
+				}
+			}
+
+			for n := 0; n < nodes; n++ {
+				for task := 0; task < tasks; task++ {
+					restore := corrupt(t, ctrl, 0, n, task, 1)
+					sMsg, sChunk, sErr := ctrl.compareSerial(1)
+					if sMsg == "" {
+						t.Fatalf("serial compare missed corruption at n%d/t%d", n, task)
+					}
+					for _, workers := range []int{2, 8} {
+						pMsg, pChunk, pErr := ctrl.compareParallel(1, workers)
+						if pMsg != sMsg || pChunk != sChunk || !errEq(pErr, sErr) {
+							t.Fatalf("corruption at n%d/t%d, %d workers: parallel = (%q, %d, %v), serial = (%q, %d, %v)",
+								n, task, workers, pMsg, pChunk, pErr, sMsg, sChunk, sErr)
+						}
+					}
+					restore()
+				}
+			}
+		})
+	}
+}
+
+// TestCompareParallelLowestIndexWins corrupts several buddy pairs at once:
+// regardless of which worker finds which mismatch first, the reported one
+// must be the lowest (node, task) — the serial walk's answer.
+func TestCompareParallelLowestIndexWins(t *testing.T) {
+	const nodes, tasks = 4, 2
+	ctrl := fastpathController(t, nodes, tasks, FullCompare, 0)
+	captureBoth(t, ctrl, 1)
+	for _, spot := range [][2]int{{0, 1}, {1, 0}, {3, 1}} {
+		defer corrupt(t, ctrl, 0, spot[0], spot[1], 1)()
+	}
+	sMsg, sChunk, sErr := ctrl.compareSerial(1)
+	if sErr != nil || sMsg == "" {
+		t.Fatalf("serial compare: (%q, %v)", sMsg, sErr)
+	}
+	want := fmt.Sprintf("at n%d/t%d", 0, 1)
+	if !bytes.Contains([]byte(sMsg), []byte(want)) {
+		t.Fatalf("serial compare reported %q, want the lowest pair %s", sMsg, want)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		for round := 0; round < 20; round++ { // rerun: racy schedules must not leak through
+			pMsg, pChunk, pErr := ctrl.compareParallel(1, workers)
+			if pMsg != sMsg || pChunk != sChunk || !errEq(pErr, sErr) {
+				t.Fatalf("%d workers round %d: parallel = (%q, %d, %v), serial = (%q, %d, %v)",
+					workers, round, pMsg, pChunk, pErr, sMsg, sChunk, sErr)
+			}
+		}
+	}
+}
+
+func errEq(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+// TestFastCaptureMatchesSerialCapture checks the whole fast path —
+// size-hint single-pass packing, pooled buffers, recycled sum slices —
+// against the pinned two-pass baseline, byte for byte.
+func TestFastCaptureMatchesSerialCapture(t *testing.T) {
+	const nodes, tasks = 3, 2
+	ctrl := fastpathController(t, nodes, tasks, FullCompare, 0)
+	if ctrl.pool == nil {
+		t.Fatalf("controller-owned store did not get a recycling pool")
+	}
+	serialOpts := runtime.CaptureOptions{ForceTwoPass: true, ChunkWorkers: 1}
+	fastOpts := ctrl.captureOptions()
+	if err := ctrl.machine.CaptureReplica(0, 1, ctrl.store, serialOpts); err != nil {
+		t.Fatalf("serial capture: %v", err)
+	}
+	if err := ctrl.machine.CaptureReplica(0, 2, ctrl.store, fastOpts); err != nil {
+		t.Fatalf("fast capture: %v", err)
+	}
+	snapshot := make(map[ckptstore.Key][]byte)
+	for n := 0; n < nodes; n++ {
+		for task := 0; task < tasks; task++ {
+			ref, err := ctrl.store.Get(ctrl.key(0, n, task, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ctrl.store.Get(ctrl.key(0, n, task, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+				t.Fatalf("n%d/t%d: fast capture bytes differ from two-pass capture", n, task)
+			}
+			if ref.Root != got.Root || !reflect.DeepEqual(ref.Sums, got.Sums) {
+				t.Fatalf("n%d/t%d: fast capture checksums differ from two-pass capture", n, task)
+			}
+			// Copy: epoch 1/2 buffers are about to be recycled.
+			snapshot[ctrl.key(0, n, task, 3)] = append([]byte(nil), ref.Bytes()...)
+		}
+	}
+	// Retire both epochs into the pool and capture again through recycled
+	// buffers: contents must still be exact, nothing may alias.
+	ctrl.store.Evict(3)
+	if err := ctrl.machine.CaptureReplica(0, 3, ctrl.store, fastOpts); err != nil {
+		t.Fatalf("recycled capture: %v", err)
+	}
+	for key, want := range snapshot {
+		got, err := ctrl.store.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("%v: recycled capture bytes differ", key)
+		}
+	}
+	if ctrs := ctrl.pool.Counters(); ctrs.Hits == 0 {
+		t.Fatalf("recycled capture never hit the pool: %+v", ctrs)
+	}
+	if fast, _ := ctrl.machine.PackCounters(); fast == 0 {
+		t.Fatalf("fast capture never took the single-pass packing path")
+	}
+}
+
+// TestPoolRecyclingNoAliasing mutates a buffer handed out by the pool and
+// re-captures: the corruption must land only in the new capture, never
+// bleed into a previously stored epoch.
+func TestPoolRecyclingNoAliasing(t *testing.T) {
+	pool := ckptstore.NewPool(4)
+	first := ckptstore.Capture(bytes.Repeat([]byte{0xAA}, 256), 64, 1)
+	firstBytes := append([]byte(nil), first.Bytes()...)
+	keep := ckptstore.Capture(bytes.Repeat([]byte{0xBB}, 256), 64, 1)
+	pool.Put(first)
+
+	ck := pool.Get(256)
+	if ck != first {
+		t.Fatalf("pool did not hand back the retired checkpoint")
+	}
+	buf := append(ck.Scratch(), bytes.Repeat([]byte{0xCC}, 256)...)
+	recaptured := ckptstore.CaptureInto(ck, buf, 64, 1)
+	if !bytes.Equal(recaptured.Bytes(), bytes.Repeat([]byte{0xCC}, 256)) {
+		t.Fatalf("recaptured payload wrong")
+	}
+	// The retired buffer was legitimately overwritten; the still-live
+	// checkpoint must be untouched.
+	if !bytes.Equal(keep.Bytes(), bytes.Repeat([]byte{0xBB}, 256)) {
+		t.Fatalf("recycling corrupted an unrelated live checkpoint")
+	}
+	// And the recycled object is the same allocation — that's the point —
+	// so the old epoch's bytes are gone, which is why stores must evict
+	// before recycling.
+	if bytes.Equal(recaptured.Bytes(), firstBytes) {
+		t.Fatalf("recycled capture kept stale bytes")
+	}
+}
+
+// TestFirstDiffChunk pins the localization helper, including the unequal
+// length case that used to slice out of range: a corrupted length prefix
+// shifts every later byte, and the old code indexed the shorter buffer with
+// the longer one's length.
+func TestFirstDiffChunk(t *testing.T) {
+	const cs = 4
+	cases := []struct {
+		name string
+		a, b []byte
+		want int
+	}{
+		{"equal", []byte("abcdefgh"), []byte("abcdefgh"), -1},
+		{"both empty", nil, nil, -1},
+		{"first byte", []byte("Xbcdefgh"), []byte("abcdefgh"), 0},
+		{"second chunk", []byte("abcdXfgh"), []byte("abcdefgh"), 1},
+		{"a short prefix of b", []byte("abcd"), []byte("abcdefgh"), 1},
+		{"b short prefix of a", []byte("abcdefgh"), []byte("ab"), 0},
+		{"empty vs non-empty", nil, []byte("abcd"), 0},
+		{"diff before length diff", []byte("Xbcd"), []byte("abcdefgh"), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := firstDiffChunk(tc.a, tc.b, cs); got != tc.want {
+				t.Fatalf("firstDiffChunk(%q, %q, %d) = %d, want %d", tc.a, tc.b, cs, got, tc.want)
+			}
+		})
+	}
+	// chunkSize <= 0 selects the default without dividing by zero.
+	if got := firstDiffChunk([]byte{1}, []byte{2}, 0); got != 0 {
+		t.Fatalf("default chunk size: got %d, want 0", got)
+	}
+}

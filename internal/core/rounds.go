@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"acr/internal/chaos/point"
@@ -64,6 +67,7 @@ func (c *Controller) normalRound() error {
 	// fresh epoch — chunked, checksummed, one key per task.
 	c.fire(point.CorePostConsensus, point.Info{Replica: -1, Node: -1, Task: -1})
 	c.applyPendingSDC(consensus.BothReplicas)
+	c.resetPhases()
 	epoch := c.nextEpoch()
 	if err := c.captureScope(consensus.BothReplicas, epoch); err != nil {
 		c.coord.Release()
@@ -106,8 +110,36 @@ func (c *Controller) normalRound() error {
 }
 
 // captureScope captures every replica in scope into the store under the
-// epoch, through the chunked-parallel capture path.
+// epoch, through the chunked-parallel capture path. Once the consensus cut
+// has parked every task, the two replicas share nothing — their captures
+// run concurrently on the fast path. Chaos runs and SerialCommitPath pin
+// the original one-after-the-other schedule: hook firing order (capture
+// points, store writes) is part of a fault campaign's deterministic
+// contract, and the Both-mode corruption hooks rely on replica 0's store
+// writes preceding replica 1's.
 func (c *Controller) captureScope(scope consensus.Scope, epoch uint64) error {
+	began := time.Now()
+	defer func() { c.roundCapture = time.Since(began) }()
+	opts := c.captureOptions()
+	if scope[0] && scope[1] && c.cfg.Chaos == nil && !c.cfg.SerialCommitPath {
+		var wg sync.WaitGroup
+		var errs [2]error
+		for rep := 0; rep < 2; rep++ {
+			rep := rep
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[rep] = c.machine.CaptureReplica(rep, epoch, c.store, opts)
+			}()
+		}
+		wg.Wait()
+		for rep, err := range errs {
+			if err != nil {
+				return fmt.Errorf("core: capture replica %d: %w", rep, err)
+			}
+		}
+		return nil
+	}
 	for rep := 0; rep < 2; rep++ {
 		if !scope[rep] {
 			continue
@@ -115,11 +147,37 @@ func (c *Controller) captureScope(scope consensus.Scope, epoch uint64) error {
 		// Quiescent: every task in scope is parked, so hooks may mutate
 		// task state here and the corruption lands in this capture.
 		c.fire(point.CoreCapture, point.Info{Replica: rep, Node: -1, Task: -1, Epoch: epoch})
-		if err := c.machine.CaptureReplica(rep, epoch, c.store, c.cfg.ChunkSize, c.cfg.ChecksumWorkers); err != nil {
+		if err := c.machine.CaptureReplica(rep, epoch, c.store, opts); err != nil {
 			return fmt.Errorf("core: capture replica %d: %w", rep, err)
 		}
 	}
 	return nil
+}
+
+// captureOptions derives the runtime capture parameters from the config:
+// the fast path recycles buffers through the pool and packs single-pass;
+// the pinned serial path reproduces the original two-pass, inner-serial
+// behavior exactly.
+func (c *Controller) captureOptions() runtime.CaptureOptions {
+	opts := runtime.CaptureOptions{
+		ChunkSize:    c.cfg.ChunkSize,
+		Workers:      c.cfg.ChecksumWorkers,
+		ChunkWorkers: c.cfg.ChunkChecksumWorkers,
+	}
+	if c.cfg.SerialCommitPath {
+		opts.ForceTwoPass = true
+		opts.ChunkWorkers = 1
+	} else {
+		opts.Pool = c.pool
+	}
+	return opts
+}
+
+// resetPhases clears the per-round phase accumulators; called when a round
+// passes its consensus cut.
+func (c *Controller) resetPhases() {
+	c.roundCapture, c.roundCompare = 0, 0
+	c.roundExchange.Reset()
 }
 
 // recoveryCheckpoint is the weak-scheme recovery: the healthy replica
@@ -144,6 +202,7 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 		return err
 	}
 	c.applyPendingSDC(consensus.OnlyReplica(healthy))
+	c.resetPhases()
 	epoch := c.nextEpoch()
 	if err := c.captureScope(consensus.OnlyReplica(healthy), epoch); err != nil {
 		c.coord.Release()
@@ -153,7 +212,9 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 	// checkpoint of its buddy in the crashed replica: "sends the
 	// checkpoint to the crashed replica" (§2.3). Mirror the stored
 	// checkpoints under the crashed replica's keys; the chunked capture
-	// is shared, not recomputed.
+	// is shared, not recomputed. This mirroring is the recovery round's
+	// exchange phase.
+	exchBegan := time.Now()
 	for n := 0; n < c.cfg.NodesPerReplica; n++ {
 		for t := 0; t < c.cfg.TasksPerNode; t++ {
 			ck, err := c.store.Get(c.key(healthy, n, t, epoch))
@@ -167,6 +228,7 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 			}
 		}
 	}
+	c.roundExchange.Add(time.Since(exchBegan))
 	// This checkpoint is trusted without comparison: SDC that struck the
 	// healthy replica since the last verified checkpoint is undetectable
 	// here — the medium/weak vulnerability window of §2.3 and Figure 7b.
@@ -219,68 +281,180 @@ func (c *Controller) awaitReady(ready <-chan int) (bool, error) {
 // compare cross-checks the buddy checkpoints stored under the epoch and
 // returns a description of the first mismatch ("" when clean) plus the
 // chunk index the mismatch was localized to (-1 when not localized).
+// "First" means lowest (node, task) in the serial walk order, regardless
+// of how many workers ran the comparison — the parallel path cancels
+// early but reproduces the serial outcome bit for bit (see DESIGN.md §10).
 func (c *Controller) compare(epoch uint64) (string, int, error) {
+	began := time.Now()
+	defer func() { c.roundCompare = time.Since(began) }()
+	workers := c.compareWorkers()
+	if workers <= 1 {
+		return c.compareSerial(epoch)
+	}
+	return c.compareParallel(epoch, workers)
+}
+
+// compareWorkers sizes the comparison pool. Chaos runs pin the serial
+// walk: the hooked store fires a StoreRead point per fetched checkpoint,
+// and a campaign's occurrence-counted faults depend on those firings'
+// order and count, which early cancellation would perturb.
+func (c *Controller) compareWorkers() int {
+	if c.cfg.SerialCommitPath || c.cfg.Chaos != nil {
+		return 1
+	}
+	w := c.cfg.CompareWorkers
+	if w <= 0 {
+		w = stdruntime.GOMAXPROCS(0)
+	}
+	if total := c.cfg.NodesPerReplica * c.cfg.TasksPerNode; w > total {
+		w = total
+	}
+	return w
+}
+
+func (c *Controller) compareSerial(epoch uint64) (string, int, error) {
 	for n := 0; n < c.cfg.NodesPerReplica; n++ {
 		for t := 0; t < c.cfg.TasksPerNode; t++ {
-			switch c.cfg.Comparison {
-			case ChecksumCompare:
-				// Two-phase Merkle-style compare inside the store: roots
-				// first (the 32-byte exchange of §4.2), per-chunk sums
-				// only on mismatch, which names the corrupted chunk.
-				res, err := c.store.Compare(c.key(0, n, t, epoch), c.key(1, n, t, epoch))
-				if err != nil {
-					return "", -1, fmt.Errorf("core: checksum compare n%d/t%d: %w", n, t, err)
-				}
-				if !res.Match {
-					return fmt.Sprintf("checksum %v at n%d/t%d", res, n, t), res.Chunk, nil
-				}
-			case FullCompare:
-				remote, err := c.store.Get(c.key(0, n, t, epoch)) // buddy's checkpoint, shipped over
-				if err != nil {
-					return "", -1, fmt.Errorf("core: fetch remote checkpoint n%d/t%d: %w", n, t, err)
-				}
-				if c.cfg.RelTol == 0 || c.cfg.SemiBlocking {
-					// Exact comparison on the captured bytes. The
-					// tolerance-aware checker needs the live state to
-					// be quiescent, so semi-blocking mode always
-					// compares captures.
-					local, err := c.store.Get(c.key(1, n, t, epoch)) // replica 2's local checkpoint
-					if err != nil {
-						return "", -1, fmt.Errorf("core: fetch local checkpoint n%d/t%d: %w", n, t, err)
-					}
-					if !bytes.Equal(remote.Bytes(), local.Bytes()) {
-						chunk := firstDiffChunk(remote.Bytes(), local.Bytes(), remote.ChunkSize)
-						return fmt.Sprintf("byte mismatch at n%d/t%d chunk %d", n, t, chunk), chunk, nil
-					}
-					continue
-				}
-				// Tolerance-aware comparison via the checker PUPer
-				// against replica 2's live (parked) state.
-				res, err := c.machine.CheckTask(runtime.Addr{Replica: 1, Node: n, Task: t}, remote.Bytes(), c.cfg.RelTol)
-				if err != nil {
-					return fmt.Sprintf("structural divergence at n%d/t%d: %v", n, t, err), -1, nil
-				}
-				if !res.Match {
-					m := res.Mismatches[0]
-					chunk := m.ChunkIndex(remote.ChunkSize)
-					return fmt.Sprintf("mismatch at n%d/t%d chunk %d: %v", n, t, chunk, m), chunk, nil
-				}
+			mismatch, chunk, err := c.compareTask(n, t, epoch)
+			if mismatch != "" || err != nil {
+				return mismatch, chunk, err
 			}
 		}
 	}
 	return "", -1, nil
 }
 
-// firstDiffChunk localizes the first differing byte of two equal-length
-// buffers to its chunk.
+// compareParallel fans compareTask over a bounded worker pool with early
+// cancellation. Determinism argument: workers claim dense indices from an
+// atomic counter, so when some index i yields an outcome (mismatch or
+// error), every j < i has already been claimed; those comparisons run to
+// completion and report before the pool drains, and the lowest-index
+// outcome wins. cutoff only ever decreases to a new outcome's index, so
+// no comparison below the winner is skipped — skipping starts strictly
+// above it, where outcomes can't win anyway.
+func (c *Controller) compareParallel(epoch uint64, workers int) (string, int, error) {
+	tasks := c.cfg.TasksPerNode
+	total := c.cfg.NodesPerReplica * tasks
+	var next atomic.Int64
+	var cutoff atomic.Int64
+	cutoff.Store(int64(total))
+	var (
+		mu        sync.Mutex
+		bestIdx   = total
+		bestMsg   string
+		bestChunk int
+		bestErr   error
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || int64(i) >= cutoff.Load() {
+					return
+				}
+				mismatch, chunk, err := c.compareTask(i/tasks, i%tasks, epoch)
+				if mismatch == "" && err == nil {
+					continue
+				}
+				mu.Lock()
+				if i < bestIdx {
+					bestIdx, bestMsg, bestChunk, bestErr = i, mismatch, chunk, err
+				}
+				mu.Unlock()
+				for {
+					cur := cutoff.Load()
+					if int64(i) >= cur || cutoff.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bestIdx == total {
+		return "", -1, nil
+	}
+	return bestMsg, bestChunk, bestErr
+}
+
+// compareTask cross-checks one buddy pair. Store fetches are counted as
+// exchange time — the bytes a real machine would ship between buddies.
+func (c *Controller) compareTask(n, t int, epoch uint64) (string, int, error) {
+	switch c.cfg.Comparison {
+	case ChecksumCompare:
+		// Two-phase Merkle-style compare inside the store: roots
+		// first (the 32-byte exchange of §4.2), per-chunk sums
+		// only on mismatch, which names the corrupted chunk.
+		exchBegan := time.Now()
+		res, err := c.store.Compare(c.key(0, n, t, epoch), c.key(1, n, t, epoch))
+		c.roundExchange.Add(time.Since(exchBegan))
+		if err != nil {
+			return "", -1, fmt.Errorf("core: checksum compare n%d/t%d: %w", n, t, err)
+		}
+		if !res.Match {
+			return fmt.Sprintf("checksum %v at n%d/t%d", res, n, t), res.Chunk, nil
+		}
+	case FullCompare:
+		exchBegan := time.Now()
+		remote, err := c.store.Get(c.key(0, n, t, epoch)) // buddy's checkpoint, shipped over
+		c.roundExchange.Add(time.Since(exchBegan))
+		if err != nil {
+			return "", -1, fmt.Errorf("core: fetch remote checkpoint n%d/t%d: %w", n, t, err)
+		}
+		if c.cfg.RelTol == 0 || c.cfg.SemiBlocking {
+			// Exact comparison on the captured bytes. The
+			// tolerance-aware checker needs the live state to
+			// be quiescent, so semi-blocking mode always
+			// compares captures.
+			exchBegan := time.Now()
+			local, err := c.store.Get(c.key(1, n, t, epoch)) // replica 2's local checkpoint
+			c.roundExchange.Add(time.Since(exchBegan))
+			if err != nil {
+				return "", -1, fmt.Errorf("core: fetch local checkpoint n%d/t%d: %w", n, t, err)
+			}
+			if !bytes.Equal(remote.Bytes(), local.Bytes()) {
+				chunk := firstDiffChunk(remote.Bytes(), local.Bytes(), remote.ChunkSize)
+				return fmt.Sprintf("byte mismatch at n%d/t%d chunk %d", n, t, chunk), chunk, nil
+			}
+			return "", -1, nil
+		}
+		// Tolerance-aware comparison via the checker PUPer
+		// against replica 2's live (parked) state.
+		res, err := c.machine.CheckTask(runtime.Addr{Replica: 1, Node: n, Task: t}, remote.Bytes(), c.cfg.RelTol)
+		if err != nil {
+			return fmt.Sprintf("structural divergence at n%d/t%d: %v", n, t, err), -1, nil
+		}
+		if !res.Match {
+			m := res.Mismatches[0]
+			chunk := m.ChunkIndex(remote.ChunkSize)
+			return fmt.Sprintf("mismatch at n%d/t%d chunk %d: %v", n, t, chunk, m), chunk, nil
+		}
+	}
+	return "", -1, nil
+}
+
+// firstDiffChunk localizes the first differing byte of two buffers to its
+// chunk. Unequal lengths (a corrupted slice-length header can shift every
+// later byte) are a mismatch at the first chunk past the common prefix —
+// never a panic.
 func firstDiffChunk(a, b []byte, chunkSize int) int {
 	if chunkSize <= 0 {
 		chunkSize = checksum.DefaultChunkSize
 	}
-	for i := range a {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
 		if a[i] != b[i] {
 			return i / chunkSize
 		}
+	}
+	if len(a) != len(b) {
+		return n / chunkSize
 	}
 	return -1
 }
@@ -292,6 +466,7 @@ func (c *Controller) commit(epoch uint64, began time.Time) {
 	c.committedEpoch = epoch
 	c.stats.Checkpoints++
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
+	c.appendPhaseTimes()
 	c.store.Evict(epoch)
 	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed (epoch %d)", c.stats.Checkpoints, epoch))
 	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
@@ -304,9 +479,18 @@ func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
 	c.committedEpoch = epoch
 	c.stats.Checkpoints++
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
+	c.appendPhaseTimes()
 	c.store.Evict(epoch)
 	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
 	c.markStore()
+}
+
+// appendPhaseTimes records the committed round's capture/exchange/compare
+// split, keeping the phase arrays parallel with CheckpointTimes.
+func (c *Controller) appendPhaseTimes() {
+	c.stats.CaptureTimes = append(c.stats.CaptureTimes, c.roundCapture)
+	c.stats.ExchangeTimes = append(c.stats.ExchangeTimes, c.roundExchange.Load())
+	c.stats.CompareTimes = append(c.stats.CompareTimes, c.roundCompare)
 }
 
 // markStore emits a trace.Store event carrying the store's counters.

@@ -1,0 +1,122 @@
+package pup
+
+import (
+	"bytes"
+	"testing"
+)
+
+func demoState() *demo {
+	return &demo{
+		Iter:   7,
+		Count:  42,
+		Flag:   true,
+		Temp:   3.25,
+		Grid:   []float64{1, 2, 3, 4.5},
+		IDs:    []int64{-9, 9},
+		Tags:   []int{1, 2, 3},
+		Raw:    []byte("raw-bytes"),
+		Name:   "packinto",
+		Nested: inner{A: 0.5, B: -0.5},
+	}
+}
+
+func TestPackIntoMatchesPack(t *testing.T) {
+	d := demoState()
+	want, err := Pack(d)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	buf := make([]byte, 0, len(want))
+	got, fast, err := PackInto(d, buf)
+	if err != nil {
+		t.Fatalf("PackInto: %v", err)
+	}
+	if !fast {
+		t.Fatalf("PackInto with exact-capacity buffer took the slow path")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PackInto bytes differ from Pack:\n got %x\nwant %x", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatalf("PackInto fast path did not reuse the caller's buffer")
+	}
+	var back demo
+	if err := Unpack(got, &back); err != nil {
+		t.Fatalf("Unpack of fast-packed data: %v", err)
+	}
+}
+
+func TestPackIntoOverflowFallsBack(t *testing.T) {
+	d := demoState()
+	want, err := Pack(d)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	// One byte short: the single-pass attempt must overflow and fall back
+	// to the two-pass path, returning correct bytes with fast=false.
+	short := make([]byte, 0, len(want)-1)
+	got, fast, err := PackInto(d, short)
+	if err != nil {
+		t.Fatalf("PackInto: %v", err)
+	}
+	if fast {
+		t.Fatalf("PackInto reported fast path despite a too-small buffer")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PackInto fallback bytes differ from Pack")
+	}
+}
+
+func TestPackIntoNilAndOversizedBuffers(t *testing.T) {
+	d := demoState()
+	want, _ := Pack(d)
+
+	got, fast, err := PackInto(d, nil)
+	if err != nil || fast {
+		t.Fatalf("PackInto(nil): fast=%v err=%v, want slow path, no error", fast, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PackInto(nil) bytes differ from Pack")
+	}
+
+	big := make([]byte, 0, 4*len(want))
+	got, fast, err = PackInto(d, big)
+	if err != nil || !fast {
+		t.Fatalf("PackInto(oversized): fast=%v err=%v, want fast path, no error", fast, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PackInto(oversized) bytes differ from Pack")
+	}
+}
+
+func TestPackIntoGrowingState(t *testing.T) {
+	// The size-hint protocol: pack once, grow the state, pack again into
+	// the stale-sized buffer. The second call must fall back (overflow),
+	// still produce correct bytes, and the returned length then serves as
+	// a valid hint for the third call.
+	d := demoState()
+	first, _, err := PackInto(d, nil)
+	if err != nil {
+		t.Fatalf("PackInto: %v", err)
+	}
+	d.Grid = append(d.Grid, 5, 6, 7, 8)
+	buf := make([]byte, 0, len(first))
+	second, fast, err := PackInto(d, buf)
+	if err != nil {
+		t.Fatalf("PackInto after growth: %v", err)
+	}
+	if fast {
+		t.Fatalf("PackInto reported fast path despite grown state")
+	}
+	want, _ := Pack(d)
+	if !bytes.Equal(second, want) {
+		t.Fatalf("PackInto after growth differs from Pack")
+	}
+	third, fast, err := PackInto(d, make([]byte, 0, len(second)))
+	if err != nil || !fast {
+		t.Fatalf("PackInto with refreshed hint: fast=%v err=%v", fast, err)
+	}
+	if !bytes.Equal(third, want) {
+		t.Fatalf("PackInto with refreshed hint differs from Pack")
+	}
+}

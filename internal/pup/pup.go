@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Mode identifies what a PUPer traversal does.
@@ -90,6 +91,10 @@ type PUPer struct {
 	buf  []byte
 	off  int
 	err  error
+	// overflow distinguishes a Packing buffer that was merely too small
+	// (PackInto's fast path falls back to the two-pass path) from a
+	// structural error.
+	overflow bool
 
 	// Checking state.
 	relTol     float64
@@ -173,6 +178,7 @@ func (p *PUPer) raw(n int) []byte {
 		return nil
 	case Packing:
 		if p.off+n > len(p.buf) {
+			p.overflow = true
 			p.fail("pack overflow at %d (+%d, buffer %d)", p.off, n, len(p.buf))
 			return nil
 		}
@@ -465,6 +471,41 @@ func Pack(obj Pupable) ([]byte, error) {
 	}
 	return buf, nil
 }
+
+// PackInto serializes obj reusing buf's capacity when it suffices,
+// skipping the Sizing traversal entirely — the size-hint fast path: callers
+// keep the buffer from the previous checkpoint round (state sizes are
+// usually stable between rounds) and pay a single traversal instead of two.
+//
+// It packs optimistically into buf[:cap(buf)]; if the state grew past the
+// hint, it falls back to the two-pass Pack path. The returned slice aliases
+// buf on the fast path (fast=true) and is freshly allocated on the fallback
+// (fast=false). A zero-capacity buf always takes the fallback.
+func PackInto(obj Pupable, buf []byte) (data []byte, fast bool, err error) {
+	if cap(buf) > 0 {
+		b := buf[:cap(buf)]
+		// Recycle the PUPer itself: obj.Pup is an interface call, so a
+		// fresh PUPer always escapes to the heap — the one allocation that
+		// would otherwise survive on the zero-allocation capture path.
+		p := packerPool.Get().(*PUPer)
+		*p = PUPer{mode: Packing, buf: b}
+		obj.Pup(p)
+		off, overflow, perr := p.off, p.overflow, p.err
+		*p = PUPer{}
+		packerPool.Put(p)
+		switch {
+		case perr == nil:
+			return b[:off], true, nil
+		case !overflow:
+			// Structural error, not a too-small buffer: growing won't help.
+			return nil, false, perr
+		}
+	}
+	data, err = Pack(obj)
+	return data, false, err
+}
+
+var packerPool = sync.Pool{New: func() any { return new(PUPer) }}
 
 // Unpack restores obj from data produced by Pack.
 func Unpack(data []byte, obj Pupable) error {

@@ -16,20 +16,97 @@ import (
 // Store keyed by {replica, node, task, epoch}, instead of being handed
 // around as flat [][][]byte blobs.
 
+// CaptureOptions parameterizes CaptureReplica. The zero value is a sane
+// default: auto-sized worker split, default chunk size, no recycling, fast
+// single-pass packing.
+type CaptureOptions struct {
+	// ChunkSize is the checksum chunk granularity (<= 0 selects
+	// checksum.DefaultChunkSize).
+	ChunkSize int
+	// Workers is the outer task-parallel worker count (<= 0 selects
+	// GOMAXPROCS, capped at the task count). Serialization of one task's
+	// state is inherently serial, but nothing couples distinct tasks.
+	Workers int
+	// ChunkWorkers is the inner per-checkpoint checksum parallelism. The
+	// two levels split the same cores: when the outer pool already
+	// saturates GOMAXPROCS (many tasks per replica, the common case),
+	// inner parallelism can only add scheduling overhead, so 1 is right.
+	// The single-task-per-node shape is the opposite: the outer pool can
+	// use at most NodesPerReplica workers, and chunk-level parallelism is
+	// the only way to put the remaining cores on one big buffer.
+	// <= 0 auto-sizes to GOMAXPROCS / effective outer workers (min 1),
+	// which degenerates to exactly the old hardcoded 1 when the outer
+	// pool is saturated.
+	ChunkWorkers int
+	// Pool, if non-nil, supplies retired checkpoints whose buffers are
+	// reused for packing and checksumming (zero-allocation steady state).
+	Pool *ckptstore.Pool
+	// ForceTwoPass disables the size-hint single-pass packing fast path,
+	// pinning the original Sizing+Packing behavior. Used by the benchmark
+	// harness's serial baseline.
+	ForceTwoPass bool
+}
+
 // CaptureReplica packs every task of the replica and stores the chunked,
 // checksummed checkpoints under the epoch. The caller must guarantee the
 // replica is quiescent (parked in Progress, completed, or stopped), same
-// as PackTask. Tasks are packed and checksummed concurrently on up to
-// workers goroutines (<= 0 selects GOMAXPROCS): serialization of one
-// task's state is inherently serial, but nothing couples distinct tasks.
-func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, chunkSize, workers int) error {
+// as PackTask. Tasks are packed and checksummed concurrently per
+// opts.Workers/opts.ChunkWorkers; each task's buffer comes from opts.Pool
+// when one is attached, and packing skips the Sizing traversal whenever
+// the task's previous packed size still fits (pup.PackInto).
+func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, opts CaptureOptions) error {
 	nodes, tasks := m.cfg.NodesPerReplica, m.cfg.TasksPerNode
 	total := nodes * tasks
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = stdruntime.GOMAXPROCS(0)
 	}
 	if workers > total {
 		workers = total
+	}
+	chunkWorkers := opts.ChunkWorkers
+	if chunkWorkers <= 0 {
+		chunkWorkers = stdruntime.GOMAXPROCS(0) / workers
+		if chunkWorkers < 1 {
+			chunkWorkers = 1
+		}
+	}
+	captureOne := func(i int) error {
+		addr := Addr{Replica: rep, Node: i / tasks, Task: i % tasks}
+		var data []byte
+		var recycled *ckptstore.Checkpoint
+		var err error
+		if opts.ForceTwoPass {
+			data, err = m.PackTask(addr)
+		} else {
+			var buf []byte
+			if opts.Pool != nil {
+				recycled = opts.Pool.Get(m.sizeHint(addr))
+				buf = recycled.Scratch()
+			} else if hint := m.sizeHint(addr); hint > 0 {
+				buf = make([]byte, 0, hint)
+			}
+			data, _, err = m.packTaskInto(addr, buf)
+		}
+		if err != nil {
+			return fmt.Errorf("runtime: capture %v: %w", addr, err)
+		}
+		ck := ckptstore.CaptureInto(recycled, data, opts.ChunkSize, chunkWorkers)
+		key := ckptstore.Key{Replica: rep, Node: addr.Node, Task: addr.Task, Epoch: epoch}
+		if err := st.Put(key, ck); err != nil {
+			return fmt.Errorf("runtime: store %v: %w", key, err)
+		}
+		return nil
+	}
+	if workers == 1 {
+		// Inline fast path: a single worker needs no goroutine, waitgroup,
+		// or atomics, which keeps steady-state capture allocation-free.
+		for i := 0; i < total; i++ {
+			if err := captureOne(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	var next atomic.Int64
 	var firstErr atomic.Value
@@ -43,16 +120,8 @@ func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, chun
 				if i >= total || firstErr.Load() != nil {
 					return
 				}
-				addr := Addr{Replica: rep, Node: i / tasks, Task: i % tasks}
-				data, err := m.PackTask(addr)
-				if err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("runtime: capture %v: %w", addr, err))
-					return
-				}
-				ck := ckptstore.Capture(data, chunkSize, 1)
-				key := ckptstore.Key{Replica: rep, Node: addr.Node, Task: addr.Task, Epoch: epoch}
-				if err := st.Put(key, ck); err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("runtime: store %v: %w", key, err))
+				if err := captureOne(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
 					return
 				}
 			}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"acr/internal/chaos/point"
@@ -200,6 +201,10 @@ type taskSlot struct {
 	running   bool
 	completed bool
 	gen       uint64 // incarnation counter
+	// sizeHint is the task's packed size at the last capture; it seeds the
+	// next capture's buffer so packing can skip the Sizing traversal when
+	// the state size is stable (the common steady-state case).
+	sizeHint int
 }
 
 // Failure describes a detected hard error.
@@ -231,6 +236,16 @@ type Machine struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup // task goroutines + detector
+
+	// packFast / packSlow count task packs that hit the single-pass
+	// size-hint path versus the two-pass Sizing+Packing fallback.
+	packFast, packSlow atomic.Int64
+}
+
+// PackCounters returns how many task packs took the single-pass size-hint
+// fast path versus the two-pass Sizing+Packing fallback.
+func (m *Machine) PackCounters() (fast, slow int64) {
+	return m.packFast.Load(), m.packSlow.Load()
 }
 
 // NewMachine allocates a machine; call Start to launch the tasks.

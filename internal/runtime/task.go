@@ -242,6 +242,43 @@ func (m *Machine) PackTask(addr Addr) ([]byte, error) {
 	return pup.Pack(prog)
 }
 
+// packTaskInto serializes a task's state reusing buf's capacity when it
+// suffices (the pup.PackInto fast path), records the resulting size as the
+// slot's next capture hint, and counts which path was taken. Quiescence
+// rules match PackTask.
+func (m *Machine) packTaskInto(addr Addr, buf []byte) ([]byte, bool, error) {
+	m.mu.RLock()
+	s := m.slots[addr.Replica][addr.Node][addr.Task]
+	m.mu.RUnlock()
+	s.mu.Lock()
+	prog := s.prog
+	s.mu.Unlock()
+	data, fast, err := pup.PackInto(prog, buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if fast {
+		m.packFast.Add(1)
+	} else {
+		m.packSlow.Add(1)
+	}
+	s.mu.Lock()
+	s.sizeHint = len(data)
+	s.mu.Unlock()
+	return data, fast, nil
+}
+
+// sizeHint returns the task's packed size at its last capture (0 before
+// the first one).
+func (m *Machine) sizeHint(addr Addr) int {
+	m.mu.RLock()
+	s := m.slots[addr.Replica][addr.Node][addr.Task]
+	m.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizeHint
+}
+
 // CheckTask compares the live state of a task against a packed remote
 // checkpoint using the checker PUPer (§4.1). Quiescence rules match
 // PackTask.
