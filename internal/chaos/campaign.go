@@ -61,6 +61,12 @@ func RunScenario(scn Scenario, seed int64, watchdog time.Duration, tl *trace.Tim
 		store = d
 	}
 
+	var exch *core.ExchangeConfig
+	if scn.exchangeEnabled() {
+		// The link's fault pattern is a pure function of the run seed, so
+		// same-seed runs see the same loss/duplication/reorder schedule.
+		exch = &core.ExchangeConfig{Loss: scn.Loss, Dup: scn.Dup, Reorder: scn.Reorder, Seed: seed}
+	}
 	engine := NewEngine(&scn, seed, tl)
 	ctrl, err := core.New(core.Config{
 		NodesPerReplica: scn.Nodes,
@@ -76,6 +82,9 @@ func RunScenario(scn Scenario, seed int64, watchdog time.Duration, tl *trace.Tim
 		HeartbeatInterval:  500 * time.Microsecond,
 		HeartbeatTimeout:   5 * time.Millisecond,
 		Store:              store,
+		FlushEvery:         scn.FlushEvery,
+		Degraded:           scn.Degraded,
+		Exchange:           exch,
 		Timeline:           tl,
 		Chaos:              engine,
 	})
@@ -335,14 +344,57 @@ func DefaultCampaign() []Scenario {
 			}},
 		},
 		{
-			// Both buddies of one node die at a consensus cut; strong
-			// scheme rolls both replicas back.
+			// Both buddies of one node die at a consensus cut, which
+			// destroys every in-memory copy of that node's checkpoints in
+			// both replicas. The durable flush tier (every 2nd commit) is
+			// the escalation target: recovery must climb the ladder to the
+			// flushed epoch and complete without ErrUnrecoverable.
 			Name: "strong-buddy-double-crash", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
 			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			FlushEvery: 2,
 			Faults: []Fault{{
 				Kind:    BuddyDoubleCrash,
 				Target:  Target{Replica: 0, Node: 1, Task: -1},
 				Trigger: Trigger{Point: point.CorePostConsensus, Occurrence: 3},
+			}},
+		},
+		{
+			// Spare pool empty at the first crash: degraded mode folds the
+			// dead node onto the least-loaded survivor and the job finishes
+			// shrunk, with the same final result.
+			Name: "degraded-spare-exhaustion", Nodes: 2, Tasks: 2, Spares: 0, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			Degraded: true,
+			Faults: []Fault{{
+				Kind:    Crash,
+				Target:  Target{Replica: 1, Node: 1, Task: -1},
+				Trigger: Trigger{Point: point.CorePostConsensus, Occurrence: 2},
+			}},
+		},
+		{
+			// A lossy, duplicating link under the hardened exchange: the
+			// medium recovery's checkpoint transfer and every round's
+			// compare-result message must complete via per-chunk acks and
+			// retransmission, never tripping the watchdog.
+			Name: "medium-lossy-exchange", Nodes: 2, Tasks: 2, Spares: 3, Iters: 60,
+			Scheme: "medium", Comparison: "checksum", Store: "mem", PaceEvery: 40,
+			Loss: 0.08, Dup: 0.04,
+			Faults: []Fault{{
+				Kind:    Crash,
+				Target:  Target{Replica: 0, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.CoreCommit, Occurrence: 2},
+			}},
+		},
+		{
+			// Deterministic frame loss on an otherwise clean link: the Nth
+			// exchange frame is discarded before the link, forcing exactly
+			// one retransmission cycle.
+			Name: "exchange-frame-drop", Nodes: 2, Tasks: 2, Spares: 1, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			Faults: []Fault{{
+				Kind:    FrameDrop,
+				Target:  Target{Replica: -1, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.NetFrame, Occurrence: 2},
 			}},
 		},
 		{

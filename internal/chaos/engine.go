@@ -185,21 +185,22 @@ func (e *Engine) observe(id point.ID, info *point.Info) {
 }
 
 // matches reports whether the firing context satisfies the fault target.
-// Resolved targets are fully concrete; a context field of -1 (the point
-// does not carry that dimension) matches anything. RuntimeHeartbeat carries
-// a *physical* node id, compared against the target's launch-time mapping
-// (replica*Nodes + node).
+// Resolved targets are fully concrete except for NetFrame faults, which
+// keep wildcards; a -1 on either side (the point does not carry that
+// dimension, or the fault matches any frame) matches anything.
+// RuntimeHeartbeat carries a *physical* node id, compared against the
+// target's launch-time mapping (replica*Nodes + node).
 func (e *Engine) matches(tgt Target, id point.ID, info *point.Info) bool {
 	if id == point.RuntimeHeartbeat {
 		return info.Node == tgt.Replica*e.scn.Nodes+tgt.Node
 	}
-	if info.Replica >= 0 && info.Replica != tgt.Replica {
+	if info.Replica >= 0 && tgt.Replica >= 0 && info.Replica != tgt.Replica {
 		return false
 	}
-	if info.Node >= 0 && info.Node != tgt.Node {
+	if info.Node >= 0 && tgt.Node >= 0 && info.Node != tgt.Node {
 		return false
 	}
-	if info.Task >= 0 && info.Task != tgt.Task {
+	if info.Task >= 0 && tgt.Task >= 0 && info.Task != tgt.Task {
 		return false
 	}
 	return true
@@ -232,6 +233,12 @@ func (e *Engine) execute(f *armedFault, id point.ID, info *point.Info) (func(), 
 		}
 		e.mark("inject heartbeat delay %s at phys node %d", d, info.Node)
 		return func() { time.Sleep(d) }, true
+	case FrameDrop:
+		// Inline: the exchange reads Info.Drop right after the hook
+		// returns and discards the frame before the link sees it.
+		info.Drop = true
+		e.mark("inject frame drop n%d/t%d@e%d chunk %d", info.Node, info.Task, info.Epoch, info.Iter)
+		return nil, true
 	}
 	return nil, false
 }

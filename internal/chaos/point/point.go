@@ -56,6 +56,22 @@ const (
 	// CoreCommit fires after a checkpoint epoch is committed (verified or
 	// trusted). Info.Epoch is the committed epoch.
 	CoreCommit ID = "core.commit"
+	// CoreFlush fires after a committed epoch has been flushed completely
+	// to the durable tier of the recovery ladder (core.Config.FlushEvery).
+	// Info.Epoch is the flushed epoch. The epoch is restorable from the
+	// durable tier from this firing on.
+	CoreFlush ID = "core.flush"
+	// CoreFold fires when spare exhaustion folds a failed logical node's
+	// tasks onto a surviving physical node of the same replica (degraded
+	// mode). Info.Replica/Info.Node identify the folded logical node;
+	// Info.Task is the logical node it was folded onto.
+	CoreFold ID = "core.fold"
+	// NetFrame fires per simulated link frame of the hardened checkpoint
+	// exchange, before the frame enters the lossy link model. Info.Epoch /
+	// Node / Task address the transfer, Info.Iter is the chunk index (-1
+	// for control frames); a hook may set Info.Drop to force-drop the
+	// frame regardless of the link's loss probability.
+	NetFrame ID = "net.frame"
 	// StoreWrite fires after a checkpoint is accepted by Store.Put; a hook
 	// may corrupt the stored copy (at-rest corruption).
 	StoreWrite ID = "ckptstore.write"
@@ -69,6 +85,7 @@ func All() []ID {
 		RuntimeDeliver, RuntimeProgress, RuntimeHeartbeat,
 		CorePreConsensus, CorePostConsensus, CoreCapture,
 		CoreRecovery, CoreRestart, CoreCommit,
+		CoreFlush, CoreFold, NetFrame,
 		StoreWrite, StoreRead,
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -98,6 +115,9 @@ type Info struct {
 	// (hooks may replace it), the *ckptstore.Checkpoint at StoreWrite /
 	// StoreRead. Nil elsewhere.
 	Payload any
+	// Drop is set by hooks at NetFrame to force-drop the frame before it
+	// reaches the link model (exchange loss injection). Ignored elsewhere.
+	Drop bool
 }
 
 // Hook receives point firings. A nil Hook everywhere means chaos is off;

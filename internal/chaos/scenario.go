@@ -47,12 +47,18 @@ const (
 	// HeartbeatDelay stalls the target physical node's heartbeat refresh
 	// by Fault.Delay once (point.RuntimeHeartbeat).
 	HeartbeatDelay FaultKind = "heartbeat_delay"
+	// FrameDrop discards one exchange frame before it reaches the link
+	// (point.NetFrame, via Info.Drop) — a targeted loss on top of the
+	// link's probabilistic faults, forcing a deterministic retransmission.
+	// Requires the scenario to enable the hardened exchange (loss/dup/
+	// reorder rates, which may be zero-but-set via a FrameDrop fault).
+	FrameDrop FaultKind = "frame_drop"
 )
 
 // validKind reports whether k is a known fault kind.
 func validKind(k FaultKind) bool {
 	switch k {
-	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay:
+	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay, FrameDrop:
 		return true
 	}
 	return false
@@ -147,8 +153,35 @@ type Scenario struct {
 	// interval, so the same seed schedules the same number of faults
 	// against the same protocol phases regardless of host speed.
 	PaceEvery int `json:"pace_every"`
+	// FlushEvery enables the durable flush tier (core.Config.FlushEvery):
+	// every K-th commit is flushed to an owned disk tier, the escalation
+	// target for buddy-pair double faults. Zero disables it.
+	FlushEvery int `json:"flush_every,omitempty"`
+	// Degraded enables spare-exhaustion folding (core.Config.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
+	// Loss / Dup / Reorder enable the hardened checkpoint exchange with
+	// the given link fault probabilities (core.Config.Exchange). All zero
+	// (and no FrameDrop fault) keeps the direct in-process path.
+	Loss    float64 `json:"loss,omitempty"`
+	Dup     float64 `json:"dup,omitempty"`
+	Reorder float64 `json:"reorder,omitempty"`
 	// Faults is the campaign schedule.
 	Faults []Fault `json:"faults"`
+}
+
+// exchangeEnabled reports whether the scenario routes the checkpoint
+// exchange through the lossy link (explicit rates, or a FrameDrop fault
+// that needs NetFrame firings to trigger on).
+func (s *Scenario) exchangeEnabled() bool {
+	if s.Loss > 0 || s.Dup > 0 || s.Reorder > 0 {
+		return true
+	}
+	for _, f := range s.Faults {
+		if f.Kind == FrameDrop {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks the scenario is runnable.
@@ -170,6 +203,12 @@ func (s *Scenario) Validate() error {
 	if s.Store != "" && s.Store != "mem" && s.Store != "disk" {
 		return fmt.Errorf("chaos: unknown store tier %q", s.Store)
 	}
+	if s.FlushEvery < 0 {
+		return fmt.Errorf("chaos: negative FlushEvery")
+	}
+	if s.Loss < 0 || s.Dup < 0 || s.Reorder < 0 || s.Loss+s.Dup+s.Reorder >= 1 {
+		return fmt.Errorf("chaos: link fault rates must be non-negative and sum below 1")
+	}
 	known := map[point.ID]bool{}
 	for _, id := range point.All() {
 		known[id] = true
@@ -183,6 +222,9 @@ func (s *Scenario) Validate() error {
 		}
 		if f.Both && f.Kind != CkptCorrupt {
 			return fmt.Errorf("chaos: fault %d: Both applies only to %s", i, CkptCorrupt)
+		}
+		if f.Kind == FrameDrop && f.Trigger.Point != point.NetFrame {
+			return fmt.Errorf("chaos: fault %d: %s triggers only at %s", i, FrameDrop, point.NetFrame)
 		}
 	}
 	return nil
@@ -229,6 +271,17 @@ func ParseScenario(data []byte) (Scenario, error) {
 func (s *Scenario) resolveFaults(rng *rand.Rand) []Fault {
 	out := make([]Fault, len(s.Faults))
 	for i, f := range s.Faults {
+		if f.Trigger.Point == point.NetFrame {
+			// Frame-level faults keep wildcard targets: a -1 field matches
+			// any frame dimension (matches treats the exchange's context
+			// wildcards symmetrically), so "the Nth frame, whatever it is"
+			// stays expressible and consumes no rng draws.
+			if f.Trigger.Occurrence <= 0 {
+				f.Trigger.Occurrence = 1
+			}
+			out[i] = f
+			continue
+		}
 		if f.Target.Replica < 0 {
 			f.Target.Replica = rng.Intn(2)
 		}

@@ -54,6 +54,16 @@ func (s *Hooked) Compare(a, b Key) (CompareResult, error) { return s.inner.Compa
 // Evict implements Store.
 func (s *Hooked) Evict(olderThan uint64) int { return s.inner.Evict(olderThan) }
 
+// DropNode forwards the Volatile capability when the wrapped tier has it;
+// on a non-volatile inner tier it reports zero drops (node death does not
+// lose durable checkpoints).
+func (s *Hooked) DropNode(replica, node int) int {
+	if v, ok := s.inner.(Volatile); ok {
+		return v.DropNode(replica, node)
+	}
+	return 0
+}
+
 // Counters implements Store.
 func (s *Hooked) Counters() Counters { return s.inner.Counters() }
 

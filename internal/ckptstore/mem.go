@@ -94,6 +94,25 @@ func (s *Mem) Evict(olderThan uint64) int {
 	return n
 }
 
+// DropNode implements Volatile: both in-memory copies of a buddy pair
+// died with their nodes, so every epoch of the logical node's checkpoints
+// is gone. Unlike Evict, dropped checkpoints are NOT recycled into the
+// pool — the recovery path mirrors one *Checkpoint under two keys, and
+// the surviving key may still be referenced.
+func (s *Mem) DropNode(replica, node int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, ck := range s.m {
+		if k.Replica == replica && k.Node == node {
+			s.ctrs.bytesEvicted.Add(int64(ck.Len()))
+			delete(s.m, k)
+			n++
+		}
+	}
+	return n
+}
+
 // Counters implements Store.
 func (s *Mem) Counters() Counters { return s.ctrs.snapshot() }
 

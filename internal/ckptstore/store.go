@@ -113,6 +113,19 @@ func CaptureInto(ck *Checkpoint, data []byte, chunkSize, workers int) *Checkpoin
 // Bytes returns the full packed state. Read-only.
 func (c *Checkpoint) Bytes() []byte { return c.data }
 
+// Clone returns a deep copy of the checkpoint: payload and sums live in
+// fresh buffers, so the clone stays valid after the original is evicted
+// and recycled by a pool. The flush path of the recovery ladder clones
+// committed checkpoints before handing them to the asynchronous durable
+// writer.
+func (c *Checkpoint) Clone() *Checkpoint {
+	data := make([]byte, len(c.data))
+	copy(data, c.data)
+	sums := make([]uint64, len(c.Sums))
+	copy(sums, c.Sums)
+	return &Checkpoint{ChunkSize: c.ChunkSize, Root: c.Root, Sums: sums, data: data}
+}
+
 // Scratch returns the checkpoint's payload buffer truncated to zero
 // length, for reuse as a pack destination. Only call it on a retired
 // checkpoint obtained from a Pool — on a live stored checkpoint the
@@ -205,6 +218,19 @@ type Store interface {
 	Counters() Counters
 	// Name identifies the backend in stats and trace events.
 	Name() string
+}
+
+// Volatile is the optional capability of tiers whose contents live in
+// node memory and die with the nodes holding them. DropNode models the
+// memory loss of a buddy-pair double fault: every epoch of the logical
+// node's checkpoints is discarded. Non-volatile tiers (disk) simply do
+// not implement it. Dropped checkpoints are never recycled into a pool:
+// a recovery-mirrored checkpoint is stored under two keys, and the buddy
+// key may still be live when one side is dropped.
+type Volatile interface {
+	// DropNode discards every stored checkpoint of the logical node
+	// (all tasks, all epochs) and returns how many were dropped.
+	DropNode(replica, node int) int
 }
 
 // Counters aggregates a store's activity. All fields are cumulative.

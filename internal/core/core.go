@@ -24,13 +24,16 @@ import (
 	"acr/internal/ckptstore"
 	"acr/internal/consensus"
 	"acr/internal/failure"
+	"acr/internal/netsim"
 	"acr/internal/runtime"
 	"acr/internal/trace"
 )
 
-// ErrUnrecoverable reports a hard error the configured scheme cannot
-// recover from (typically spare-pool exhaustion): the job cannot continue,
-// but the controller returns instead of hanging.
+// ErrUnrecoverable reports a hard error the recovery escalation ladder
+// cannot climb out of: every tier — buddy in-memory checkpoint, durable
+// flush of the committed epoch, older durable epochs — was empty or
+// unusable, and (when degraded mode is off) no spare was available. The
+// job cannot continue, but the controller returns instead of hanging.
 var ErrUnrecoverable = errors.New("core: unrecoverable hard error")
 
 // Scheme is one of ACR's three resilience levels (§2.3).
@@ -184,6 +187,34 @@ type Config struct {
 	// first mismatch but always reports the lowest (node, task) mismatch,
 	// so its outcome is identical to the serial walk.
 	CompareWorkers int
+	// FlushEvery, when positive, flushes every K-th committed epoch to a
+	// durable second tier — the escalation target when a buddy-pair double
+	// fault destroys both in-memory copies of a node's checkpoints. The
+	// flush clones the committed checkpoints synchronously (so the hot
+	// commit path's buffer recycling is unaffected) and writes them on a
+	// background goroutine; chaos runs write synchronously for
+	// deterministic reports. Zero disables the durable tier.
+	FlushEvery int
+	// FlushRetain bounds how many complete flushed epochs the durable
+	// tier keeps (older ones are evicted after each successful flush);
+	// <= 0 selects 2. Deeper retention buys deeper rollback at more disk.
+	FlushRetain int
+	// FlushStore is the durable tier behind FlushEvery. Nil with
+	// FlushEvery > 0 selects a controller-owned ckptstore.Disk in a
+	// temporary directory, removed at Run end.
+	FlushStore ckptstore.Store
+	// Degraded enables Charm++-style shrink on spare exhaustion: instead
+	// of failing with ErrUnrecoverable, the failed node's tasks are folded
+	// onto the least-loaded survivor in the same replica and the job
+	// continues degraded. Controller.FreeSpare re-expands folded nodes
+	// when capacity returns.
+	Degraded bool
+	// Exchange, when non-nil, routes the recovery-checkpoint mirror and
+	// the per-round compare-result message through a lossy netsim link
+	// with per-chunk acknowledgements, bounded-retry resend with capped
+	// exponential backoff, and idempotent receive. Nil keeps the direct
+	// in-process store path.
+	Exchange *ExchangeConfig
 	// SerialCommitPath pins the pre-fast-path commit behavior: replicas
 	// captured one after the other with two-pass packing and no buffer
 	// recycling, and buddies compared serially. It exists as the measured
@@ -219,6 +250,17 @@ func (c *Config) validate() error {
 		c.MaxInterval = 8 * c.CheckpointInterval
 		if c.MaxInterval <= 0 {
 			c.MaxInterval = time.Hour
+		}
+	}
+	if c.FlushEvery < 0 {
+		return fmt.Errorf("core: negative FlushEvery")
+	}
+	if c.FlushEvery > 0 && c.FlushRetain <= 0 {
+		c.FlushRetain = 2
+	}
+	if c.Exchange != nil {
+		if err := c.Exchange.validate(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -266,6 +308,34 @@ type Stats struct {
 	// two-phase comparison attributed the corruption to (-1 when the
 	// mismatch could not be localized to one chunk).
 	LocalizedChunks []int
+	// TierRecoveries counts replica restores per escalation-ladder tier:
+	// [0] buddy in-memory checkpoint at the committed epoch, [1] durable
+	// flush of the committed epoch, [2] an older complete durable epoch.
+	TierRecoveries [3]int
+	// RollbackDepths records, per ladder restore, how many committed
+	// epochs the restore point lies behind the newest commit (0 for
+	// tiers 0 and 1); MaxRollbackDepth is its maximum.
+	RollbackDepths   []int
+	MaxRollbackDepth int
+	// FlushedEpochs / FlushErrors count durable-tier flush completions
+	// and failures; BuddyPairLosses counts buddy pairs whose in-memory
+	// checkpoints were both destroyed by a double fault.
+	FlushedEpochs   int
+	FlushErrors     int
+	BuddyPairLosses int
+	// Folds counts spare-exhaustion folds onto a survivor; Expands counts
+	// folded nodes later re-expanded onto freed spares; DegradedNodes is
+	// how many logical nodes were still folded at run end.
+	Folds         int
+	Expands       int
+	DegradedNodes int
+	// ExchangeFrames / ExchangeRetries count frames offered to the lossy
+	// link (data, acks, and resends) and frame-level retransmissions;
+	// Link is the link's own loss/duplication/reorder accounting. All
+	// zero when Config.Exchange is nil.
+	ExchangeFrames  int64
+	ExchangeRetries int64
+	Link            netsim.LinkStats
 }
 
 // Controller runs an ACR job.
@@ -278,6 +348,28 @@ type Controller struct {
 	// when the store does not support recycling or the serial path is
 	// pinned.
 	pool *ckptstore.Pool
+
+	// flushStore is the hooked durable tier behind Config.FlushEvery; nil
+	// when flushing is disabled. ownedFlush is set when the controller
+	// created (and must close) the tier itself.
+	flushStore ckptstore.Store
+	ownedFlush *ckptstore.Disk
+	// flushMu guards flushedEpochs (ascending, complete durable epochs);
+	// flushWG tracks in-flight asynchronous flush writes. flushedCount /
+	// flushErrs are written by the async writer, harvested at Run end.
+	flushMu       sync.Mutex
+	flushedEpochs []uint64
+	flushWG       sync.WaitGroup
+	flushedCount  atomic.Int64
+	flushErrs     atomic.Int64
+	// commitLog lists committed epochs in commit order (eventLoop only);
+	// commitsSinceFlush counts commits toward the next flush.
+	commitLog         []uint64
+	commitsSinceFlush int
+
+	// exch is the hardened exchange protocol driver; nil when
+	// Config.Exchange is nil.
+	exch *exchanger
 
 	// roundCapture / roundCompare accumulate the current round's phase
 	// wall times; roundExchange totals store Get/Put time observed inside
@@ -354,7 +446,7 @@ func New(cfg Config) (*Controller, error) {
 	// Interpose the injection hook on the store's read/write paths so
 	// at-rest corruption campaigns see every checkpoint that lands.
 	st = ckptstore.WithHook(st, cfg.Chaos)
-	return &Controller{
+	ctrl := &Controller{
 		pool:       pool,
 		cfg:        cfg,
 		machine:    m,
@@ -364,7 +456,23 @@ func New(cfg Config) (*Controller, error) {
 		injectSeed: 1,
 		waitErr:    make(chan error, 1),
 		predictCh:  make(chan struct{}, 8),
-	}, nil
+	}
+	if cfg.FlushEvery > 0 {
+		fs := cfg.FlushStore
+		if fs == nil {
+			d, err := ckptstore.NewDisk("", nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: create durable flush tier: %w", err)
+			}
+			ctrl.ownedFlush = d
+			fs = d
+		}
+		ctrl.flushStore = ckptstore.WithHook(fs, cfg.Chaos)
+	}
+	if cfg.Exchange != nil {
+		ctrl.exch = newExchanger(ctrl, *cfg.Exchange)
+	}
+	return ctrl, nil
 }
 
 // PredictFailure notifies ACR of an anticipated hard error (an online
@@ -425,6 +533,12 @@ func (c *Controller) Run() (Stats, error) {
 
 	err := c.eventLoop()
 	c.machine.Stop()
+	c.flushWG.Wait()
+	if c.ownedFlush != nil {
+		if cerr := c.ownedFlush.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: close durable flush tier: %w", cerr)
+		}
+	}
 	c.stats.FinalInterval = c.interval
 	c.stats.Elapsed = time.Since(c.start)
 	c.stats.StoreName = c.store.Name()
@@ -433,7 +547,25 @@ func (c *Controller) Run() (Stats, error) {
 	if c.pool != nil {
 		c.stats.Pool = c.pool.Counters()
 	}
+	c.stats.FlushedEpochs = int(c.flushedCount.Load())
+	c.stats.FlushErrors = int(c.flushErrs.Load())
+	c.stats.DegradedNodes = c.machine.FoldedCount()
+	c.stats.Expands = int(c.machine.ExpandCount())
+	if c.exch != nil {
+		c.stats.Link = c.exch.link.Stats()
+	}
 	return c.stats, err
+}
+
+// FreeSpare models a repaired node rejoining the job: a fresh spare is
+// added to the pool and, if the job is running degraded, folded nodes are
+// re-expanded onto it (oldest fold first). Safe to call from any
+// goroutine.
+func (c *Controller) FreeSpare() {
+	c.machine.AddSpare()
+	if n := c.machine.ExpandFolded(); n > 0 {
+		c.mark(trace.Fold, fmt.Sprintf("%d folded node(s) re-expanded onto freed spare", n))
+	}
 }
 
 // atomicDuration is a duration accumulated from concurrent workers.

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"errors"
 	"math"
-	"strings"
 	"testing"
 	"time"
 
@@ -316,8 +316,11 @@ func TestHardErrorWithoutSparesIsFatal(t *testing.T) {
 		ctrl.KillNode(0, 0)
 	}()
 	_, err = ctrl.Run()
-	if err == nil || !strings.Contains(err.Error(), "unrecoverable") {
-		t.Fatalf("expected unrecoverable error, got %v", err)
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("expected ErrUnrecoverable, got %v", err)
+	}
+	if !errors.Is(err, runtime.ErrSpareExhausted) {
+		t.Fatalf("cause should be spare exhaustion, got %v", err)
 	}
 }
 

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
+	"acr/internal/netsim"
+	"acr/internal/trace"
+)
+
+// This file hardens the buddy checkpoint exchange against a lossy
+// interconnect. The direct path (Config.Exchange == nil) mirrors recovery
+// checkpoints and learns compare outcomes through in-process store calls —
+// implicitly a perfectly reliable network. With an ExchangeConfig, the
+// recovery-checkpoint mirror and the per-round compare-result message
+// instead travel as frames through a netsim.Link that loses, duplicates,
+// and reorders them, and a small ack/retry protocol makes the exchange
+// reliable again:
+//
+//   - checkpoints are shipped chunk by chunk; every data frame is
+//     identified by (epoch, node, task, chunk) and acknowledged per chunk,
+//     and acks themselves cross the same lossy link;
+//   - unacknowledged frames are resent with capped exponential backoff
+//     plus deterministic jitter, bounded by MaxAttempts per frame and a
+//     per-round deadline;
+//   - the receive side is idempotent: duplicate or late deliveries are
+//     deduplicated by frame id, and payload bytes are copied into the
+//     frame at send time, so a straggler delivered after its transfer
+//     completed can never scribble on recycled checkpoint-pool buffers.
+//
+// A failed exchange (attempts or deadline exhausted) aborts the recovery
+// round with an error instead of hanging — the watchdog never has to fire.
+
+// ErrExchange reports a hardened-exchange transfer that exhausted its
+// retry budget or round deadline.
+var ErrExchange = errors.New("core: checkpoint exchange failed")
+
+// ExchangeConfig parameterizes the hardened exchange.
+type ExchangeConfig struct {
+	// Loss / Dup / Reorder are the link fault probabilities (see
+	// netsim.LinkParams).
+	Loss    float64
+	Dup     float64
+	Reorder float64
+	// Seed drives the link's fault draws and the backoff jitter; the
+	// whole exchange schedule is a pure function of it.
+	Seed int64
+	// MaxAttempts bounds transmissions per frame (<= 0 selects 16).
+	MaxAttempts int
+	// BaseBackoff / MaxBackoff bound the capped exponential backoff
+	// between retransmissions (<= 0 selects 50µs / 1ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RoundDeadline bounds one transfer's total wall time (<= 0 selects
+	// 5s). It exists so a pathological link fails the round visibly
+	// rather than tripping the campaign watchdog.
+	RoundDeadline time.Duration
+}
+
+func (e *ExchangeConfig) validate() error {
+	if e.Loss < 0 || e.Dup < 0 || e.Reorder < 0 || e.Loss+e.Dup+e.Reorder >= 1 {
+		return fmt.Errorf("core: exchange fault probabilities must be non-negative and sum below 1 (loss=%v dup=%v reorder=%v)",
+			e.Loss, e.Dup, e.Reorder)
+	}
+	if e.MaxAttempts <= 0 {
+		e.MaxAttempts = 16
+	}
+	if e.BaseBackoff <= 0 {
+		e.BaseBackoff = 50 * time.Microsecond
+	}
+	if e.MaxBackoff <= 0 {
+		e.MaxBackoff = time.Millisecond
+	}
+	if e.RoundDeadline <= 0 {
+		e.RoundDeadline = 5 * time.Second
+	}
+	return nil
+}
+
+// frameID identifies one exchange frame. Chunk -1 marks a control frame
+// (the compare-result message); data frames carry one checkpoint chunk.
+type frameID struct {
+	epoch uint64
+	node  int
+	task  int
+	chunk int
+}
+
+// frame is what crosses the link: a chunk payload (copied at send time)
+// or an acknowledgement for one.
+type frame struct {
+	id      frameID
+	ack     bool
+	payload []byte
+	off     int // payload offset in the assembled buffer
+}
+
+// assemblyKey addresses one in-flight checkpoint reassembly.
+type assemblyKey struct {
+	epoch uint64
+	node  int
+	task  int
+}
+
+// exchanger drives the ack/retry protocol over one lossy link. It runs
+// entirely on the controller's event-loop goroutine.
+type exchanger struct {
+	c    *Controller
+	cfg  ExchangeConfig
+	link *netsim.Link
+	rng  *rand.Rand // backoff jitter
+	// seen deduplicates delivered data frames; acked records received
+	// acks. Both persist across transfers so late duplicates of a
+	// finished transfer stay inert.
+	seen  map[frameID]bool
+	acked map[frameID]bool
+	// assembling maps in-flight reassemblies to their destination
+	// buffers; a data frame whose transfer already finalized finds no
+	// buffer and is dropped (counted, never written).
+	assembling map[assemblyKey][]byte
+}
+
+func newExchanger(c *Controller, cfg ExchangeConfig) *exchanger {
+	return &exchanger{
+		c:          c,
+		cfg:        cfg,
+		link:       netsim.NewLink(netsim.LinkParams{Loss: cfg.Loss, Dup: cfg.Dup, Reorder: cfg.Reorder, Seed: cfg.Seed}),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x657863)),
+		seen:       make(map[frameID]bool),
+		acked:      make(map[frameID]bool),
+		assembling: make(map[assemblyKey][]byte),
+	}
+}
+
+// shipCheckpoint transfers one task checkpoint chunk-by-chunk through the
+// link and returns the reassembled (freshly captured) checkpoint. The
+// returned checkpoint owns its buffer — it never aliases src, so the
+// receiver's copy is safe against later recycling of src.
+func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src *ckptstore.Checkpoint) (*ckptstore.Checkpoint, error) {
+	deadline := time.Now().Add(x.cfg.RoundDeadline)
+	key := assemblyKey{epoch: epoch, node: node, task: task}
+	buf := make([]byte, src.Len())
+	x.assembling[key] = buf
+	defer delete(x.assembling, key)
+	retriesBefore := x.c.stats.ExchangeRetries
+	for i := 0; i < src.NumChunks(); i++ {
+		chunk := src.Chunk(i)
+		// Copy the payload out of the store-owned buffer: a duplicate of
+		// this frame may be delivered after the transfer (and the source
+		// epoch) is long gone.
+		payload := append([]byte(nil), chunk...)
+		f := frame{
+			id:      frameID{epoch: epoch, node: node, task: task, chunk: i},
+			payload: payload,
+			off:     i * src.ChunkSize,
+		}
+		if err := x.sendReliable(f, deadline); err != nil {
+			return nil, fmt.Errorf("transfer r?/n%d/t%d@e%d chunk %d/%d: %w", node, task, epoch, i, src.NumChunks(), err)
+		}
+	}
+	ck := ckptstore.Capture(buf, src.ChunkSize, 1)
+	if ck.Root != src.Root {
+		// Cannot happen with the dedupe invariants above; checked anyway
+		// so a protocol bug surfaces as a loud error, not silent SDC.
+		return nil, fmt.Errorf("%w: reassembled checkpoint n%d/t%d@e%d root mismatch", ErrExchange, node, task, epoch)
+	}
+	if r := x.c.stats.ExchangeRetries - retriesBefore; r > 0 {
+		x.c.mark(trace.Net, fmt.Sprintf("exchange n%d/t%d@e%d: %d chunks, %d retransmissions", node, task, epoch, src.NumChunks(), r))
+	}
+	return ck, nil
+}
+
+// shipResult sends the round's compare-result message (match/mismatch)
+// reliably through the link. The receiving side of the protocol acts on
+// the result only after this returns, so a lossy link can delay a commit
+// or rollback but never desynchronize the replicas' view of it.
+func (x *exchanger) shipResult(epoch uint64, mismatch bool) error {
+	deadline := time.Now().Add(x.cfg.RoundDeadline)
+	f := frame{id: frameID{epoch: epoch, node: -1, task: -1, chunk: -1}}
+	_ = mismatch // the verdict rides in the controller; the frame carries agreement
+	if err := x.sendReliable(f, deadline); err != nil {
+		return fmt.Errorf("compare-result message e%d: %w", epoch, err)
+	}
+	return nil
+}
+
+// sendReliable transmits one frame until it is acknowledged, with capped
+// exponential backoff plus jitter between attempts.
+func (x *exchanger) sendReliable(f frame, deadline time.Time) error {
+	backoff := x.cfg.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		if attempt >= x.cfg.MaxAttempts {
+			return fmt.Errorf("%w: frame %+v unacknowledged after %d attempts", ErrExchange, f.id, attempt)
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("%w: frame %+v missed the round deadline", ErrExchange, f.id)
+		}
+		if attempt > 0 {
+			x.c.stats.ExchangeRetries++
+			// Full jitter on the capped exponential: sleep in
+			// [backoff/2, backoff), deterministically from the seed.
+			d := backoff/2 + time.Duration(x.rng.Int63n(int64(backoff/2)+1))
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > x.cfg.MaxBackoff {
+				backoff = x.cfg.MaxBackoff
+			}
+		}
+		x.transmit(f)
+		if x.acked[f.id] {
+			return nil
+		}
+	}
+}
+
+// transmit pushes one frame (and any protocol frames it provokes) through
+// the link. Delivered data frames are written into their transfer's
+// assembly buffer exactly once and acknowledged; the acks cross the same
+// lossy link. The worklist bounds: every delivery of a data frame enqueues
+// at most one ack, ack deliveries enqueue nothing, and the link's held
+// queue only drains, so the loop terminates.
+func (x *exchanger) transmit(f frame) {
+	queue := []frame{f}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		info := point.Info{Replica: -1, Node: cur.id.node, Task: cur.id.task, Epoch: cur.id.epoch, Iter: cur.id.chunk}
+		if x.c.cfg.Chaos != nil {
+			x.c.cfg.Chaos.Fire(point.NetFrame, &info)
+		}
+		x.c.stats.ExchangeFrames++
+		if info.Drop {
+			// An injected drop: the frame dies before the link sees it.
+			continue
+		}
+		for _, o := range x.link.Send(cur) {
+			g := o.(frame)
+			if g.ack {
+				x.acked[g.id] = true
+				continue
+			}
+			if !x.seen[g.id] {
+				x.seen[g.id] = true
+				if buf, ok := x.assembling[assemblyKey{epoch: g.id.epoch, node: g.id.node, task: g.id.task}]; ok && g.payload != nil {
+					copy(buf[g.off:], g.payload)
+				}
+			}
+			// Ack every delivery, duplicate or not: the sender may have
+			// missed the previous ack.
+			queue = append(queue, frame{id: g.id, ack: true})
+		}
+	}
+}

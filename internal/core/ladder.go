@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
+	"acr/internal/trace"
+)
+
+// This file implements the recovery escalation ladder. The buddy
+// in-memory checkpoint (tier 0) survives any single node failure, but a
+// buddy-pair double fault destroys both physical copies of a logical
+// node's checkpoints at once. The ladder adds a durable second tier:
+// every Config.FlushEvery-th committed epoch is cloned and written to a
+// background flush store (a disk tier by default), and recovery escalates
+// through the tiers in order:
+//
+//	tier 0  buddy in-memory checkpoint at the committed epoch
+//	tier 1  the durable flush of the committed epoch
+//	tier 2  the newest complete older durable epoch (bounded rework:
+//	        the rollback depth is recorded per restore)
+//
+// ErrUnrecoverable is reserved for a genuinely empty ladder — every tier
+// exhausted — instead of the first in-memory miss.
+
+// flushClone carries one cloned task checkpoint to the durable writer.
+type flushClone struct {
+	rep, n, t int
+	ck        *ckptstore.Checkpoint
+}
+
+// maybeFlush runs on the commit path: it counts the commit toward the
+// flush period and, when due, clones the committed epoch's checkpoints
+// and hands them to the durable writer. Cloning is synchronous — the
+// commit path's buffer recycling (the next commit's Evict) must never
+// race the flush — but the durable Puts run on a background goroutine so
+// the hot path does not absorb disk latency. Chaos runs and the pinned
+// serial path flush synchronously: campaign reports depend on a
+// deterministic hook order.
+func (c *Controller) maybeFlush(epoch uint64) {
+	if c.flushStore == nil {
+		return
+	}
+	c.commitsSinceFlush++
+	if c.commitsSinceFlush < c.cfg.FlushEvery {
+		return
+	}
+	c.commitsSinceFlush = 0
+	clones := make([]flushClone, 0, 2*c.cfg.NodesPerReplica*c.cfg.TasksPerNode)
+	for rep := 0; rep < 2; rep++ {
+		for n := 0; n < c.cfg.NodesPerReplica; n++ {
+			for t := 0; t < c.cfg.TasksPerNode; t++ {
+				ck, err := c.store.Get(c.key(rep, n, t, epoch))
+				if err != nil {
+					c.flushErrs.Add(1)
+					c.mark(trace.Store, fmt.Sprintf("flush of epoch %d aborted: %v", epoch, err))
+					return
+				}
+				clones = append(clones, flushClone{rep, n, t, ck.Clone()})
+			}
+		}
+	}
+	write := func() {
+		for _, cl := range clones {
+			if err := c.flushStore.Put(c.key(cl.rep, cl.n, cl.t, epoch), cl.ck); err != nil {
+				c.flushErrs.Add(1)
+				c.mark(trace.Store, fmt.Sprintf("flush of epoch %d failed: %v", epoch, err))
+				return
+			}
+		}
+		c.flushMu.Lock()
+		i := sort.Search(len(c.flushedEpochs), func(i int) bool { return c.flushedEpochs[i] >= epoch })
+		c.flushedEpochs = append(c.flushedEpochs, 0)
+		copy(c.flushedEpochs[i+1:], c.flushedEpochs[i:])
+		c.flushedEpochs[i] = epoch
+		if keep := c.cfg.FlushRetain; len(c.flushedEpochs) > keep {
+			oldest := c.flushedEpochs[len(c.flushedEpochs)-keep]
+			c.flushedEpochs = append(c.flushedEpochs[:0], c.flushedEpochs[len(c.flushedEpochs)-keep:]...)
+			c.flushStore.Evict(oldest)
+		}
+		c.flushMu.Unlock()
+		c.flushedCount.Add(1)
+		c.fire(point.CoreFlush, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
+		c.mark(trace.Store, fmt.Sprintf("epoch %d flushed to durable tier (%s)", epoch, c.flushStore.Name()))
+	}
+	if c.cfg.Chaos != nil || c.cfg.SerialCommitPath {
+		write()
+		return
+	}
+	c.flushWG.Add(1)
+	go func() {
+		defer c.flushWG.Done()
+		write()
+	}()
+}
+
+// durableEpochsNewestFirst snapshots the complete durable epochs at or
+// below the committed epoch, newest first — the ladder's tier-1/tier-2
+// candidates.
+func (c *Controller) durableEpochsNewestFirst() []uint64 {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	out := make([]uint64, 0, len(c.flushedEpochs))
+	for i := len(c.flushedEpochs) - 1; i >= 0; i-- {
+		if e := c.flushedEpochs[i]; e <= c.committedEpoch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// recordLadderRestore books one successful ladder restore: the tier it
+// landed on and how many committed epochs of work the restore point lies
+// behind the newest commit.
+func (c *Controller) recordLadderRestore(tier int, epoch uint64) {
+	c.stats.TierRecoveries[tier]++
+	depth := 0
+	for i := len(c.commitLog) - 1; i >= 0 && c.commitLog[i] > epoch; i-- {
+		depth++
+	}
+	c.stats.RollbackDepths = append(c.stats.RollbackDepths, depth)
+	if depth > c.stats.MaxRollbackDepth {
+		c.stats.MaxRollbackDepth = depth
+	}
+}
+
+// restartFromCommitted launches the replica from the newest usable
+// checkpoint the ladder can find, or from factory state when nothing has
+// committed yet. Restoration reads every task checkpoint back out of a
+// storage tier — the restart path, like commit and compare, goes
+// exclusively through stores.
+func (c *Controller) restartFromCommitted(rep int) error {
+	c.fire(point.CoreRestart, point.Info{Replica: rep, Node: -1, Task: -1, Epoch: c.committedEpoch})
+	if c.committedEpoch == 0 {
+		if err := c.machine.RestartReplica(rep, emptySet(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)); err != nil {
+			return fmt.Errorf("core: restart replica %d: %w", rep, err)
+		}
+		return nil
+	}
+	// Tier 0: the buddy in-memory checkpoint at the committed epoch.
+	err0 := c.machine.RestartReplicaFromStore(rep, c.committedEpoch, c.store)
+	if err0 == nil {
+		c.recordLadderRestore(0, c.committedEpoch)
+		return nil
+	}
+	if c.flushStore == nil {
+		// Wrap err0 too: an at-rest corruption verdict (ckptstore.ErrCorrupt)
+		// must stay visible to errors.Is even when the ladder has no lower
+		// tier — detection succeeded even though recovery cannot.
+		return fmt.Errorf("%w: replica %d: committed epoch %d unusable (%w) and no durable tier configured",
+			ErrUnrecoverable, rep, c.committedEpoch, err0)
+	}
+	// Escalate. Settle any in-flight flush first so the durable view is
+	// complete, then walk the durable epochs newest-first; a corrupt or
+	// incomplete durable epoch is skipped, not fatal.
+	c.flushWG.Wait()
+	c.mark(trace.Restart, fmt.Sprintf("replica %d escalating past committed epoch %d: %v", rep, c.committedEpoch, err0))
+	var lastErr error
+	for _, epoch := range c.durableEpochsNewestFirst() {
+		if err := c.machine.RestartReplicaFromStore(rep, epoch, c.flushStore); err != nil {
+			lastErr = err
+			c.mark(trace.Restart, fmt.Sprintf("replica %d: durable epoch %d unusable: %v", rep, epoch, err))
+			continue
+		}
+		tier := 1
+		if epoch != c.committedEpoch {
+			tier = 2
+		}
+		c.recordLadderRestore(tier, epoch)
+		c.mark(trace.Restart, fmt.Sprintf("replica %d restored from durable epoch %d (tier %d, rollback depth %d)",
+			rep, epoch, tier, c.stats.RollbackDepths[len(c.stats.RollbackDepths)-1]))
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = err0
+	}
+	return fmt.Errorf("%w: replica %d: recovery ladder exhausted (last tier error: %v)", ErrUnrecoverable, rep, lastErr)
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
+	"acr/internal/netsim"
+	"acr/internal/runtime"
+)
+
+// killPairAtCommit returns a hook that fail-stops both buddies of the
+// given logical node on the n-th commit — the correlated double fault the
+// escalation ladder exists for. Driving the kill from the commit point
+// keeps the test deterministic under scheduler load.
+func killPairAtCommit(ctrl **Controller, node, nth int) point.Hook {
+	var commits atomic.Int64
+	return point.HookFunc(func(id point.ID, info *point.Info) {
+		if id != point.CoreCommit {
+			return
+		}
+		if commits.Add(1) == int64(nth) {
+			(*ctrl).KillNode(0, node)
+			(*ctrl).KillNode(1, node)
+		}
+	})
+}
+
+// TestLadderDiskFallback: a buddy-pair double fault after an unflushed
+// commit destroys both in-memory copies of the node's checkpoints; both
+// replicas must escalate past tier 0 to the durable flush tier, roll back
+// one committed epoch of work, and still produce the bit-identical final
+// state.
+func TestLadderDiskFallback(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.Spares = 4
+	cfg.FlushEvery = 2 // durable epochs: 2, 4, ...
+	var ctrl *Controller
+	// Kill at commit 3: committed epoch 3 is in memory only, the durable
+	// tier holds epoch 2 — recovery must land on tier 2 with depth 1.
+	cfg.Chaos = killPairAtCommit(&ctrl, 1, 3)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BuddyPairLosses != 1 {
+		t.Errorf("buddy pair losses = %d, want 1", stats.BuddyPairLosses)
+	}
+	if stats.HardErrors != 2 {
+		t.Errorf("hard errors = %d, want 2", stats.HardErrors)
+	}
+	if stats.FlushedEpochs < 1 {
+		t.Errorf("flushed epochs = %d, want >= 1", stats.FlushedEpochs)
+	}
+	if stats.FlushErrors != 0 {
+		t.Errorf("flush errors = %d, want 0", stats.FlushErrors)
+	}
+	// Both replicas lost the node's tier-0 copies, so both restores must
+	// have come from the durable tier at an older epoch.
+	if stats.TierRecoveries[0] != 0 || stats.TierRecoveries[2] != 2 {
+		t.Errorf("tier recoveries = %v, want [0 0 2]", stats.TierRecoveries)
+	}
+	if stats.MaxRollbackDepth != 1 {
+		t.Errorf("max rollback depth = %d, want 1", stats.MaxRollbackDepth)
+	}
+	verifyFinalState(t, ctrl, 2, 2, 8000)
+}
+
+// TestLadderEmptyIsUnrecoverable: the same double fault without a durable
+// tier leaves the ladder genuinely empty — the run must fail with
+// ErrUnrecoverable (and not misreport spare exhaustion as the cause).
+func TestLadderEmptyIsUnrecoverable(t *testing.T) {
+	cfg := baseConfig(2, 2, 200000)
+	cfg.Spares = 4
+	var ctrl *Controller
+	cfg.Chaos = killPairAtCommit(&ctrl, 0, 2)
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("expected ErrUnrecoverable, got %v", err)
+	}
+	if errors.Is(err, runtime.ErrSpareExhausted) {
+		t.Fatalf("spare exhaustion misreported as cause: %v", err)
+	}
+	if stats.BuddyPairLosses != 1 {
+		t.Errorf("buddy pair losses = %d, want 1", stats.BuddyPairLosses)
+	}
+}
+
+// TestDegradedFold: with the spare pool empty and Degraded enabled, a hard
+// error folds the dead node onto the least-loaded survivor of its replica
+// and the job completes shrunk — with the same bit-identical result.
+func TestDegradedFold(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.Spares = 0
+	cfg.Degraded = true
+	var ctrl *Controller
+	var commits atomic.Int64
+	cfg.Chaos = point.HookFunc(func(id point.ID, info *point.Info) {
+		if id == point.CoreCommit && commits.Add(1) == 2 {
+			ctrl.KillNode(1, 0)
+		}
+	})
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Folds != 1 {
+		t.Errorf("folds = %d, want 1", stats.Folds)
+	}
+	if stats.DegradedNodes != 1 {
+		t.Errorf("degraded nodes at end = %d, want 1", stats.DegradedNodes)
+	}
+	if stats.SparesUsed != 0 {
+		t.Errorf("spares used = %d, want 0", stats.SparesUsed)
+	}
+	if stats.HardErrors != 1 {
+		t.Errorf("hard errors = %d, want 1", stats.HardErrors)
+	}
+	verifyFinalState(t, ctrl, 2, 2, 8000)
+}
+
+// TestDegradedReExpand: a spare freed after a fold (FreeSpare) re-expands
+// the folded node onto it before its tasks restart, so the job ends with
+// no degraded nodes.
+func TestDegradedReExpand(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.Spares = 0
+	cfg.Degraded = true
+	var ctrl *Controller
+	var commits atomic.Int64
+	cfg.Chaos = point.HookFunc(func(id point.ID, info *point.Info) {
+		switch id {
+		case point.CoreCommit:
+			if commits.Add(1) == 2 {
+				ctrl.KillNode(0, 1)
+			}
+		case point.CoreFold:
+			// A repaired node rejoins right after the fold; the recovery
+			// restart below it picks up the re-expanded mapping.
+			ctrl.FreeSpare()
+		}
+	})
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Folds != 1 {
+		t.Errorf("folds = %d, want 1", stats.Folds)
+	}
+	if stats.Expands != 1 {
+		t.Errorf("expands = %d, want 1", stats.Expands)
+	}
+	if stats.DegradedNodes != 0 {
+		t.Errorf("degraded nodes at end = %d, want 0", stats.DegradedNodes)
+	}
+	verifyFinalState(t, ctrl, 2, 2, 8000)
+}
+
+// TestDegradedDisabledStaysFatal: without Degraded, spare exhaustion is
+// still fatal and the typed cause survives the wrap.
+func TestDegradedDisabledStaysFatal(t *testing.T) {
+	cfg := baseConfig(2, 2, 200000)
+	cfg.Spares = 0
+	var ctrl *Controller
+	var commits atomic.Int64
+	cfg.Chaos = point.HookFunc(func(id point.ID, info *point.Info) {
+		if id == point.CoreCommit && commits.Add(1) == 1 {
+			ctrl.KillNode(0, 0)
+		}
+	})
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ctrl.Run()
+	if !errors.Is(err, ErrUnrecoverable) || !errors.Is(err, runtime.ErrSpareExhausted) {
+		t.Fatalf("want ErrUnrecoverable wrapping ErrSpareExhausted, got %v", err)
+	}
+}
+
+// lossySeed finds a link seed whose very first frame is lost, so a run
+// using it is guaranteed at least one retransmission regardless of how
+// many frames the run sends.
+func lossySeed(t *testing.T, p netsim.LinkParams) int64 {
+	t.Helper()
+	for seed := int64(0); seed < 1000; seed++ {
+		p.Seed = seed
+		if out := netsim.NewLink(p).Send(0); len(out) == 0 {
+			return seed
+		}
+	}
+	t.Fatal("no seed loses the first frame")
+	return 0
+}
+
+// TestExchangeLossyLink: with checkpoint exchange and compare results
+// routed through a 10%-loss, 5%-duplication link, every round still
+// completes — the per-chunk ack/retry protocol absorbs the faults — and
+// the recovery transfer after a crash delivers byte-identical state.
+func TestExchangeLossyLink(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.Scheme = Medium
+	exch := ExchangeConfig{Loss: 0.10, Dup: 0.05}
+	exch.Seed = lossySeed(t, netsim.LinkParams{Loss: exch.Loss, Dup: exch.Dup})
+	cfg.Exchange = &exch
+	var ctrl *Controller
+	var commits atomic.Int64
+	cfg.Chaos = point.HookFunc(func(id point.ID, info *point.Info) {
+		if id == point.CoreCommit && commits.Add(1) == 2 {
+			ctrl.KillNode(0, 1) // medium recovery ships checkpoints over the link
+		}
+	})
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HardErrors != 1 {
+		t.Errorf("hard errors = %d, want 1", stats.HardErrors)
+	}
+	if stats.ExchangeFrames == 0 {
+		t.Error("no frames crossed the link")
+	}
+	if stats.ExchangeRetries == 0 {
+		t.Error("lossy link produced no retries")
+	}
+	if stats.Link.Lost == 0 {
+		t.Errorf("link lost no frames: %+v", stats.Link)
+	}
+	if stats.Link.Sent == 0 || stats.Link.Delivered == 0 {
+		t.Errorf("link stats empty: %+v", stats.Link)
+	}
+	verifyFinalState(t, ctrl, 2, 2, 8000)
+}
+
+// TestExchangeCleanLinkTransparent: a fault-free exchange changes no
+// results and needs no retries.
+func TestExchangeCleanLinkTransparent(t *testing.T) {
+	cfg := baseConfig(2, 2, 4000)
+	cfg.Exchange = &ExchangeConfig{}
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ExchangeRetries != 0 {
+		t.Errorf("clean link retried %d times", stats.ExchangeRetries)
+	}
+	if stats.ExchangeFrames == 0 {
+		t.Error("exchange enabled but no frames sent")
+	}
+	verifyFinalState(t, ctrl, 2, 2, 4000)
+}
+
+// TestFlushRetention: the durable tier keeps only FlushRetain epochs; the
+// background flusher's view stays consistent with the stats.
+func TestFlushRetention(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.FlushEvery = 1
+	cfg.FlushRetain = 2
+	fs := ckptstore.NewMem()
+	cfg.FlushStore = fs
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FlushedEpochs < 3 {
+		t.Fatalf("flushed epochs = %d, want >= 3 (raise iters?)", stats.FlushedEpochs)
+	}
+	// Only the newest FlushRetain epochs may remain in the flush store.
+	epochs := map[uint64]bool{}
+	for e := uint64(1); e < uint64(stats.FlushedEpochs)+8; e++ {
+		if _, err := fs.Get(ckptstore.Key{Replica: 0, Node: 0, Task: 0, Epoch: e}); err == nil {
+			epochs[e] = true
+		}
+	}
+	if len(epochs) > cfg.FlushRetain {
+		t.Errorf("flush store retains %d epochs %v, want <= %d", len(epochs), epochs, cfg.FlushRetain)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	stdruntime "runtime"
@@ -88,6 +89,17 @@ func (c *Controller) normalRound() error {
 			c.coord.Release()
 		}
 		return err
+	}
+	if c.exch != nil {
+		// The round's verdict is itself a message between the replicas
+		// (§4.2's result exchange): under the hardened exchange it must
+		// cross the lossy link reliably before either side acts on it.
+		if rerr := c.exch.shipResult(epoch, mismatch != ""); rerr != nil {
+			if !c.cfg.SemiBlocking {
+				c.coord.Release()
+			}
+			return fmt.Errorf("core: exchange compare result: %w", rerr)
+		}
 	}
 	if mismatch != "" {
 		// Silent data corruption: both replicas roll back to the
@@ -211,8 +223,10 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 	// The healthy node's local checkpoint is simultaneously the remote
 	// checkpoint of its buddy in the crashed replica: "sends the
 	// checkpoint to the crashed replica" (§2.3). Mirror the stored
-	// checkpoints under the crashed replica's keys; the chunked capture
-	// is shared, not recomputed. This mirroring is the recovery round's
+	// checkpoints under the crashed replica's keys; on the direct path
+	// the chunked capture is shared, not recomputed, while the hardened
+	// exchange ships it chunk-by-chunk through the lossy link and stores
+	// the reassembled copy. This mirroring is the recovery round's
 	// exchange phase.
 	exchBegan := time.Now()
 	for n := 0; n < c.cfg.NodesPerReplica; n++ {
@@ -221,6 +235,13 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 			if err != nil {
 				c.coord.Release()
 				return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
+			}
+			if c.exch != nil {
+				ck, err = c.exch.shipCheckpoint(epoch, n, t, ck)
+				if err != nil {
+					c.coord.Release()
+					return fmt.Errorf("core: exchange recovery checkpoint: %w", err)
+				}
 			}
 			if err := c.store.Put(c.key(crashed, n, t, epoch), ck); err != nil {
 				c.coord.Release()
@@ -464,12 +485,14 @@ func firstDiffChunk(a, b []byte, chunkSize int) int {
 // store's counters to the timeline.
 func (c *Controller) commit(epoch uint64, began time.Time) {
 	c.committedEpoch = epoch
+	c.commitLog = append(c.commitLog, epoch)
 	c.stats.Checkpoints++
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
 	c.appendPhaseTimes()
 	c.store.Evict(epoch)
 	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed (epoch %d)", c.stats.Checkpoints, epoch))
 	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
+	c.maybeFlush(epoch)
 	c.markStore()
 }
 
@@ -477,11 +500,13 @@ func (c *Controller) commit(epoch uint64, began time.Time) {
 // without buddy comparison (medium/weak schemes).
 func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
 	c.committedEpoch = epoch
+	c.commitLog = append(c.commitLog, epoch)
 	c.stats.Checkpoints++
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
 	c.appendPhaseTimes()
 	c.store.Evict(epoch)
 	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
+	c.maybeFlush(epoch)
 	c.markStore()
 }
 
@@ -517,12 +542,42 @@ func (c *Controller) handleFailure(f runtime.Failure) error {
 	c.mark(trace.Failure, fmt.Sprintf("hard error r%d/n%d", f.Replica, f.Node))
 	c.adaptInterval()
 
-	if err := c.machine.ReplaceWithSpare(f.Replica, f.Node); err != nil {
-		return fmt.Errorf("%w at r%d/n%d: %v", ErrUnrecoverable, f.Replica, f.Node, err)
-	}
-	c.stats.SparesUsed++
-
 	other := 1 - f.Replica
+	if !c.machine.Alive(other, f.Node) {
+		// Buddy-pair double fault: both physical holders of logical node
+		// f.Node's in-memory checkpoints are dead, so every epoch of that
+		// node's tier-0 copies is gone (in both replicas — each side held
+		// the other's remote copy). Model the loss in the volatile tier;
+		// recovery escalates down the ladder. The drop is idempotent
+		// across the two failure events, so the pair is counted once.
+		if v, ok := c.store.(ckptstore.Volatile); ok {
+			if n := v.DropNode(0, f.Node) + v.DropNode(1, f.Node); n > 0 {
+				c.stats.BuddyPairLosses++
+				c.mark(trace.Failure, fmt.Sprintf("buddy pair n%d lost both in-memory copies (%d checkpoints dropped)", f.Node, n))
+			}
+		}
+	}
+
+	if err := c.machine.ReplaceWithSpare(f.Replica, f.Node); err != nil {
+		if !errors.Is(err, runtime.ErrSpareExhausted) || !c.cfg.Degraded {
+			// Keep the cause wrapped: callers branch on ErrUnrecoverable for
+			// the verdict and on ErrSpareExhausted for the reason.
+			return fmt.Errorf("%w at r%d/n%d: %w", ErrUnrecoverable, f.Replica, f.Node, err)
+		}
+		// Degraded mode: shrink instead of dying. The failed node's tasks
+		// fold onto the least-loaded survivor of the same replica; the
+		// per-scheme recovery below restarts them there from a checkpoint
+		// exactly as it would on a spare.
+		host, foldErr := c.machine.FoldOntoSurvivor(f.Replica, f.Node)
+		if foldErr != nil {
+			return fmt.Errorf("%w at r%d/n%d: %v", ErrUnrecoverable, f.Replica, f.Node, foldErr)
+		}
+		c.stats.Folds++
+		c.fire(point.CoreFold, point.Info{Replica: f.Replica, Node: f.Node, Task: host})
+		c.mark(trace.Fold, fmt.Sprintf("spares exhausted: r%d/n%d folded onto survivor n%d (degraded)", f.Replica, f.Node, host))
+	} else {
+		c.stats.SparesUsed++
+	}
 	if c.pendingWeak[f.Replica] {
 		// Another node of an already-crashed replica: the pending
 		// recovery will restore the whole replica anyway.
@@ -570,24 +625,6 @@ func (c *Controller) rollbackReplica(rep int) error {
 		return err
 	}
 	c.stats.Rollbacks++
-	return nil
-}
-
-// restartFromCommitted launches the replica from the committed epoch, or
-// from factory state when nothing has committed yet. Restoration reads
-// every task checkpoint back out of the store — the restart path, like
-// commit and compare, goes exclusively through the storage tier.
-func (c *Controller) restartFromCommitted(rep int) error {
-	c.fire(point.CoreRestart, point.Info{Replica: rep, Node: -1, Task: -1, Epoch: c.committedEpoch})
-	if c.committedEpoch == 0 {
-		if err := c.machine.RestartReplica(rep, emptySet(c.cfg.NodesPerReplica, c.cfg.TasksPerNode)); err != nil {
-			return fmt.Errorf("core: restart replica %d: %w", rep, err)
-		}
-		return nil
-	}
-	if err := c.machine.RestartReplicaFromStore(rep, c.committedEpoch, c.store); err != nil {
-		return fmt.Errorf("core: restart replica %d: %w", rep, err)
-	}
 	return nil
 }
 

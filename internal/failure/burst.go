@@ -1,0 +1,91 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Correlated failure bursts. Field studies of HPC failure logs show hard
+// errors cluster: a power or cooling event takes out several physically
+// adjacent nodes within seconds, not one node per MTBF. For ACR the
+// nastiest cluster is the buddy pair — the same logical node in both
+// replicas — because it destroys both in-memory copies of that node's
+// checkpoints and forces the recovery ladder past tier 0. Burst turns a
+// plain hard-error schedule into such correlated clusters.
+
+// Burst parameterizes correlated-burst expansion of a hard-error
+// schedule. Each schedule time becomes the anchor of one burst: Width
+// correlated fail-stop events spread uniformly over the next Window
+// seconds, targeted at a physical neighborhood.
+type Burst struct {
+	// Width is how many nodes each burst kills (>= 1). Width 1 degrades
+	// to the classical independent plan.
+	Width int
+	// Window is the burst's duration in seconds (>= 0): every event of a
+	// burst lands in [anchor, anchor+Window]. Zero makes the burst
+	// simultaneous.
+	Window float64
+	// BuddyPairs aims each burst at buddy pairs: the burst picks a
+	// random logical node and kills it in replica 0 then replica 1 (then
+	// the next adjacent logical node, wrapping, for Width > 2) — the
+	// double-fault shape the escalation ladder exists for. When false,
+	// the burst sweeps a physical neighborhood instead: a random anchor
+	// (replica, node) and its Width-1 following node indices in the same
+	// replica, wrapping.
+	BuddyPairs bool
+}
+
+func (b Burst) validate() error {
+	if b.Width < 1 {
+		return fmt.Errorf("failure: burst width %d < 1", b.Width)
+	}
+	if b.Window < 0 || b.Window != b.Window {
+		return fmt.Errorf("failure: invalid burst window %v", b.Window)
+	}
+	return nil
+}
+
+// NewBurstPlan expands each anchor time of the hard schedule into one
+// correlated burst of b.Width fail-stop events inside [t, t+b.Window],
+// and merges the sdc schedule in unchanged (uniform-random targets). The
+// result is stably time-ordered and deterministic for a fixed rng seed.
+// Invariants (property-tested): exactly len(hard)*b.Width hard events and
+// len(sdc) SDC events; every hard event of a burst lies within the
+// burst's window; every target is a valid (replica, node).
+func NewBurstPlan(hard, sdc Schedule, nodesPerReplica int, b Burst, rng *rand.Rand) (Plan, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if nodesPerReplica <= 0 {
+		return nil, fmt.Errorf("failure: nodesPerReplica %d <= 0", nodesPerReplica)
+	}
+	p := make(Plan, 0, len(hard)*b.Width+len(sdc))
+	for _, t := range hard {
+		anchorRep := rng.Intn(2)
+		anchorNode := rng.Intn(nodesPerReplica)
+		for i := 0; i < b.Width; i++ {
+			var rep, node int
+			if b.BuddyPairs {
+				// i=0,1 hit both replicas of anchorNode; further events
+				// walk to the adjacent logical nodes' pairs.
+				rep = i % 2
+				node = (anchorNode + i/2) % nodesPerReplica
+			} else {
+				rep = anchorRep
+				node = (anchorNode + i) % nodesPerReplica
+			}
+			dt := 0.0
+			if b.Window > 0 {
+				dt = rng.Float64() * b.Window
+			}
+			p = append(p, Event{Time: t + dt, Kind: Hard, Replica: rep, Node: node})
+		}
+	}
+	for _, t := range sdc {
+		rep, node := RandomTarget.resolve(nodesPerReplica, rng)
+		p = append(p, Event{Time: t, Kind: SDC, Replica: rep, Node: node})
+	}
+	sort.SliceStable(p, func(i, j int) bool { return p[i].Time < p[j].Time })
+	return p, nil
+}

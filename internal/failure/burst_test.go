@@ -1,0 +1,142 @@
+package failure
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestBurstPlanProperties property-checks NewBurstPlan: for arbitrary
+// schedules and burst shapes, the plan holds exactly width hard events per
+// anchor inside the anchor's window, every SDC event unchanged, valid
+// targets, and time ordering.
+func TestBurstPlanProperties(t *testing.T) {
+	prop := func(seed int64, nHard, nSDC, width, nodes uint8, window float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := int(nHard%8) + 1
+		s := int(nSDC % 8)
+		b := Burst{
+			Width:      int(width%5) + 1,
+			Window:     (window - float64(int(window))) * 10, // fractional part scaled; may be negative
+			BuddyPairs: seed%2 == 0,
+		}
+		if b.Window < 0 {
+			b.Window = -b.Window
+		}
+		npr := int(nodes%6) + 1
+		hard := make(Schedule, h)
+		for i := range hard {
+			hard[i] = float64(i) * 100 // well-separated anchors
+		}
+		sdc := make(Schedule, s)
+		for i := range sdc {
+			sdc[i] = float64(i)*70 + 13
+		}
+		plan, err := NewBurstPlan(hard, sdc, npr, b, rng)
+		if err != nil {
+			t.Logf("unexpected error: %v", err)
+			return false
+		}
+		// Total-count invariant.
+		nh, ns := 0, 0
+		for _, e := range plan {
+			switch e.Kind {
+			case Hard:
+				nh++
+			case SDC:
+				ns++
+			}
+			if e.Replica < 0 || e.Replica > 1 || e.Node < 0 || e.Node >= npr {
+				t.Logf("invalid target %+v", e)
+				return false
+			}
+		}
+		if nh != h*b.Width || ns != s {
+			t.Logf("counts: hard %d want %d, sdc %d want %d", nh, h*b.Width, ns, s)
+			return false
+		}
+		// Window invariant: every hard event lies inside some anchor's
+		// [t, t+Window]. Anchors are 100s apart and windows <= 10s, so
+		// each event identifies its anchor uniquely.
+		for _, e := range plan {
+			if e.Kind != Hard {
+				continue
+			}
+			inWindow := false
+			for _, a := range hard {
+				if e.Time >= a && e.Time <= a+b.Window {
+					inWindow = true
+					break
+				}
+			}
+			if !inWindow {
+				t.Logf("event at %v outside every burst window (window=%v)", e.Time, b.Window)
+				return false
+			}
+		}
+		// Ordering invariant.
+		for i := 1; i < len(plan); i++ {
+			if plan[i].Time < plan[i-1].Time {
+				t.Logf("plan not time-ordered at %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBurstPlanDeterministic pins seed-determinism: the same inputs and
+// seed reproduce the identical plan.
+func TestBurstPlanDeterministic(t *testing.T) {
+	mk := func() Plan {
+		rng := rand.New(rand.NewSource(42))
+		p, err := NewBurstPlan(Schedule{10, 200}, Schedule{55}, 4, Burst{Width: 3, Window: 2.5, BuddyPairs: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("plans differ:\n%v\n%v", a, b)
+	}
+}
+
+// TestBurstPlanBuddyPairs checks the buddy-pair shape: width 2 kills the
+// same logical node in both replicas.
+func TestBurstPlanBuddyPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	plan, err := NewBurstPlan(Schedule{100}, nil, 5, Burst{Width: 2, Window: 0, BuddyPairs: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("got %d events, want 2", len(plan))
+	}
+	if plan[0].Node != plan[1].Node {
+		t.Fatalf("buddy burst hit different nodes: %+v", plan)
+	}
+	if plan[0].Replica == plan[1].Replica {
+		t.Fatalf("buddy burst hit one replica twice: %+v", plan)
+	}
+	if plan[0].Time != 100 || plan[1].Time != 100 {
+		t.Fatalf("zero-window burst not simultaneous: %+v", plan)
+	}
+}
+
+// TestBurstPlanRejectsBadShape checks validation.
+func TestBurstPlanRejectsBadShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewBurstPlan(Schedule{1}, nil, 4, Burst{Width: 0}, rng); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := NewBurstPlan(Schedule{1}, nil, 4, Burst{Width: 1, Window: -1}, rng); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := NewBurstPlan(Schedule{1}, nil, 0, Burst{Width: 1}, rng); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}

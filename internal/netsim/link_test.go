@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// TestLinkClean: a fault-free link is a transparent pipe.
+func TestLinkClean(t *testing.T) {
+	l := NewLink(LinkParams{Seed: 1})
+	for i := 0; i < 100; i++ {
+		out := l.Send(i)
+		if len(out) != 1 || out[0].(int) != i {
+			t.Fatalf("frame %d: got %v, want [%d]", i, out, i)
+		}
+	}
+	s := l.Stats()
+	if s.Sent != 100 || s.Delivered != 100 || s.Lost+s.Duplicated+s.Reordered != 0 {
+		t.Fatalf("clean link stats: %+v", s)
+	}
+}
+
+// TestLinkDeterministic: the same seed and frame sequence reproduce the
+// identical fault pattern and delivery order.
+func TestLinkDeterministic(t *testing.T) {
+	run := func() ([]any, LinkStats) {
+		l := NewLink(LinkParams{Loss: 0.2, Dup: 0.15, Reorder: 0.1, Seed: 99})
+		var all []any
+		for i := 0; i < 500; i++ {
+			all = append(all, l.Send(i)...)
+		}
+		all = append(all, l.Flush()...)
+		return all, l.Stats()
+	}
+	a, as := run()
+	b, bs := run()
+	if as != bs {
+		t.Fatalf("stats differ: %+v vs %+v", as, bs)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("delivery lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLinkRates: over many frames, observed fault counts track the
+// configured probabilities (loose tolerance; the draws are seeded so this
+// is reproducible, not statistical).
+func TestLinkRates(t *testing.T) {
+	const n = 20000
+	l := NewLink(LinkParams{Loss: 0.1, Dup: 0.05, Reorder: 0.05, Seed: 7})
+	for i := 0; i < n; i++ {
+		l.Send(i)
+	}
+	l.Flush()
+	s := l.Stats()
+	approx := func(name string, got int64, p float64) {
+		want := p * n
+		if f := float64(got); f < want*0.8 || f > want*1.2 {
+			t.Errorf("%s = %d, want ~%.0f", name, got, want)
+		}
+	}
+	approx("Lost", s.Lost, 0.1)
+	approx("Duplicated", s.Duplicated, 0.05)
+	approx("Reordered", s.Reordered, 0.05)
+	// Conservation: every frame is lost, held-then-released, duplicated,
+	// or delivered once.
+	if s.Delivered != s.Sent-s.Lost+s.Duplicated {
+		t.Fatalf("conservation broken: %+v", s)
+	}
+}
+
+// TestLinkReorderRelease: a held frame is delivered behind the next
+// delivery that overtakes it, preserving the held frame's payload.
+func TestLinkReorderRelease(t *testing.T) {
+	// Find a seed whose first roll reorders and second delivers cleanly.
+	var l *Link
+	var out []any
+	for seed := int64(0); ; seed++ {
+		l = NewLink(LinkParams{Reorder: 0.3, Seed: seed})
+		if first := l.Send("a"); len(first) != 0 {
+			continue // "a" not held
+		}
+		out = l.Send("b")
+		if len(out) != 0 {
+			break // "b" overtook; "a" must ride behind it
+		}
+	}
+	if len(out) != 2 || out[0] != "b" || out[1] != "a" {
+		t.Fatalf("got %v, want [b a]", out)
+	}
+	if s := l.Stats(); s.Reordered != 1 || s.Delivered != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestLinkFlush: Flush drains stranded held frames so end-of-round cleanup
+// cannot lose them.
+func TestLinkFlush(t *testing.T) {
+	var l *Link
+	for seed := int64(0); ; seed++ {
+		l = NewLink(LinkParams{Reorder: 0.5, Seed: seed})
+		if out := l.Send("x"); len(out) == 0 {
+			break
+		}
+	}
+	out := l.Flush()
+	if len(out) != 1 || out[0] != "x" {
+		t.Fatalf("flush: got %v, want [x]", out)
+	}
+	if out = l.Flush(); len(out) != 0 {
+		t.Fatalf("second flush not empty: %v", out)
+	}
+}
+
+// TestLinkClampsNegative: negative probabilities behave as zero.
+func TestLinkClampsNegative(t *testing.T) {
+	l := NewLink(LinkParams{Loss: -1, Dup: -1, Reorder: -1, Seed: 3})
+	for i := 0; i < 50; i++ {
+		if out := l.Send(i); len(out) != 1 {
+			t.Fatalf("clamped link faulted frame %d: %v", i, out)
+		}
+	}
+}

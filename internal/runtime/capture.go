@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"errors"
 	"fmt"
 	stdruntime "runtime"
 	"sync"
@@ -135,9 +134,15 @@ func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, opts
 }
 
 // RestartReplicaFromStore restores every task of the replica from the
-// checkpoints stored under the epoch and launches fresh incarnations. A
-// task with no checkpoint at the epoch restarts from factory state (the
-// job-start case). The replica must be quiescent (StopReplica).
+// checkpoints stored under the epoch and launches fresh incarnations. The
+// epoch must be complete: a missing task checkpoint (ErrNotFound) is an
+// error, not factory state — restarting part of a replica from factory
+// state would silently desynchronize it from its buddy. Callers that lose
+// an epoch (buddy-pair double faults dropping the in-memory copies)
+// escalate to an older tier instead. Every checkpoint is fetched before
+// any task restarts, so a failed restore leaves the replica stopped and
+// retryable against another store. The replica must be quiescent
+// (StopReplica).
 func (m *Machine) RestartReplicaFromStore(rep int, epoch uint64, st ckptstore.Store) error {
 	nodes, tasks := m.cfg.NodesPerReplica, m.cfg.TasksPerNode
 	ckpts := make([][][]byte, nodes)
@@ -145,14 +150,10 @@ func (m *Machine) RestartReplicaFromStore(rep int, epoch uint64, st ckptstore.St
 		ckpts[n] = make([][]byte, tasks)
 		for t := 0; t < tasks; t++ {
 			ck, err := st.Get(ckptstore.Key{Replica: rep, Node: n, Task: t, Epoch: epoch})
-			switch {
-			case err == nil:
-				ckpts[n][t] = ck.Bytes()
-			case errors.Is(err, ckptstore.ErrNotFound):
-				// Factory state.
-			default:
+			if err != nil {
 				return fmt.Errorf("runtime: restore r%d/n%d/t%d@e%d: %w", rep, n, t, epoch, err)
 			}
+			ckpts[n][t] = ck.Bytes()
 		}
 	}
 	return m.RestartReplica(rep, ckpts)

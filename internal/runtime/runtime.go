@@ -40,6 +40,11 @@ var (
 	ErrRollback = errors.New("runtime: replica rollback")
 	// ErrStopped reports that the machine is shutting down.
 	ErrStopped = errors.New("runtime: machine stopped")
+	// ErrSpareExhausted reports that ReplaceWithSpare found the spare pool
+	// empty. Callers branch on it with errors.Is — the recovery ladder
+	// folds the failed node onto a survivor (degraded mode) instead of
+	// aborting when this is the failure.
+	ErrSpareExhausted = errors.New("runtime: spare pool exhausted")
 )
 
 // Addr is the logical address of a task.
@@ -225,6 +230,10 @@ type Machine struct {
 	spares []int    // free physical node ids
 	epoch  [2]uint64
 	slots  [2][][]*taskSlot // [replica][node][task]
+	// folded[rep] marks logical nodes currently sharing a survivor's
+	// physical node after spare exhaustion (degraded mode).
+	folded  [2]map[int]bool
+	expands atomic.Int64 // folded nodes re-expanded onto freed spares
 
 	appErr     error
 	completed  int
@@ -400,7 +409,7 @@ func (m *Machine) ReplaceWithSpare(rep, node int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.spares) == 0 {
-		return fmt.Errorf("runtime: spare pool exhausted")
+		return fmt.Errorf("replace r%d/n%d: %w", rep, node, ErrSpareExhausted)
 	}
 	if m.physFor(rep, node).alive() {
 		return fmt.Errorf("runtime: node r%d/n%d is alive; refusing to replace", rep, node)
@@ -408,8 +417,112 @@ func (m *Machine) ReplaceWithSpare(rep, node int) error {
 	id := m.spares[0]
 	m.spares = m.spares[1:]
 	m.route[rep][node] = id
+	delete(m.folded[rep], node)
 	return nil
 }
+
+// FoldOntoSurvivor remaps a dead logical node onto the least-loaded live
+// physical node of the same replica — the Charm++-style shrink that keeps
+// a job running in degraded mode when the spare pool is exhausted. Load is
+// the number of logical nodes a physical node currently backs; ties break
+// toward the lowest logical node index, so the fold target is
+// deterministic. Returns the logical node whose physical node now also
+// hosts the folded node.
+//
+// Folding is transparent to the tasks: logical addressing (mailboxes,
+// routes) is unchanged, and the replica is restarted from a checkpoint by
+// the caller as part of hard-error recovery, so the fresh incarnations
+// observe the new physical mapping.
+func (m *Machine) FoldOntoSurvivor(rep, node int) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.physFor(rep, node).alive() {
+		return -1, fmt.Errorf("runtime: node r%d/n%d is alive; refusing to fold", rep, node)
+	}
+	load := make(map[int]int)
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		if n == node {
+			continue
+		}
+		if p := m.physFor(rep, n); p.alive() {
+			load[p.id]++
+		}
+	}
+	best, bestNode := -1, -1
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		if n == node {
+			continue
+		}
+		p := m.physFor(rep, n)
+		if !p.alive() {
+			continue
+		}
+		if best < 0 || load[p.id] < load[best] {
+			best, bestNode = p.id, n
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("runtime: replica %d has no live survivor to fold r%d/n%d onto", rep, rep, node)
+	}
+	m.route[rep][node] = best
+	if m.folded[rep] == nil {
+		m.folded[rep] = make(map[int]bool)
+	}
+	m.folded[rep][node] = true
+	return bestNode, nil
+}
+
+// AddSpare models a repaired physical node rejoining the machine: a fresh
+// node is appended and placed in the spare pool. Returns its physical id.
+// The node participates in failure detection through its fail-stop flag
+// (the detector confirms suspicions against it), not through a heartbeat
+// beater.
+func (m *Machine) AddSpare() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := len(m.phys)
+	m.phys = append(m.phys, &physNode{id: id, dead: make(chan struct{}), lastBeat: time.Now()})
+	m.spares = append(m.spares, id)
+	return id
+}
+
+// ExpandFolded remaps folded logical nodes back onto free spares (lowest
+// replica/node first) and returns how many nodes were re-expanded. Live
+// incarnations of a re-expanded node keep watching the survivor's
+// fail-stop channel until their next restart; a later death of the
+// survivor at worst costs those tasks a spurious kill, which the replica
+// rollback that death triggers anyway subsumes.
+func (m *Machine) ExpandFolded() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for rep := 0; rep < 2; rep++ {
+		for node := 0; node < m.cfg.NodesPerReplica; node++ {
+			if !m.folded[rep][node] || len(m.spares) == 0 {
+				continue
+			}
+			id := m.spares[0]
+			m.spares = m.spares[1:]
+			m.route[rep][node] = id
+			delete(m.folded[rep], node)
+			n++
+		}
+	}
+	m.expands.Add(int64(n))
+	return n
+}
+
+// FoldedCount returns the number of logical nodes currently folded onto
+// survivors (the machine's degraded-node count).
+func (m *Machine) FoldedCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.folded[0]) + len(m.folded[1])
+}
+
+// ExpandCount returns how many folded nodes have been re-expanded onto
+// spares over the machine's lifetime.
+func (m *Machine) ExpandCount() int64 { return m.expands.Load() }
 
 // recordCompletion is called by the task runner on successful completion.
 func (m *Machine) recordCompletion() {
@@ -437,10 +550,15 @@ func (m *Machine) recordAppError(err error) {
 // per physical node.
 func (m *Machine) detectorLoop() {
 	defer m.wg.Done()
-	// Per-node beaters.
+	// Per-node beaters. Snapshot the launch-time node set: nodes added
+	// later (AddSpare) are covered by the detector's fail-stop
+	// confirmation rather than a beater.
+	m.mu.RLock()
+	launchPhys := append([]*physNode(nil), m.phys...)
+	m.mu.RUnlock()
 	beatStop := make(chan struct{})
 	var beatWG sync.WaitGroup
-	for _, p := range m.phys {
+	for _, p := range launchPhys {
 		p := p
 		beatWG.Add(1)
 		go func() {

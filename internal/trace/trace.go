@@ -33,6 +33,14 @@ const (
 	// Oracle marks an invariant-oracle verdict (internal/chaos): a checked
 	// invariant passing or firing at the end of a chaos run.
 	Oracle
+	// Fold marks degraded-mode events: a failed node folded onto a
+	// survivor after spare exhaustion, or folded nodes re-expanded onto a
+	// freed spare (internal/core's shrink/expand path).
+	Fold
+	// Net carries hardened-exchange telemetry: per-transfer chunk and
+	// retransmission counts from the lossy-link checkpoint exchange.
+	// Like Store, Net events annotate the timeline without drawing on it.
+	Net
 )
 
 // Glyph returns the timeline character for the kind.
@@ -50,6 +58,8 @@ func (k Kind) Glyph() byte {
 		return '!'
 	case Oracle:
 		return '?'
+	case Fold:
+		return 'F'
 	default:
 		return ' '
 	}
@@ -73,13 +83,17 @@ func (k Kind) String() string {
 		return "inject"
 	case Oracle:
 		return "oracle"
+	case Fold:
+		return "fold"
+	case Net:
+		return "net"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // ParseKind inverts Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := Work; k <= Oracle; k++ {
+	for k := Work; k <= Net; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -164,7 +178,7 @@ func (tl *Timeline) Render(horizon float64, width int) string {
 		return 1
 	}
 	for _, e := range tl.Events() {
-		if e.Kind == Work || e.Kind == Progress || e.Kind == Store {
+		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net {
 			continue
 		}
 		col := int(e.Time / horizon * float64(width))
