@@ -71,13 +71,18 @@ func main() {
 	if err != nil {
 		fatalf("baseline: %v", err)
 	}
-	if regressions := check(base, report, *tolerance); len(regressions) > 0 {
+	regressions, skipped := check(base, report, *tolerance)
+	for _, s := range skipped {
+		logf("acrbench: case %s not in baseline %s, skipped (regenerate the baseline to gate it)", s, *against)
+	}
+	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}
 		os.Exit(1)
 	}
-	logf("acrbench: no regressions vs %s (tolerance %.0f%%)", *against, *tolerance*100)
+	logf("acrbench: no regressions vs %s (tolerance %.0f%%, %d cases checked, %d skipped)",
+		*against, *tolerance*100, len(report.Cases)-len(skipped), len(skipped))
 }
 
 func readReport(path string) (*core.BenchReport, error) {
@@ -101,12 +106,16 @@ func readReport(path string) (*core.BenchReport, error) {
 //     the baseline itself showed a >1.05x speedup;
 //   - fast-path allocs/op, which are deterministic counts, with a small
 //     absolute slack for one-off warmup allocations.
-func check(base, cur *core.BenchReport, tol float64) []string {
-	var regressions []string
+//
+// A case missing from the baseline (a shape added after the baseline was
+// generated) cannot be gated; it is returned in skipped so the caller
+// reports it loudly instead of silently passing it.
+func check(base, cur *core.BenchReport, tol float64) (regressions, skipped []string) {
 	for i := range cur.Cases {
 		c := &cur.Cases[i]
 		b := base.Find(c.Name)
 		if b == nil {
+			skipped = append(skipped, c.Name)
 			continue
 		}
 		if b.Speedup > 1.05 && c.Speedup < b.Speedup*(1-tol) {
@@ -121,7 +130,7 @@ func check(base, cur *core.BenchReport, tol float64) []string {
 				c.Name, c.Fast.AllocsPerOp, b.Fast.AllocsPerOp, allowedAllocs))
 		}
 	}
-	return regressions
+	return regressions, skipped
 }
 
 func fatalf(format string, args ...any) {

@@ -15,7 +15,11 @@ import (
 // decomposed into Z slabs across the P ranks, exactly like the original;
 // the sparse matvec exchanges one X-Y plane of the search vector with each
 // Z neighbour, and the dot products are Allreduce operations.
+// Write-tracked: each CG iteration rewrites x, r, p, rtrans, and the
+// iteration counter; the slab geometry and Init flag stay clean and
+// splice from the previous checkpoint.
 type HPCCG struct {
+	pup.WriteSet
 	Iter, Iters int
 	NX, NY, NZ  int // local slab dimensions
 	X, R, P     []float64
@@ -195,6 +199,8 @@ func (h *HPCCG) Run(ctx *runtime.Ctx) error {
 		h.RTrans = rt
 		h.Init = true
 	}
+	// Layout is fixed once the vectors exist; spans stay valid below.
+	spans := pup.FieldSpans(h)
 	for h.Iter < h.Iters {
 		below, above, err := h.exchange(r, h.P)
 		if err != nil {
@@ -226,6 +232,11 @@ func (h *HPCCG) Run(ctx *runtime.Ctx) error {
 			h.P[i] = h.R[i] + beta*h.P[i]
 		}
 		h.Iter++
+		h.MarkSpan(spans["x"])
+		h.MarkSpan(spans["r"])
+		h.MarkSpan(spans["p"])
+		h.MarkSpan(spans["rtrans"])
+		h.MarkSpan(spans["iter"])
 		if err := r.Progress(h.Iter - 1); err != nil {
 			return err
 		}

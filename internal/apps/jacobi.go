@@ -21,8 +21,12 @@ type faceMsg struct {
 	Vals []float64
 }
 
-// Jacobi is the message-driven Jacobi3D task.
+// Jacobi is the message-driven Jacobi3D task. It write-tracks its state:
+// each sweep rewrites all of U plus the iteration counter, so those two
+// fields are marked dirty each iteration while the block geometry stays
+// clean and splices from the previous checkpoint.
 type Jacobi struct {
+	pup.WriteSet
 	Iter, Iters int
 	BX, BY, BZ  int
 	U           []float64
@@ -132,6 +136,9 @@ func (j *Jacobi) Run(ctx *runtime.Ctx) error {
 			j.U[c] = jacobiInit(g, c)
 		}
 	}
+	// The pup layout is fixed from here on (U never resizes), so the
+	// field spans computed once stay valid for every mark below.
+	spans := pup.FieldSpans(j)
 	// neighbour[dir] is the global task index across my face dir, or -1.
 	neighbour := [6]int{-1, -1, -1, -1, -1, -1}
 	if gx > 0 {
@@ -218,6 +225,8 @@ func (j *Jacobi) Run(ctx *runtime.Ctx) error {
 		}
 		j.relax(halos)
 		j.Iter++
+		j.MarkSpan(spans["u"])
+		j.MarkSpan(spans["iter"])
 		if err := ctx.Progress(j.Iter - 1); err != nil {
 			return err
 		}
@@ -280,7 +289,10 @@ func (j *Jacobi) relax(halos [6][]float64) {
 // JacobiAMPI is the MPI-style Jacobi3D: a 1D slab decomposition along Z
 // with blocking SendRecv halo exchange plus a per-iteration residual
 // Allreduce, run through the AMPI layer (§6.1 runs the MPI codes on AMPI).
+// Write-tracked the same way as Jacobi: U, the iteration counter, and the
+// residual are dirtied every sweep; the slab geometry stays clean.
 type JacobiAMPI struct {
+	pup.WriteSet
 	Iter, Iters int
 	BX, BY, BZ  int
 	U           []float64
@@ -338,6 +350,7 @@ func (j *JacobiAMPI) Run(ctx *runtime.Ctx) error {
 			j.U[c] = jacobiInit(rank, c)
 		}
 	}
+	spans := pup.FieldSpans(j)
 	plane := j.BX * j.BY
 	const tagDown, tagUp = 1, 2
 	for j.Iter < j.Iters {
@@ -379,6 +392,9 @@ func (j *JacobiAMPI) Run(ctx *runtime.Ctx) error {
 		}
 		j.Residual = res
 		j.Iter++
+		j.MarkSpan(spans["u"])
+		j.MarkSpan(spans["iter"])
+		j.MarkSpan(spans["residual"])
 		if err := r.Progress(j.Iter - 1); err != nil {
 			return err
 		}

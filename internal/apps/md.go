@@ -128,7 +128,13 @@ func kinetic(atoms []Atom) float64 {
 // atoms, and integrates. Atoms stay bound to their home cell (a proxy
 // simplification recorded in DESIGN.md — migration does not change the
 // checkpoint/recovery behaviour ACR exercises).
+// Every integration step moves every atom, and the per-atom nested-object
+// layout is all scalars (no bulk arrays to splice), so the write tracking
+// is an honest MarkAll each iteration — the capture path gets no chunk
+// reuse here, matching §6.2's observation that the scattered layout makes
+// this checkpoint expensive.
 type LeanMD struct {
+	pup.WriteSet
 	Iter, Iters int
 	K           int // atoms per cell
 	Atoms       []Atom
@@ -268,6 +274,7 @@ func (m *LeanMD) Run(ctx *runtime.Ctx) error {
 		}
 		integrate(m.Atoms, fx, fy)
 		m.Iter++
+		m.MarkAll()
 		if err := ctx.Progress(m.Iter - 1); err != nil {
 			return err
 		}
@@ -279,7 +286,9 @@ func (m *LeanMD) Run(ctx *runtime.Ctx) error {
 // (columns of the unit box), halo exchange of atom positions with the left
 // and right ranks via blocking Send/Recv, and a per-step Allreduce of the
 // kinetic energy — the LAMMPS-style structure of the Mantevo original.
+// Write-tracked like LeanMD: everything moves every step, so MarkAll.
 type MiniMD struct {
+	pup.WriteSet
 	Iter, Iters int
 	K           int
 	Atoms       []Atom
@@ -387,6 +396,7 @@ func (m *MiniMD) Run(ctx *runtime.Ctx) error {
 		}
 		m.TotalKE = ke
 		m.Iter++
+		m.MarkAll()
 		if err := r.Progress(m.Iter - 1); err != nil {
 			return err
 		}

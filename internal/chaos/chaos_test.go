@@ -51,6 +51,23 @@ func TestScenarioValidation(t *testing.T) {
 		{"bad kind", func(s *Scenario) { s.Faults[0].Kind = "gamma_ray" }},
 		{"bad point", func(s *Scenario) { s.Faults[0].Trigger.Point = "core.nonsense" }},
 		{"both on crash", func(s *Scenario) { s.Faults[0].Both = true }},
+		{"one-element pad", func(s *Scenario) { s.PadFloats = 1 }},
+		{"negative chunk size", func(s *Scenario) { s.ChunkSize = -1 }},
+		{"tracker blind without pad", func(s *Scenario) {
+			s.Faults[0] = Fault{
+				Kind:    TrackerBlind,
+				Target:  Target{Replica: 0, Node: 0, Task: 0},
+				Trigger: Trigger{Point: point.CoreCapture, Occurrence: 1},
+			}
+		}},
+		{"tracker blind off capture point", func(s *Scenario) {
+			s.PadFloats = 8
+			s.Faults[0] = Fault{
+				Kind:    TrackerBlind,
+				Target:  Target{Replica: 0, Node: 0, Task: 0},
+				Trigger: Trigger{Point: point.CoreCommit, Occurrence: 1},
+			}
+		}},
 	}
 	for _, tc := range cases {
 		scn := base
@@ -162,6 +179,80 @@ func TestOracleSensitivity(t *testing.T) {
 	}
 	if !escaped {
 		t.Fatalf("sdc-escape invariant did not fire; violations: %v", res.Report.Violations)
+	}
+}
+
+// TestBlindTrackerSensitivity: a dirty tracker that stops marking pad
+// writes in both buddies makes every later capture splice stale pad bytes,
+// identically on both sides, so the comparison commits them; the crash
+// then restores from a stale epoch and loses increments permanently. The
+// golden-pad invariant MUST fire. If this run ever comes back clean, the
+// capture path has stopped consulting the tracker (e.g. silently reverted
+// to full packs) and the oracle can no longer see incremental-capture
+// staleness.
+func TestBlindTrackerSensitivity(t *testing.T) {
+	res, err := RunScenario(BlindTrackerScenario(), 3, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeViolation {
+		t.Fatalf("outcome %q, want %q (violations: %v)", res.Report.Outcome, OutcomeViolation, res.Report.Violations)
+	}
+	var golden bool
+	for _, v := range res.Report.Violations {
+		if v.Invariant == InvGoldenResult {
+			golden = true
+		}
+	}
+	if !golden {
+		t.Fatalf("golden-result invariant did not fire on a blinded tracker; violations: %v", res.Report.Violations)
+	}
+	for _, f := range res.Report.Faults {
+		if !f.Executed {
+			t.Fatalf("fault %s@%s never executed", f.Kind, f.Point)
+		}
+	}
+}
+
+// TestCleanChunkCorruptionSensitivity: a Both-mode flip in the pad's
+// never-written sentinel element — bytes every incremental capture only
+// splices forward, in a chunk the scalar churn never dirties — must still
+// count as an SDC escape when the epoch commits. Clean-chunk reuse is a
+// capture optimization, not a blind spot in the corruption accounting.
+func TestCleanChunkCorruptionSensitivity(t *testing.T) {
+	res, err := RunScenario(CleanChunkSensitivityScenario(), 3, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeViolation {
+		t.Fatalf("outcome %q, want %q (violations: %v)", res.Report.Outcome, OutcomeViolation, res.Report.Violations)
+	}
+	var escaped bool
+	for _, v := range res.Report.Violations {
+		if v.Invariant == InvSDCEscape {
+			escaped = true
+		}
+	}
+	if !escaped {
+		t.Fatalf("sdc-escape invariant did not fire; violations: %v", res.Report.Violations)
+	}
+}
+
+// TestGoldenPadFaultFree: a pad-carrying scenario with no faults must
+// finish golden — pins that the tracked pad, the dirty splice/patch
+// capture, and the golden-pad reference all agree when nothing goes wrong.
+func TestGoldenPadFaultFree(t *testing.T) {
+	scn := Scenario{
+		Name: "pad-fault-free", Nodes: 2, Tasks: 2, Spares: 0, Iters: 40,
+		Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+		PadFloats: 8, ChunkSize: 32,
+	}
+	res, err := RunScenario(scn, 1, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeOK {
+		t.Fatalf("fault-free pad run outcome %q, violations %v", res.Report.Outcome, res.Report.Violations)
 	}
 }
 

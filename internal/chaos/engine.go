@@ -11,6 +11,8 @@ import (
 	"acr/internal/chaos/point"
 	"acr/internal/ckptstore"
 	"acr/internal/core"
+	"acr/internal/pup"
+	"acr/internal/runtime"
 	"acr/internal/trace"
 )
 
@@ -239,6 +241,26 @@ func (e *Engine) execute(f *armedFault, id point.ID, info *point.Info) (func(), 
 		info.Drop = true
 		e.mark("inject frame drop n%d/t%d@e%d chunk %d", info.Node, info.Task, info.Epoch, info.Iter)
 		return nil, true
+	case TrackerBlind:
+		// Mute the task's dirty-write marks in BOTH replicas so the
+		// buddies keep lying identically: a one-sided blind would make the
+		// next comparison catch the divergence, which is the detectable
+		// case, not the one this fault emulates. CoreCapture fires under
+		// quiescence before any task of the round is packed, so the mute
+		// lands symmetrically ahead of both replicas' captures. The
+		// deferred action re-enters the machine, so it must run after
+		// unlock.
+		ctrl, tgt := e.ctrl, f.Target
+		e.mark("inject tracker blind n%d/t%d at %s", tgt.Node, tgt.Task, id)
+		return func() {
+			for rep := 0; rep < 2; rep++ {
+				ctrl.Machine().CorruptTask(runtime.Addr{Replica: rep, Node: tgt.Node, Task: tgt.Task}, func(p pup.Pupable) {
+					if r, ok := p.(*RingProg); ok {
+						r.muted = true
+					}
+				})
+			}
+		}, true
 	}
 	return nil, false
 }

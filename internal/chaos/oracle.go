@@ -159,9 +159,16 @@ func killsScheduled(records []Record) int {
 }
 
 // checkGolden compares every task's final state against the serial
-// fault-free reference.
+// fault-free reference: the ring value always, and the pad bit for bit
+// when the scenario carries one. The pad comparison is what makes the
+// oracle sensitive to blinded dirty tracking — a stale splice restored
+// mid-run loses pad increments that Val alone never reflects.
 func checkGolden(scn *Scenario, ctrl *core.Controller) []Violation {
 	golden := GoldenFinal(scn.Nodes*scn.Tasks, scn.Iters)
+	var goldenPad [][]float64
+	if scn.PadFloats > 0 {
+		goldenPad = GoldenPad(scn.Nodes*scn.Tasks, scn.Iters, scn.PadFloats)
+	}
 	var v []Violation
 	for rep := 0; rep < 2; rep++ {
 		for n := 0; n < scn.Nodes; n++ {
@@ -173,7 +180,10 @@ func checkGolden(scn *Scenario, ctrl *core.Controller) []Violation {
 						fmt.Sprintf("pack final state r%d/n%d/t%d: %v", rep, n, t, err)})
 					continue
 				}
-				var final RingProg
+				// Pad is pup-gated on its length, so the unpack target must
+				// be pre-sized to the scenario's shape or the field would be
+				// silently skipped.
+				final := RingProg{Pad: make([]float64, scn.PadFloats)}
 				if err := pup.Unpack(data, &final); err != nil {
 					v = append(v, Violation{InvGoldenResult,
 						fmt.Sprintf("unpack final state r%d/n%d/t%d: %v", rep, n, t, err)})
@@ -187,6 +197,13 @@ func checkGolden(scn *Scenario, ctrl *core.Controller) []Violation {
 				if math.Float64bits(final.Val) != math.Float64bits(golden[g]) {
 					v = append(v, Violation{InvGoldenResult,
 						fmt.Sprintf("task r%d/n%d/t%d final value %v, golden %v", rep, n, t, final.Val, golden[g])})
+				}
+				for w := range final.Pad {
+					if w < len(goldenPad[g]) && math.Float64bits(final.Pad[w]) != math.Float64bits(goldenPad[g][w]) {
+						v = append(v, Violation{InvGoldenResult,
+							fmt.Sprintf("task r%d/n%d/t%d pad[%d] %v, golden %v", rep, n, t, w, final.Pad[w], goldenPad[g][w])})
+						break
+					}
 				}
 			}
 		}

@@ -53,12 +53,23 @@ const (
 	// Requires the scenario to enable the hardened exchange (loss/dup/
 	// reorder rates, which may be zero-but-set via a FrameDrop fault).
 	FrameDrop FaultKind = "frame_drop"
+	// TrackerBlind mutes the target task's dirty-write marks in BOTH
+	// replicas (point.CoreCapture, where the machine is quiescent). The
+	// task keeps writing its pad but stops reporting the writes, so every
+	// later capture splices stale pad bytes — the lying-tracker failure
+	// mode the incremental capture path's trust model cannot detect.
+	// Because both replicas lie identically, the buddy comparison passes
+	// and the stale checkpoint commits; a later restore from it loses pad
+	// increments permanently, which the golden-pad invariant must report.
+	// Requires PadFloats >= 2 (scalar fields self-detect; only a bulk
+	// field can go stale).
+	TrackerBlind FaultKind = "tracker_blind"
 )
 
 // validKind reports whether k is a known fault kind.
 func validKind(k FaultKind) bool {
 	switch k {
-	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay, FrameDrop:
+	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay, FrameDrop, TrackerBlind:
 		return true
 	}
 	return false
@@ -165,6 +176,18 @@ type Scenario struct {
 	Loss    float64 `json:"loss,omitempty"`
 	Dup     float64 `json:"dup,omitempty"`
 	Reorder float64 `json:"reorder,omitempty"`
+	// PadFloats sizes RingProg's write-tracked bulk pad (see workload.go).
+	// Zero keeps the historical scalar-only workload; >= 2 routes every
+	// capture through the dirty splice/patch path with a mostly-clean bulk
+	// body, including a trailing sentinel element the workload never
+	// writes. 1 is rejected (a one-element pad is all sentinel, so no
+	// iteration could write it).
+	PadFloats int `json:"pad_floats,omitempty"`
+	// ChunkSize overrides the checkpoint chunk granularity
+	// (core.Config.ChunkSize). Zero keeps the default; pad scenarios set
+	// it small so the clean pad tail occupies its own chunks, separate
+	// from the per-iteration scalar churn.
+	ChunkSize int `json:"chunk_size,omitempty"`
 	// Faults is the campaign schedule.
 	Faults []Fault `json:"faults"`
 }
@@ -206,6 +229,12 @@ func (s *Scenario) Validate() error {
 	if s.FlushEvery < 0 {
 		return fmt.Errorf("chaos: negative FlushEvery")
 	}
+	if s.PadFloats < 0 || s.PadFloats == 1 {
+		return fmt.Errorf("chaos: PadFloats must be 0 or >= 2 (the final element is a never-written sentinel)")
+	}
+	if s.ChunkSize < 0 {
+		return fmt.Errorf("chaos: negative ChunkSize")
+	}
 	if s.Loss < 0 || s.Dup < 0 || s.Reorder < 0 || s.Loss+s.Dup+s.Reorder >= 1 {
 		return fmt.Errorf("chaos: link fault rates must be non-negative and sum below 1")
 	}
@@ -225,6 +254,14 @@ func (s *Scenario) Validate() error {
 		}
 		if f.Kind == FrameDrop && f.Trigger.Point != point.NetFrame {
 			return fmt.Errorf("chaos: fault %d: %s triggers only at %s", i, FrameDrop, point.NetFrame)
+		}
+		if f.Kind == TrackerBlind {
+			if f.Trigger.Point != point.CoreCapture {
+				return fmt.Errorf("chaos: fault %d: %s triggers only at %s (quiescent task state)", i, TrackerBlind, point.CoreCapture)
+			}
+			if s.PadFloats < 2 {
+				return fmt.Errorf("chaos: fault %d: %s needs PadFloats >= 2 (scalars self-detect; staleness needs a bulk field)", i, TrackerBlind)
+			}
 		}
 	}
 	return nil

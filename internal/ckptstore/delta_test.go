@@ -3,6 +3,8 @@ package ckptstore
 import (
 	"os"
 	"testing"
+
+	"acr/internal/pup"
 )
 
 func corruptFileByte(t *testing.T, path string, off int) {
@@ -56,6 +58,59 @@ func TestDeltaReusesUnchangedChunks(t *testing.T) {
 	}
 	if string(got1.Bytes()) != string(base) || string(got2.Bytes()) != string(next) {
 		t.Fatal("delta reconstruction diverged from originals")
+	}
+}
+
+// The live incremental producer (CaptureDirtyInto, with sums spliced from
+// the previous epoch rather than recomputed) must feed the delta tier the
+// exact same diffs a from-scratch capture would: BytesWritten counts only
+// stored patch bytes, never base-reused chunks, and the
+// ChunksStored/ChunksReused split matches the dirty set. This is what lets
+// commit trust the counters when it routes spliced captures into a Delta
+// flush tier.
+func TestDeltaAccountingWithDirtySpliceProducer(t *testing.T) {
+	st := NewDelta()
+	const size = 64 << 10 // 16 chunks of 4 KiB
+	base := randData(t, 11, size)
+	prev := Capture(append([]byte(nil), base...), testChunk, 1)
+	if err := st.Put(Key{Epoch: 1}, prev); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 2 comes from the dirty-splice path: two chunks touched, the
+	// other fourteen sums copied from prev by CaptureDirtyInto.
+	next := append([]byte(nil), base...)
+	next[3*testChunk+7] ^= 1
+	next[9*testChunk+100] ^= 2
+	dirty := []pup.Range{
+		{Lo: 3*testChunk + 7, Hi: 3*testChunk + 8},
+		{Lo: 9*testChunk + 100, Hi: 9*testChunk + 101},
+	}
+	ck, reused := CaptureDirtyInto(nil, next, testChunk, 1, prev, dirty)
+	if reused != 14 {
+		t.Fatalf("splice reused %d sums, want 14", reused)
+	}
+	before := st.Counters()
+	if err := st.Put(Key{Epoch: 2}, ck); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters()
+	if got := c.ChunksStored - before.ChunksStored; got != 2 {
+		t.Fatalf("stored %d chunks for the diff epoch, want 2", got)
+	}
+	if got := c.ChunksReused - before.ChunksReused; got != 14 {
+		t.Fatalf("reused %d chunks for the diff epoch, want 14", got)
+	}
+	if got := c.BytesWritten - before.BytesWritten; got != 2*testChunk {
+		t.Fatalf("wrote %d bytes for the diff epoch, want %d (two patches only)", got, 2*testChunk)
+	}
+	// The diff epoch must reconstruct to the spliced payload exactly.
+	got, err := st.Get(Key{Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes()) != string(next) {
+		t.Fatal("delta reconstruction of a spliced capture diverged")
 	}
 }
 

@@ -1,0 +1,58 @@
+package ckptstore
+
+import (
+	"acr/internal/checksum"
+	"acr/internal/pup"
+)
+
+// CaptureDirtyInto is CaptureInto with chunk-sum splicing: chunks of data
+// that do not intersect any dirty range copy their Fletcher-64 sums from
+// prev (the previous epoch's capture of the same task) instead of
+// recomputing them, and the root is re-derived from the sum vector. The
+// caller guarantees — PackDirtyInto's Spliced contract — that every byte
+// outside dirty is byte-identical to prev's payload, so the reused sums
+// stay consistent with the data.
+//
+// dirty must be normalized (sorted, disjoint), as returned by
+// PackDirtyInto. ck must not be prev. A nil prev, or a prev whose chunk
+// size or payload length differ, falls back to a full CaptureInto. The
+// second return is the number of chunk sums reused; prev's Sums are read
+// by value, never aliased or mutated.
+func CaptureDirtyInto(ck *Checkpoint, data []byte, chunkSize, workers int, prev *Checkpoint, dirty []pup.Range) (*Checkpoint, int) {
+	if chunkSize <= 0 {
+		chunkSize = checksum.DefaultChunkSize
+	}
+	n := checksum.NumChunks(len(data), chunkSize)
+	if prev == nil || prev.ChunkSize != chunkSize || prev.Len() != len(data) || len(prev.Sums) != n {
+		return CaptureInto(ck, data, chunkSize, workers), 0
+	}
+	if ck == nil {
+		ck = &Checkpoint{}
+	}
+	var sums []uint64
+	if cap(ck.Sums) >= n {
+		sums = ck.Sums[:n]
+	} else {
+		sums = make([]uint64, n)
+	}
+	reused := 0
+	di := 0
+	for i := 0; i < n; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		for di < len(dirty) && dirty[di].Hi <= lo {
+			di++
+		}
+		if di < len(dirty) && dirty[di].Lo < hi {
+			sums[i] = checksum.Fletcher64(data[lo:hi])
+			continue
+		}
+		sums[i] = prev.Sums[i]
+		reused++
+	}
+	*ck = Checkpoint{ChunkSize: chunkSize, Root: checksum.ChunkRoot(sums), Sums: sums, data: data}
+	return ck, reused
+}

@@ -89,13 +89,21 @@ func (p *Pool) Get(hint int) *Checkpoint {
 	return ck
 }
 
-// Put hands a retired checkpoint back for reuse. Nil checkpoints, a full
-// pool, and checkpoints already in the pool (the recovery path mirrors one
-// *Checkpoint under two keys, so one eviction pass can retire the same
-// pointer twice) are dropped — the last case silently creating two
-// captures that alias one buffer would corrupt a later epoch.
+// Put hands a retired checkpoint back for reuse. Nil checkpoints, retained
+// checkpoints (a capture path still holds the buffer as its patch-in-place
+// splice base), a full pool, and checkpoints already in the pool (the
+// recovery path mirrors one *Checkpoint under two keys, so one eviction
+// pass can retire the same pointer twice) are dropped — silently creating
+// two captures that alias one buffer would corrupt a later epoch.
 func (p *Pool) Put(ck *Checkpoint) {
 	if ck == nil {
+		return
+	}
+	if ck.retained {
+		p.mu.Lock()
+		p.ctrs.Puts++
+		p.ctrs.Drops++
+		p.mu.Unlock()
 		return
 	}
 	p.mu.Lock()

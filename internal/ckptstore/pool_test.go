@@ -102,3 +102,28 @@ func TestMemEvictRecyclesIntoPool(t *testing.T) {
 		t.Fatalf("pooled mirrored checkpoint handed out twice")
 	}
 }
+
+func TestPoolPutDropsRetained(t *testing.T) {
+	p := NewPool(4)
+	ck := poolCkpt(128)
+	ck.SetRetained(true)
+	p.Put(ck)
+	if p.Len() != 0 {
+		t.Fatalf("retained checkpoint entered the pool (len %d)", p.Len())
+	}
+	if ctrs := p.Counters(); ctrs.Drops != 1 || ctrs.Puts != 1 {
+		t.Fatalf("counters = %+v, want Puts=1 Drops=1", ctrs)
+	}
+	ck.SetRetained(false)
+	p.Put(ck)
+	if p.Len() != 1 {
+		t.Fatalf("released checkpoint rejected (len %d)", p.Len())
+	}
+	// Every capture-into resets the flag: a retained struct recycled by its
+	// owner re-enters the normal lifecycle.
+	ck.SetRetained(true)
+	reborn := CaptureInto(ck, make([]byte, 64), 64, 1)
+	if reborn.Retained() {
+		t.Fatal("CaptureInto must clear the retained flag")
+	}
+}

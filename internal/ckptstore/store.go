@@ -79,7 +79,21 @@ type Checkpoint struct {
 	// data is the full packed task state. Backends may share it; callers
 	// must treat Bytes() as read-only.
 	data []byte
+	// retained marks a checkpoint a capture path still holds a reference to
+	// beyond its store residency (the patch-in-place splice base). Pool.Put
+	// drops retained checkpoints instead of recycling them: handing the
+	// buffer to another capture while its owner plans to patch it would
+	// corrupt both. Every Capture*Into resets the flag; the owner re-arms it
+	// each epoch.
+	retained bool
 }
+
+// SetRetained marks (or clears) the checkpoint as privately retained by a
+// capture path, excluding it from pool recycling. See the field doc.
+func (c *Checkpoint) SetRetained(v bool) { c.retained = v }
+
+// Retained reports whether the checkpoint is excluded from pool recycling.
+func (c *Checkpoint) Retained() bool { return c.retained }
 
 // Capture chunks data and computes its checksums on up to workers
 // goroutines. The data slice is retained (not copied); the caller must not

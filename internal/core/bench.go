@@ -111,6 +111,14 @@ type BenchSpec struct {
 	Nodes     int    `json:"nodes"`     // nodes per replica
 	Tasks     int    `json:"tasks"`     // tasks per node
 	Particles int    `json:"particles"` // per task; state ≈ 48 B/particle
+	// Dirty > 0 selects the dirty-ratio axis: a flat-vector program whose
+	// tasks rewrite only the first Dirty percent of their state between
+	// rounds. Particles then counts float64 elements (8 B each), the
+	// "serial" leg is the untracked program (blind tracker, full re-pack
+	// every round) and the "fast" leg the write-tracked one (dirty-chunk
+	// splice), and only the round op is measured — capture in isolation is
+	// degenerate on an unstarted machine (no writes, everything clean).
+	Dirty int `json:"dirty,omitempty"`
 }
 
 // DefaultBenchSpecs returns the benchmarked shapes. Quick mode keeps the
@@ -119,6 +127,7 @@ type BenchSpec struct {
 func DefaultBenchSpecs(quick bool) []BenchSpec {
 	specs := []BenchSpec{
 		{Name: "2x2nodes-4tasks-96KB", Nodes: 2, Tasks: 2, Particles: 2048},
+		{Name: "2x1node-1task-16MB-dirty10", Nodes: 1, Tasks: 1, Particles: 2097152, Dirty: 10},
 	}
 	if !quick {
 		specs = append(specs,
@@ -197,10 +206,105 @@ func benchCase(name string, serial, fast testing.BenchmarkResult) BenchCase {
 	}
 }
 
+// benchDirtyProgram is the dirty-ratio-axis workload: a flat float vector
+// plus an iteration counter, where every iteration rewrites the same hot
+// window (the first dirtyPct percent of the vector). The tracked variant
+// marks exactly that window; the untracked variant holds its WriteSet as
+// a named field and keeps it blind, so the runtime's ResetDirty cannot
+// arm it behind the program's back — an armed-but-unmarked tracker would
+// silently corrupt captures, blind means full re-pack, which is the
+// pre-incremental behavior this axis baselines against.
+type benchDirtyProgram struct {
+	ws       pup.WriteSet
+	tracked  bool
+	dirtyPct int
+	iter     int64
+	vals     []float64
+}
+
+// DirtyRanges / ResetDirty forward to the write set only on the tracked
+// leg; the untracked leg always reports blind.
+func (b *benchDirtyProgram) DirtyRanges(dst []pup.Range) ([]pup.Range, bool) {
+	if !b.tracked {
+		return dst, false
+	}
+	return b.ws.DirtyRanges(dst)
+}
+
+func (b *benchDirtyProgram) ResetDirty() {
+	if b.tracked {
+		b.ws.ResetDirty()
+	}
+}
+
+func (b *benchDirtyProgram) Pup(p *pup.PUPer) {
+	p.Label("iter")
+	p.Int64(&b.iter)
+	p.Label("vals")
+	p.Float64s(&b.vals)
+}
+
+func (b *benchDirtyProgram) hotN() int {
+	n := len(b.vals) * b.dirtyPct / 100
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run is the same lock-step token ring as benchProgram; the fixed hot
+// window keeps the dirty set deterministic regardless of how many
+// iterations land between two checkpoint rounds.
+func (b *benchDirtyProgram) Run(ctx *runtime.Ctx) error {
+	next := ctx.AddrOfGlobal((ctx.GlobalTask() + 1) % ctx.NumTasks())
+	spans := pup.FieldSpans(b)
+	hot := spans["vals"].Slice(0, b.hotN(), 8)
+	for {
+		for i := 0; i < b.hotN(); i++ {
+			b.vals[i] += 0.5
+		}
+		b.iter++
+		if b.tracked {
+			b.ws.MarkSpan(hot)
+			b.ws.MarkSpan(spans["iter"])
+		}
+		if err := ctx.Send(next, 0, nil); err != nil {
+			return err
+		}
+		if _, err := ctx.Recv(); err != nil {
+			return err
+		}
+		if err := ctx.Progress(int(b.iter)); err != nil {
+			return err
+		}
+	}
+}
+
+func benchDirtyFactory(floats, dirtyPct int, tracked bool) runtime.Factory {
+	return func(addr runtime.Addr) runtime.Program {
+		vals := make([]float64, floats)
+		for i := range vals {
+			vals[i] = float64(addr.Node*1000+addr.Task*100+i) * 0.001
+		}
+		return &benchDirtyProgram{tracked: tracked, dirtyPct: dirtyPct, vals: vals}
+	}
+}
+
 // benchController builds an idle controller for the spec. The machine is
 // not started: every task sits quiescent at its factory state, which
 // satisfies the capture/compare quiescence contract without consensus.
+// On the dirty axis the serial flag selects the untracked program rather
+// than SerialCommitPath — both legs run the default commit path, so the
+// measured difference is dirty-chunk splice versus full re-pack alone.
 func benchController(spec BenchSpec, serial bool) (*Controller, error) {
+	if spec.Dirty > 0 {
+		return New(Config{
+			NodesPerReplica: spec.Nodes,
+			TasksPerNode:    spec.Tasks,
+			Factory:         benchDirtyFactory(spec.Particles, spec.Dirty, !serial),
+			Comparison:      ChecksumCompare,
+		})
+	}
 	return New(Config{
 		NodesPerReplica:  spec.Nodes,
 		TasksPerNode:     spec.Tasks,
@@ -327,6 +431,9 @@ func RunCheckpointBench(quick bool, count, maxProcs int, logf func(format string
 	report := &BenchReport{Version: 1, Quick: quick, MaxProcs: maxProcs}
 	for _, spec := range DefaultBenchSpecs(quick) {
 		for _, o := range ops {
+			if spec.Dirty > 0 && o.name != "round" {
+				continue
+			}
 			serial, err := best(spec, o, true)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s serial: %w", spec.Name, o.name, err)

@@ -294,6 +294,25 @@ type Stats struct {
 	// Sizing traversal via the size-hint fast path versus two-pass packs.
 	PackFastPath int64
 	PackSlowPath int64
+	// CaptureChunksPacked / CaptureChunksReused split the chunks of every
+	// tracked (dirty-spliced) capture into recomputed-and-repacked versus
+	// spliced from the previous epoch; CaptureBytesReused counts the packed
+	// bytes memcpy'd from the previous stream instead of re-encoded.
+	// Untracked captures contribute to neither side (they never splice).
+	CaptureChunksPacked int64
+	CaptureChunksReused int64
+	CaptureBytesReused  int64
+	// DirtyRatio is CaptureChunksPacked over the total chunks tracked
+	// captures handled — the fraction of state that actually changed per
+	// round, the quantity the incremental path's cost is proportional to.
+	// 1 when no capture ever spliced (all-dirty fallback throughout).
+	DirtyRatio float64
+	// ExchangeChunksShipped / ExchangeChunksReused count recovery-mirror
+	// chunks that crossed the hardened exchange versus chunks the receiver
+	// spliced from its retained base checkpoint (same chunk sum). Zero when
+	// Config.Exchange is nil.
+	ExchangeChunksShipped int64
+	ExchangeChunksReused  int64
 	// Pool is the checkpoint-recycling pool's counter snapshot (zero when
 	// no pool was attached).
 	Pool    ckptstore.PoolCounters
@@ -544,6 +563,11 @@ func (c *Controller) Run() (Stats, error) {
 	c.stats.StoreName = c.store.Name()
 	c.stats.Store = c.store.Counters()
 	c.stats.PackFastPath, c.stats.PackSlowPath = c.machine.PackCounters()
+	c.stats.CaptureChunksPacked, c.stats.CaptureChunksReused, c.stats.CaptureBytesReused = c.machine.DirtyCounters()
+	c.stats.DirtyRatio = 1
+	if total := c.stats.CaptureChunksPacked + c.stats.CaptureChunksReused; total > 0 {
+		c.stats.DirtyRatio = float64(c.stats.CaptureChunksPacked) / float64(total)
+	}
 	if c.pool != nil {
 		c.stats.Pool = c.pool.Counters()
 	}
@@ -553,6 +577,8 @@ func (c *Controller) Run() (Stats, error) {
 	c.stats.Expands = int(c.machine.ExpandCount())
 	if c.exch != nil {
 		c.stats.Link = c.exch.link.Stats()
+		c.stats.ExchangeChunksShipped = c.exch.chunksShipped
+		c.stats.ExchangeChunksReused = c.exch.chunksReused
 	}
 	return c.stats, err
 }

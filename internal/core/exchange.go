@@ -122,6 +122,12 @@ type exchanger struct {
 	// buffers; a data frame whose transfer already finalized finds no
 	// buffer and is dropped (counted, never written).
 	assembling map[assemblyKey][]byte
+	// chunksShipped / chunksReused split transferred checkpoints into
+	// chunks that crossed the link versus chunks reconstructed from the
+	// receiver's retained base (matching per-chunk sums). Event-loop
+	// goroutine only, like the rest of the exchanger.
+	chunksShipped int64
+	chunksReused  int64
 }
 
 func newExchanger(c *Controller, cfg ExchangeConfig) *exchanger {
@@ -136,18 +142,34 @@ func newExchanger(c *Controller, cfg ExchangeConfig) *exchanger {
 	}
 }
 
-// shipCheckpoint transfers one task checkpoint chunk-by-chunk through the
-// link and returns the reassembled (freshly captured) checkpoint. The
-// returned checkpoint owns its buffer — it never aliases src, so the
-// receiver's copy is safe against later recycling of src.
-func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src *ckptstore.Checkpoint) (*ckptstore.Checkpoint, error) {
+// shipCheckpoint transfers one task checkpoint through the link and
+// returns the reassembled (freshly captured) checkpoint. When the
+// receiver retains a compatible base checkpoint (same chunk geometry and
+// length — normally the last committed epoch), only the chunks whose
+// per-chunk sums differ from the base cross the link; the rest are
+// reconstructed from the base's bytes. A nil or incompatible base ships
+// everything. The returned checkpoint owns its buffer — it never aliases
+// src or base, so the receiver's copy is safe against later recycling.
+func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src, base *ckptstore.Checkpoint) (*ckptstore.Checkpoint, error) {
 	deadline := time.Now().Add(x.cfg.RoundDeadline)
 	key := assemblyKey{epoch: epoch, node: node, task: task}
 	buf := make([]byte, src.Len())
+	baseOK := base != nil && base.ChunkSize == src.ChunkSize &&
+		base.Len() == src.Len() && len(base.Sums) == len(src.Sums)
+	if baseOK {
+		// Prefill from the base; shipped chunks overwrite their slots.
+		copy(buf, base.Bytes())
+	}
 	x.assembling[key] = buf
 	defer delete(x.assembling, key)
 	retriesBefore := x.c.stats.ExchangeRetries
+	shipped, reused := 0, 0
 	for i := 0; i < src.NumChunks(); i++ {
+		if baseOK && src.Sums[i] == base.Sums[i] {
+			reused++
+			continue
+		}
+		shipped++
 		chunk := src.Chunk(i)
 		// Copy the payload out of the store-owned buffer: a duplicate of
 		// this frame may be delivered after the transfer (and the source
@@ -162,14 +184,18 @@ func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src *ckptstore.
 			return nil, fmt.Errorf("transfer r?/n%d/t%d@e%d chunk %d/%d: %w", node, task, epoch, i, src.NumChunks(), err)
 		}
 	}
+	x.chunksShipped += int64(shipped)
+	x.chunksReused += int64(reused)
 	ck := ckptstore.Capture(buf, src.ChunkSize, 1)
 	if ck.Root != src.Root {
-		// Cannot happen with the dedupe invariants above; checked anyway
-		// so a protocol bug surfaces as a loud error, not silent SDC.
+		// Load-bearing with base reuse: a base whose stored bytes diverged
+		// from its recorded sums (e.g. in-place corruption) would prefill
+		// wrong bytes under a matching sum, and only this full-buffer root
+		// check catches it — loud error, not silent SDC.
 		return nil, fmt.Errorf("%w: reassembled checkpoint n%d/t%d@e%d root mismatch", ErrExchange, node, task, epoch)
 	}
 	if r := x.c.stats.ExchangeRetries - retriesBefore; r > 0 {
-		x.c.mark(trace.Net, fmt.Sprintf("exchange n%d/t%d@e%d: %d chunks, %d retransmissions", node, task, epoch, src.NumChunks(), r))
+		x.c.mark(trace.Net, fmt.Sprintf("exchange n%d/t%d@e%d: %d chunks shipped, %d reused, %d retransmissions", node, task, epoch, shipped, reused, r))
 	}
 	return ck, nil
 }

@@ -181,6 +181,11 @@ func (c *Controller) captureOptions() runtime.CaptureOptions {
 		opts.ChunkWorkers = 1
 	} else {
 		opts.Pool = c.pool
+		// A non-nil pool means the controller created the store and owns
+		// its eviction lifecycle exclusively — the same ownership guarantee
+		// patch-in-place capture needs (no reader retains Bytes() of an
+		// evicted epoch). A caller-supplied store gets neither.
+		opts.PatchCapture = c.pool != nil
 	}
 	return opts
 }
@@ -237,7 +242,15 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 				return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
 			}
 			if c.exch != nil {
-				ck, err = c.exch.shipCheckpoint(epoch, n, t, ck)
+				// The crashed side usually still holds the last committed
+				// epoch's checkpoint for this task; chunks whose sums match
+				// need not cross the lossy link again. A miss (nil base)
+				// degrades to a full ship.
+				var base *ckptstore.Checkpoint
+				if c.committedEpoch > 0 {
+					base, _ = c.store.Get(c.key(crashed, n, t, c.committedEpoch))
+				}
+				ck, err = c.exch.shipCheckpoint(epoch, n, t, ck, base)
 				if err != nil {
 					c.coord.Release()
 					return fmt.Errorf("core: exchange recovery checkpoint: %w", err)
@@ -315,12 +328,23 @@ func (c *Controller) compare(epoch uint64) (string, int, error) {
 	return c.compareParallel(epoch, workers)
 }
 
+// parallelCompareThreshold is the per-task state size below which the
+// parallel comparison path loses to the serial walk: goroutine spin-up,
+// the claim counter, and cancellation checks cost more than comparing a
+// few hundred KiB of bytes. Measured on the 2x2nodes-4tasks-96KB bench
+// shape, where the parallel path ran at 0.82x of serial.
+const parallelCompareThreshold = 1 << 20
+
 // compareWorkers sizes the comparison pool. Chaos runs pin the serial
 // walk: the hooked store fires a StoreRead point per fetched checkpoint,
 // and a campaign's occurrence-counted faults depend on those firings'
-// order and count, which early cancellation would perturb.
+// order and count, which early cancellation would perturb. Small states
+// pin it too — fan-out overhead dominates below the threshold.
 func (c *Controller) compareWorkers() int {
 	if c.cfg.SerialCommitPath || c.cfg.Chaos != nil {
+		return 1
+	}
+	if hint := c.machine.ReplicaStateHint(0); hint > 0 && hint < parallelCompareThreshold {
 		return 1
 	}
 	w := c.cfg.CompareWorkers

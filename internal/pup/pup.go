@@ -101,6 +101,30 @@ type PUPer struct {
 	skipDepth  int
 	mismatches []Mismatch
 	label      string
+
+	// Dirty-splice state (PackDirtyInto, dirty.go): prev is the previous
+	// capture's packed stream, dirty the normalized marked ranges with
+	// dirtyIdx a monotonic cursor into them, diverged the "offsets no
+	// longer line up" latch, reused the bytes spliced instead of
+	// re-encoded, and extra the unmarked scalar changes detected while
+	// packing.
+	prev     []byte
+	dirty    []Range
+	dirtyIdx int
+	diverged bool
+	reused   int
+	extra    []Range
+	// patch marks a PackDirtyPatch traversal: buf already holds a stream
+	// that matches prev outside p.dirty, so spliceBulk skips the clean-byte
+	// copy entirely, and noteScalar reports every changed scalar (p.dirty is
+	// the re-encode set, not the caller's marks, so coverage by it proves
+	// nothing about prev).
+	patch bool
+
+	// Field-span recording (FieldSpans, dirty.go).
+	spans     map[string]Range
+	spanLabel string
+	spanStart int
 }
 
 // NewSizer returns a PUPer that measures packed size.
@@ -136,8 +160,23 @@ func (p *PUPer) Err() error { return p.err }
 func (p *PUPer) Mismatches() []Mismatch { return p.mismatches }
 
 // Label sets the diagnostic label attached to subsequently found
-// mismatches, typically a field name.
-func (p *PUPer) Label(s string) { p.label = s }
+// mismatches, typically a field name. When field spans are being recorded
+// (FieldSpans) it also closes the previous field's span.
+func (p *PUPer) Label(s string) {
+	if p.spans != nil {
+		p.flushSpan()
+		p.spanLabel, p.spanStart = s, p.off
+	}
+	p.label = s
+}
+
+// flushSpan closes the currently open field span.
+func (p *PUPer) flushSpan() {
+	if p.spanLabel != "" && p.off > p.spanStart {
+		p.spans[p.spanLabel] = Range{Lo: p.spanStart, Hi: p.off}
+	}
+	p.spanLabel = ""
+}
 
 // Skip runs body with comparison disabled: in Checking mode the traversed
 // bytes are consumed but not compared. Use it for data that legitimately
@@ -217,6 +256,7 @@ func (p *PUPer) Uint64(v *uint64) {
 	switch p.mode {
 	case Packing:
 		binary.LittleEndian.PutUint64(w, *v)
+		p.noteScalar(8)
 	case Unpacking:
 		*v = binary.LittleEndian.Uint64(w)
 	case Checking:
@@ -256,6 +296,7 @@ func (p *PUPer) Uint32(v *uint32) {
 	switch p.mode {
 	case Packing:
 		binary.LittleEndian.PutUint32(w, *v)
+		p.noteScalar(4)
 	case Unpacking:
 		*v = binary.LittleEndian.Uint32(w)
 	case Checking:
@@ -280,6 +321,7 @@ func (p *PUPer) Bool(v *bool) {
 		if *v {
 			w[0] = 1
 		}
+		p.noteScalar(1)
 	case Unpacking:
 		*v = w[0] != 0
 	case Checking:
@@ -304,6 +346,7 @@ func (p *PUPer) Float64(v *float64) {
 	switch p.mode {
 	case Packing:
 		binary.LittleEndian.PutUint64(w, math.Float64bits(*v))
+		p.noteScalar(8)
 	case Unpacking:
 		*v = math.Float64frombits(binary.LittleEndian.Uint64(w))
 	case Checking:
@@ -330,6 +373,7 @@ func (p *PUPer) length(local int) int {
 		return local
 	case Packing:
 		binary.LittleEndian.PutUint32(w, n)
+		p.notePrefix()
 		return local
 	case Unpacking:
 		return int(binary.LittleEndian.Uint32(w))
@@ -359,6 +403,11 @@ func (p *PUPer) Float64s(v *[]float64) {
 		p.off += 8 * n
 		return
 	}
+	if p.spliceBulk(n, 8, func(i int, w []byte) {
+		binary.LittleEndian.PutUint64(w, math.Float64bits((*v)[i]))
+	}) {
+		return
+	}
 	for i := range *v {
 		if p.err != nil {
 			return
@@ -378,6 +427,11 @@ func (p *PUPer) Int64s(v *[]int64) {
 	}
 	if p.mode == Sizing {
 		p.off += 8 * n
+		return
+	}
+	if p.spliceBulk(n, 8, func(i int, w []byte) {
+		binary.LittleEndian.PutUint64(w, uint64((*v)[i]))
+	}) {
 		return
 	}
 	for i := range *v {
@@ -401,6 +455,11 @@ func (p *PUPer) Ints(v *[]int) {
 		p.off += 8 * n
 		return
 	}
+	if p.spliceBulk(n, 8, func(i int, w []byte) {
+		binary.LittleEndian.PutUint64(w, uint64(int64((*v)[i])))
+	}) {
+		return
+	}
 	for i := range *v {
 		if p.err != nil {
 			return
@@ -413,6 +472,11 @@ func (p *PUPer) Ints(v *[]int) {
 func (p *PUPer) Bytes(v *[]byte) {
 	n := p.length(len(*v))
 	if n < 0 {
+		return
+	}
+	if p.mode == Packing && p.spliceBulk(n, 1, func(i int, w []byte) {
+		w[0] = (*v)[i]
+	}) {
 		return
 	}
 	w := p.raw(n)

@@ -44,6 +44,16 @@ type CaptureOptions struct {
 	// pinning the original Sizing+Packing behavior. Used by the benchmark
 	// harness's serial baseline.
 	ForceTwoPass bool
+	// PatchCapture lets write-tracked tasks patch their two-epochs-ago
+	// capture buffer in place instead of memcpy'ing every clean byte from
+	// the previous stream. Only set it when the caller owns the store's
+	// lifecycle exclusively: every epoch older than the newest committed
+	// one must be evicted before the next capture begins, and no reader may
+	// retain Bytes() of an evicted epoch — the controller's commit protocol
+	// guarantees exactly this. A store whose checkpoints outlive eviction
+	// (a caller-supplied store, a delta tier retaining anchors) must leave
+	// it off, or captures would scribble over retained views.
+	PatchCapture bool
 }
 
 // CaptureReplica packs every task of the replica and stores the chunked,
@@ -72,25 +82,29 @@ func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, opts
 	}
 	captureOne := func(i int) error {
 		addr := Addr{Replica: rep, Node: i / tasks, Task: i % tasks}
-		var data []byte
-		var recycled *ckptstore.Checkpoint
-		var err error
+		var ck *ckptstore.Checkpoint
 		if opts.ForceTwoPass {
-			data, err = m.PackTask(addr)
-		} else {
-			var buf []byte
-			if opts.Pool != nil {
-				recycled = opts.Pool.Get(m.sizeHint(addr))
-				buf = recycled.Scratch()
-			} else if hint := m.sizeHint(addr); hint > 0 {
-				buf = make([]byte, 0, hint)
+			// The pinned serial baseline: two-pass pack, full checksum, no
+			// splice base retained.
+			data, err := m.PackTask(addr)
+			if err != nil {
+				return fmt.Errorf("runtime: capture %v: %w", addr, err)
 			}
-			data, _, err = m.packTaskInto(addr, buf)
+			ck = ckptstore.CaptureInto(nil, data, opts.ChunkSize, chunkWorkers)
+		} else {
+			hint := m.sizeHint(addr)
+			var buf []byte
+			var recycled *ckptstore.Checkpoint
+			if opts.Pool != nil {
+				recycled = opts.Pool.Get(hint)
+				buf = recycled.Scratch()
+			}
+			var err error
+			ck, err = m.captureTaskInto(addr, recycled, buf, hint, opts.ChunkSize, chunkWorkers, opts.PatchCapture)
+			if err != nil {
+				return fmt.Errorf("runtime: capture %v: %w", addr, err)
+			}
 		}
-		if err != nil {
-			return fmt.Errorf("runtime: capture %v: %w", addr, err)
-		}
-		ck := ckptstore.CaptureInto(recycled, data, opts.ChunkSize, chunkWorkers)
 		key := ckptstore.Key{Replica: rep, Node: addr.Node, Task: addr.Task, Epoch: epoch}
 		if err := st.Put(key, ck); err != nil {
 			return fmt.Errorf("runtime: store %v: %w", key, err)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
 	"acr/internal/pup"
 )
 
@@ -210,6 +211,27 @@ type taskSlot struct {
 	// next capture's buffer so packing can skip the Sizing traversal when
 	// the state size is stable (the common steady-state case).
 	sizeHint int
+	// lastCap is the checkpoint this slot produced at its most recent
+	// capture — the splice base for the next capture's dirty path. Its
+	// lifetime is guaranteed by the commit protocol: eviction only drops
+	// strictly older epochs, and every restore/rollback funnels through
+	// RestartReplica, which clears it (a fresh incarnation is blind).
+	lastCap *ckptstore.Checkpoint
+	// dirtyScratch is the reusable range buffer handed to the program's
+	// DirtyTracker at capture time.
+	dirtyScratch []pup.Range
+	// patchCap is the slot's capture from two epochs ago, retained as the
+	// patch-in-place base for the next capture (CaptureOptions.PatchCapture):
+	// by the time it is reused, the commit protocol has evicted it from the
+	// store, and its Retained flag keeps the pool from handing its buffer to
+	// anyone else. patchDirty is the dirty set of the most recent capture —
+	// exactly the ranges by which patchCap's stream differs from lastCap's —
+	// and is valid whenever patchCap is non-nil. patchScratch is the
+	// reusable union buffer. All three are cleared by RestartReplica along
+	// with lastCap and by any capture that could not splice.
+	patchCap     *ckptstore.Checkpoint
+	patchDirty   []pup.Range
+	patchScratch []pup.Range
 }
 
 // Failure describes a detected hard error.
@@ -249,12 +271,44 @@ type Machine struct {
 	// packFast / packSlow count task packs that hit the single-pass
 	// size-hint path versus the two-pass Sizing+Packing fallback.
 	packFast, packSlow atomic.Int64
+	// dirtyChunksPacked / dirtyChunksReused split tracked captures'
+	// chunks into recomputed-dirty versus spliced-from-previous-epoch;
+	// dirtyBytesReused counts payload bytes memcpy'd from the previous
+	// stream instead of re-encoded.
+	dirtyChunksPacked, dirtyChunksReused, dirtyBytesReused atomic.Int64
 }
 
 // PackCounters returns how many task packs took the single-pass size-hint
 // fast path versus the two-pass Sizing+Packing fallback.
 func (m *Machine) PackCounters() (fast, slow int64) {
 	return m.packFast.Load(), m.packSlow.Load()
+}
+
+// DirtyCounters returns the incremental-capture counters: chunks whose
+// checksums were recomputed (dirty), chunks whose checksums were spliced
+// from the previous epoch (clean), and payload bytes copied from the
+// previous packed stream instead of re-encoded. All zero while no task
+// tracks writes.
+func (m *Machine) DirtyCounters() (chunksPacked, chunksReused, bytesReused int64) {
+	return m.dirtyChunksPacked.Load(), m.dirtyChunksReused.Load(), m.dirtyBytesReused.Load()
+}
+
+// ReplicaStateHint returns the replica's summed packed-size hints from the
+// last capture — a cheap estimate of total state size, 0 before the first
+// capture.
+func (m *Machine) ReplicaStateHint(rep int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0
+	for n := 0; n < m.cfg.NodesPerReplica; n++ {
+		for t := 0; t < m.cfg.TasksPerNode; t++ {
+			s := m.slots[rep][n][t]
+			s.mu.Lock()
+			total += s.sizeHint
+			s.mu.Unlock()
+		}
+	}
+	return total
 }
 
 // NewMachine allocates a machine; call Start to launch the tasks.

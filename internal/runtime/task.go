@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
 	"acr/internal/pup"
 )
 
@@ -242,30 +243,149 @@ func (m *Machine) PackTask(addr Addr) ([]byte, error) {
 	return pup.Pack(prog)
 }
 
-// packTaskInto serializes a task's state reusing buf's capacity when it
-// suffices (the pup.PackInto fast path), records the resulting size as the
-// slot's next capture hint, and counts which path was taken. Quiescence
-// rules match PackTask.
-func (m *Machine) packTaskInto(addr Addr, buf []byte) ([]byte, bool, error) {
+// captureTaskInto packs a task's state and chunks/checksums it into a
+// checkpoint, routing through the incremental dirty path when possible:
+// if the program tracks writes (pup.DirtyTracker, armed) and the slot
+// retains the previous epoch's capture, only dirty elements are re-encoded
+// and only dirty chunks re-checksummed (clean sums spliced from the
+// previous capture). When the caller additionally enables patch capture
+// and the slot still holds its two-epochs-ago buffer, clean bytes are not
+// even copied — the old buffer is patched in place with the union of the
+// last two dirty sets (pup.PackDirtyPatch); otherwise clean bytes are
+// memcpy'd from the previous stream (pup.PackDirtyInto). Untracked or
+// blind programs, fresh incarnations, and structural changes all degrade
+// to the ordinary full pack — correctness never depends on tracking.
+// Quiescence rules match PackTask.
+//
+// The resulting checkpoint is retained as the slot's next splice base, the
+// slot's size hint is refreshed, and the tracker (if any) is re-armed.
+func (m *Machine) captureTaskInto(addr Addr, recycled *ckptstore.Checkpoint, buf []byte, hint, chunkSize, chunkWorkers int, patch bool) (*ckptstore.Checkpoint, error) {
 	m.mu.RLock()
 	s := m.slots[addr.Replica][addr.Node][addr.Task]
 	m.mu.RUnlock()
 	s.mu.Lock()
 	prog := s.prog
+	prev := s.lastCap
+	scratch := s.dirtyScratch
+	base := s.patchCap
+	stale := s.patchDirty
+	union := s.patchScratch
 	s.mu.Unlock()
-	data, fast, err := pup.PackInto(prog, buf)
-	if err != nil {
-		return nil, false, err
+
+	if recycled != nil && recycled == prev {
+		// The pool handed back the very checkpoint we would splice from
+		// (possible only if a caller evicted the epoch the slot still
+		// trusts); packing into its buffer while reading it would corrupt
+		// both. Fall back to a full pack.
+		prev = nil
 	}
-	if fast {
+	var prevBytes []byte
+	var dirty []pup.Range
+	tracker, _ := prog.(pup.DirtyTracker)
+	tracked := false
+	if tracker != nil && prev != nil {
+		if rs, ok := tracker.DirtyRanges(scratch); ok {
+			dirty, tracked = rs, true
+			prevBytes = prev.Bytes()
+		}
+	}
+
+	var res pup.DirtyPackResult
+	var err error
+	patched := false
+	if tracked && patch && base != nil && base != prev && base.Len() == prev.Len() {
+		// Patch in place: base still holds the stream from two captures
+		// ago, which differs from prev only on stale (the previous
+		// capture's dirty set). Re-encoding stale ∪ dirty on top of it
+		// yields the current stream without touching a single clean byte.
+		// base left the store when the previous epoch committed, and its
+		// Retained flag kept the pool from handing it to anyone else.
+		union = append(union[:0], dirty...)
+		union = append(union, stale...)
+		res, err = pup.PackDirtyPatch(prog, base.Scratch(), prevBytes, dirty, union)
+		patched = true
+	} else {
+		if cap(buf) == 0 && hint > 0 {
+			// No pool, or a drained pool handing back an empty struct
+			// (nothing evicted yet, or every retiree retained by the patch
+			// ladder): seed the buffer from the size hint so single-pass
+			// packing and the dirty splice still engage. Allocated here,
+			// not in CaptureReplica — the patch path above never touches
+			// buf, and eagerly making a state-sized buffer per capture
+			// would spend more time zeroing it than the patch spends
+			// packing.
+			buf = make([]byte, 0, hint)
+		}
+		res, err = pup.PackDirtyInto(prog, buf, prevBytes, dirty)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Fast {
 		m.packFast.Add(1)
 	} else {
 		m.packSlow.Add(1)
 	}
+	// The capture target: the patch path writes into base's buffer, so the
+	// checkpoint must reuse base's struct and Sums (recycled, if the pool
+	// supplied one, is simply left for the collector — with patching active
+	// the slot self-recycles and the pool drains to empty structs anyway).
+	into := recycled
+	if patched {
+		into = base
+	}
+	var ck *ckptstore.Checkpoint
+	if res.Spliced {
+		var reusedChunks int
+		ck, reusedChunks = ckptstore.CaptureDirtyInto(into, res.Data, chunkSize, chunkWorkers, prev, res.Dirty)
+		m.dirtyChunksReused.Add(int64(reusedChunks))
+		m.dirtyChunksPacked.Add(int64(ck.NumChunks() - reusedChunks))
+		m.dirtyBytesReused.Add(int64(res.Reused))
+	} else {
+		ck = ckptstore.CaptureInto(into, res.Data, chunkSize, chunkWorkers)
+		if tracked {
+			// A tracked capture that could not splice still counts its
+			// chunks as packed, so the dirty ratio reflects rebases.
+			m.dirtyChunksPacked.Add(int64(ck.NumChunks()))
+		}
+	}
+
+	keep := dirty
+	if res.Spliced {
+		keep = res.Dirty
+	}
 	s.mu.Lock()
-	s.sizeHint = len(data)
+	s.sizeHint = len(res.Data)
+	s.lastCap = ck
+	if keep != nil && cap(keep) > cap(s.dirtyScratch) {
+		s.dirtyScratch = keep[:0]
+	}
+	if union != nil {
+		s.patchScratch = union[:0]
+	}
+	if patch && tracked && res.Spliced && prev != nil {
+		// prev becomes the patch base for the NEXT capture: by then the
+		// commit protocol will have evicted it from the store, and the
+		// Retained flag keeps the pool from recycling its buffer into
+		// another task's capture in the meantime. patchDirty records
+		// exactly how the new capture differs from it.
+		prev.SetRetained(true)
+		s.patchCap = prev
+		s.patchDirty = append(s.patchDirty[:0], res.Dirty...)
+	} else {
+		// Without a spliced capture there is no trustworthy delta between
+		// this stream and the previous one, so patching two epochs ahead
+		// would splice stale bytes. Start the ladder over.
+		s.patchCap = nil
+		s.patchDirty = s.patchDirty[:0]
+	}
 	s.mu.Unlock()
-	return data, fast, nil
+	if tracker != nil {
+		// The task is quiescent for the duration of the capture, so
+		// re-arming the tracker here cannot race application marks.
+		tracker.ResetDirty()
+	}
+	return ck, nil
 }
 
 // sizeHint returns the task's packed size at its last capture (0 before
@@ -402,6 +522,16 @@ func (m *Machine) RestartReplica(rep int, ckpts [][][]byte) error {
 			}
 			s.mu.Lock()
 			s.prog = fresh
+			// The restored payload length is the task's true packed size:
+			// a task restored from an older epoch (or folded onto a
+			// survivor) must not keep its pre-failure hint, which would
+			// push the first post-recovery capture through the overflow
+			// slow path. The splice base is dropped for the same reason —
+			// a fresh incarnation is blind until its next capture.
+			s.sizeHint = len(ckpts[n][t])
+			s.lastCap = nil
+			s.patchCap = nil
+			s.patchDirty = s.patchDirty[:0]
 			s.mu.Unlock()
 		}
 	}
