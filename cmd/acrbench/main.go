@@ -17,9 +17,20 @@
 // than -tolerance relative to the baseline (only enforced where the
 // baseline itself showed a speedup), or its fast-path allocs/op grow by
 // more than -tolerance. Ratios, not absolute nanoseconds, so the gate is
-// meaningful across machines.
+// meaningful across machines. Cases present only on one side are never
+// silently dropped: current-run cases missing from the baseline and
+// baseline cases missing from the current run are both logged to stderr.
 //
-// Exit status: 0 clean, 1 regression detected, 2 usage or execution error.
+// Unless -fleet=false, the run also covers the fleet layer
+// (internal/fleet): the fleet-scale case measures wall-clock per committed
+// epoch of the sharded discrete-event fleet at 2 versus 16 jobs (131,072
+// simulated cores) and gates per-epoch growth at 1.3x — an absolute,
+// machine-portable bound checked even without a baseline; and a seeded
+// 16-job failure burst over one shared spare must finish with zero oracle
+// violations (every job completes with its bit-identical golden result).
+//
+// Exit status: 0 clean, 1 regression or fleet violation, 2 usage or
+// execution error.
 package main
 
 import (
@@ -28,8 +39,10 @@ import (
 	"fmt"
 	"os"
 	stdruntime "runtime"
+	"time"
 
 	"acr/internal/core"
+	"acr/internal/fleet"
 )
 
 func main() {
@@ -39,15 +52,28 @@ func main() {
 		out       = flag.String("out", "BENCH_checkpoint.json", "write the JSON report to this file ('-' = stdout only)")
 		against   = flag.String("against", "", "baseline report to check for regressions")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed relative regression vs the baseline")
+		withFleet = flag.Bool("fleet", true, "run the fleet scaling case and failure-burst campaign")
+		burstSeed = flag.Int64("burst-seed", 1, "seed for the fleet failure-burst kill plan")
 	)
 	flag.Parse()
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
-	logf("acrbench: GOMAXPROCS=%d quick=%v count=%d", stdruntime.GOMAXPROCS(0), *quick, *count)
+	logf("acrbench: GOMAXPROCS=%d quick=%v count=%d fleet=%v", stdruntime.GOMAXPROCS(0), *quick, *count, *withFleet)
 
 	report, err := core.RunCheckpointBench(*quick, *count, stdruntime.GOMAXPROCS(0), logf)
 	if err != nil {
 		fatalf("bench: %v", err)
+	}
+	if *withFleet {
+		cs, err := fleet.RunFleetScalingBench(*quick, *count, logf)
+		if err != nil {
+			fatalf("fleet bench: %v", err)
+		}
+		report.Cases = append(report.Cases, cs)
+		if err := runBurst(*burstSeed, logf); err != nil {
+			fmt.Fprintln(os.Stderr, "VIOLATION:", err)
+			os.Exit(1)
+		}
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -64,16 +90,32 @@ func main() {
 		logf("acrbench: wrote %s (%d cases)", *out, len(report.Cases))
 	}
 
-	if *against == "" {
-		return
+	// The fleet-scale gate is absolute (per-epoch growth <= 1.3x at 8x the
+	// jobs), so it holds with or without a baseline.
+	var regressions []string
+	if c := report.Find(fleet.FleetScaleCaseName); c != nil && c.Speedup < 1/fleetScaleBudget {
+		regressions = append(regressions, fmt.Sprintf(
+			"%s: per-epoch cost at 16 jobs is %.2fx the 2-job cost (allowed <= %.2fx)",
+			c.Name, 1/c.Speedup, fleetScaleBudget))
 	}
-	base, err := readReport(*against)
-	if err != nil {
-		fatalf("baseline: %v", err)
-	}
-	regressions, skipped := check(base, report, *tolerance)
-	for _, s := range skipped {
-		logf("acrbench: case %s not in baseline %s, skipped (regenerate the baseline to gate it)", s, *against)
+
+	if *against != "" {
+		base, err := readReport(*against)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		baselineRegressions, skippedCur, skippedBase := check(base, report, *tolerance)
+		regressions = append(regressions, baselineRegressions...)
+		for _, s := range skippedCur {
+			logf("acrbench: case %s not in baseline %s, skipped (regenerate the baseline to gate it)", s, *against)
+		}
+		for _, s := range skippedBase {
+			logf("acrbench: baseline case %s not produced by this run, skipped (full baseline vs -quick run, or a removed shape)", s)
+		}
+		if len(regressions) == 0 {
+			logf("acrbench: no regressions vs %s (tolerance %.0f%%, %d cases checked, %d skipped)",
+				*against, *tolerance*100, len(report.Cases)-len(skippedCur), len(skippedCur)+len(skippedBase))
+		}
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
@@ -81,8 +123,28 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	logf("acrbench: no regressions vs %s (tolerance %.0f%%, %d cases checked, %d skipped)",
-		*against, *tolerance*100, len(report.Cases)-len(skipped), len(skipped))
+}
+
+// fleetScaleBudget is the allowed per-epoch wall-clock growth when the
+// simulated fleet's job count grows 8x (2 -> 16 jobs).
+const fleetScaleBudget = 1.3
+
+// runBurst runs the seeded 16-job failure-burst acceptance campaign: one
+// shared spare, six kills, and a zero-violation oracle.
+func runBurst(seed int64, logf func(format string, args ...any)) error {
+	spec := fleet.DefaultBurstSpec(seed)
+	rep, err := fleet.RunBurst(spec)
+	if err != nil {
+		return err
+	}
+	logf("fleet-burst: %d jobs, %d kills, %d grants, %d preemptions, %v degraded total, %v elapsed",
+		spec.Jobs, len(spec.Kills), rep.Stats.SpareGrants, rep.Stats.Preemptions,
+		rep.Stats.DegradedTime.Round(time.Millisecond), rep.Elapsed.Round(time.Millisecond))
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("fleet-burst (seed %d): %d oracle violations, first: %s",
+			seed, len(rep.Violations), rep.Violations[0])
+	}
+	return nil
 }
 
 func readReport(path string) (*core.BenchReport, error) {
@@ -108,14 +170,21 @@ func readReport(path string) (*core.BenchReport, error) {
 //     absolute slack for one-off warmup allocations.
 //
 // A case missing from the baseline (a shape added after the baseline was
-// generated) cannot be gated; it is returned in skipped so the caller
-// reports it loudly instead of silently passing it.
-func check(base, cur *core.BenchReport, tol float64) (regressions, skipped []string) {
+// generated) cannot be gated, and neither can a baseline case this run did
+// not produce (a full baseline checked by a -quick run, or a shape that was
+// removed); both are returned so the caller reports them loudly instead of
+// silently passing them.
+func check(base, cur *core.BenchReport, tol float64) (regressions, skippedCur, skippedBase []string) {
+	for i := range base.Cases {
+		if cur.Find(base.Cases[i].Name) == nil {
+			skippedBase = append(skippedBase, base.Cases[i].Name)
+		}
+	}
 	for i := range cur.Cases {
 		c := &cur.Cases[i]
 		b := base.Find(c.Name)
 		if b == nil {
-			skipped = append(skipped, c.Name)
+			skippedCur = append(skippedCur, c.Name)
 			continue
 		}
 		if b.Speedup > 1.05 && c.Speedup < b.Speedup*(1-tol) {
@@ -130,7 +199,7 @@ func check(base, cur *core.BenchReport, tol float64) (regressions, skipped []str
 				c.Name, c.Fast.AllocsPerOp, b.Fast.AllocsPerOp, allowedAllocs))
 		}
 	}
-	return regressions, skipped
+	return regressions, skippedCur, skippedBase
 }
 
 func fatalf(format string, args ...any) {

@@ -22,21 +22,38 @@ func okCase(name string) core.BenchCase {
 
 func TestCheckClean(t *testing.T) {
 	base := report(okCase("shape/round"))
-	regressions, skipped := check(base, report(okCase("shape/round")), 0.25)
-	if len(regressions) != 0 || len(skipped) != 0 {
-		t.Fatalf("clean run reported regressions=%v skipped=%v", regressions, skipped)
+	regressions, skippedCur, skippedBase := check(base, report(okCase("shape/round")), 0.25)
+	if len(regressions) != 0 || len(skippedCur) != 0 || len(skippedBase) != 0 {
+		t.Fatalf("clean run reported regressions=%v skipped=%v/%v", regressions, skippedCur, skippedBase)
 	}
 }
 
 func TestCheckSkipsAndReportsMissingBaselineCase(t *testing.T) {
 	base := report(okCase("shape/round"))
 	cur := report(okCase("shape/round"), okCase("new-shape/round"))
-	regressions, skipped := check(base, cur, 0.25)
+	regressions, skippedCur, skippedBase := check(base, cur, 0.25)
 	if len(regressions) != 0 {
 		t.Fatalf("unexpected regressions: %v", regressions)
 	}
-	if len(skipped) != 1 || skipped[0] != "new-shape/round" {
-		t.Fatalf("skipped = %v, want exactly [new-shape/round]", skipped)
+	if len(skippedCur) != 1 || skippedCur[0] != "new-shape/round" {
+		t.Fatalf("skipped = %v, want exactly [new-shape/round]", skippedCur)
+	}
+	if len(skippedBase) != 0 {
+		t.Fatalf("skippedBase = %v, want none", skippedBase)
+	}
+}
+
+func TestCheckReportsBaselineCasesMissingFromRun(t *testing.T) {
+	// A full baseline checked by a -quick run: the un-run cases must be
+	// surfaced, not silently passed.
+	base := report(okCase("shape/round"), okCase("big-shape/round"))
+	cur := report(okCase("shape/round"))
+	regressions, skippedCur, skippedBase := check(base, cur, 0.25)
+	if len(regressions) != 0 || len(skippedCur) != 0 {
+		t.Fatalf("unexpected regressions=%v skippedCur=%v", regressions, skippedCur)
+	}
+	if len(skippedBase) != 1 || skippedBase[0] != "big-shape/round" {
+		t.Fatalf("skippedBase = %v, want exactly [big-shape/round]", skippedBase)
 	}
 }
 
@@ -44,9 +61,9 @@ func TestCheckFlagsSpeedupRegression(t *testing.T) {
 	base := report(okCase("shape/round"))
 	cur := report(okCase("shape/round"))
 	cur.Cases[0].Speedup = 2.0 // below 4.0 * (1 - 0.25)
-	regressions, skipped := check(base, cur, 0.25)
-	if len(skipped) != 0 {
-		t.Fatalf("unexpected skips: %v", skipped)
+	regressions, skippedCur, skippedBase := check(base, cur, 0.25)
+	if len(skippedCur) != 0 || len(skippedBase) != 0 {
+		t.Fatalf("unexpected skips: %v/%v", skippedCur, skippedBase)
 	}
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "speedup") {
 		t.Fatalf("regressions = %v, want one speedup regression", regressions)
@@ -60,7 +77,7 @@ func TestCheckIgnoresSpeedupWhereBaselineHadNone(t *testing.T) {
 	base := report(c)
 	cur := report(c)
 	cur.Cases[0].Speedup = 0.5
-	regressions, _ := check(base, cur, 0.25)
+	regressions, _, _ := check(base, cur, 0.25)
 	if len(regressions) != 0 {
 		t.Fatalf("gated a case whose baseline showed no speedup: %v", regressions)
 	}
@@ -71,7 +88,7 @@ func TestCheckFlagsAllocRegression(t *testing.T) {
 	cur := report(okCase("shape/round"))
 	// Allowed is 10*1.25 + 4 = 16.
 	cur.Cases[0].Fast.AllocsPerOp = 17
-	regressions, _ := check(base, cur, 0.25)
+	regressions, _, _ := check(base, cur, 0.25)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "allocs/op") {
 		t.Fatalf("regressions = %v, want one alloc regression", regressions)
 	}

@@ -118,6 +118,13 @@ func (r *RingProg) Run(ctx *runtime.Ctx) error {
 	return nil
 }
 
+// RingFactory builds the ring-workload task factory for a replica shape —
+// the same self-spreading workload the campaign engine uses, exported for
+// the fleet scheduler's multi-job golden verification.
+func RingFactory(tasksPerNode, iters, padFloats int) runtime.Factory {
+	return ringFactory(tasksPerNode, iters, padFloats)
+}
+
 // ringFactory builds the campaign's task factory for a replica shape.
 func ringFactory(tasksPerNode, iters, padFloats int) runtime.Factory {
 	return func(addr runtime.Addr) runtime.Program {

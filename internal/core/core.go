@@ -209,6 +209,12 @@ type Config struct {
 	// continues degraded. Controller.FreeSpare re-expands folded nodes
 	// when capacity returns.
 	Degraded bool
+	// OnFold, if non-nil, is called (on the controller goroutine) after a
+	// failed node has been folded onto a survivor — i.e. each time the job
+	// enters or deepens degraded mode. A fleet scheduler uses it to broker
+	// a replacement spare from the shared pool (Controller.FreeSpare); the
+	// callback must not block on the controller itself.
+	OnFold func()
 	// Exchange, when non-nil, routes the recovery-checkpoint mirror and
 	// the per-round compare-result message through a lossy netsim link
 	// with per-chunk acknowledgements, bounded-retry resend with capped

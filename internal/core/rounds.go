@@ -599,6 +599,9 @@ func (c *Controller) handleFailure(f runtime.Failure) error {
 		c.stats.Folds++
 		c.fire(point.CoreFold, point.Info{Replica: f.Replica, Node: f.Node, Task: host})
 		c.mark(trace.Fold, fmt.Sprintf("spares exhausted: r%d/n%d folded onto survivor n%d (degraded)", f.Replica, f.Node, host))
+		if c.cfg.OnFold != nil {
+			c.cfg.OnFold()
+		}
 	} else {
 		c.stats.SparesUsed++
 	}

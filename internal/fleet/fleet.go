@@ -1,0 +1,570 @@
+// Package fleet multiplexes many concurrent ACR jobs — each a
+// core.Controller driving a runtime.Machine — over three shared, contended
+// resources: a physical node pool (each job occupies 2×Nodes physical
+// nodes, one per replica member), a spare pool (repaired nodes waiting for
+// work), and a disk-tier bandwidth budget for durable checkpoint flushes.
+//
+// The scheduler provides:
+//
+//   - Admission control: submitted jobs queue until their node and spare
+//     demand fits the free pools, served in priority order (head-of-line —
+//     a large high-priority job is never overtaken by a small low-priority
+//     one, so priorities cannot starve).
+//   - Checkpoint-I/O arbitration: every job's tier-1 flush traffic passes
+//     through one token-bucket Arbiter (see arbiter.go) plugged into
+//     core.Config.FlushStore, so one job's flush storm queues against the
+//     budget instead of starving another job's recovery reads.
+//   - Spare brokering: when a job exhausts its dedicated spares and folds a
+//     dead node onto a survivor (degraded mode), the fleet grants it a
+//     spare — from the free pool if one is available, otherwise by
+//     preempting an idle spare from the lowest-priority healthy job. The
+//     grant lands through Controller.FreeSpare, which re-expands the folded
+//     node.
+//
+// All brokering decisions run on one scheduler goroutine fed by channels;
+// controllers never touch fleet state directly, so the fleet adds no lock
+// ordering constraints to the per-job machinery.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"acr/internal/chaos"
+	"acr/internal/ckptstore"
+	"acr/internal/core"
+	"acr/internal/runtime"
+	"acr/internal/trace"
+)
+
+// Config shapes the shared resource pools.
+type Config struct {
+	// Nodes is the physical node pool backing replicas. A job with N
+	// logical nodes per replica occupies 2N of them for its lifetime.
+	Nodes int
+	// Spares is the shared spare pool. Dedicated per-job spares
+	// (JobSpec.Spares) are carved out of it at admission; the remainder is
+	// the brokered free pool degraded jobs draw from.
+	Spares int
+	// BytesPerSec is the shared disk-tier write budget for durable flushes;
+	// <= 0 disables throttling (the arbiter still counts traffic).
+	BytesPerSec float64
+	// TransferSlots bounds concurrent disk-tier transfers; <= 0 unlimited.
+	TransferSlots int
+	// Timeline, if non-nil, receives fleet-level events (admissions,
+	// grants, preemptions) as trace.Fleet annotations.
+	Timeline *trace.Timeline
+}
+
+// JobSpec describes one job submitted to the fleet.
+type JobSpec struct {
+	Name     string `json:"name"`
+	Priority int    `json:"priority"`
+	// Nodes and Tasks shape the job's machine: Nodes logical nodes per
+	// replica, Tasks tasks per node (2×Nodes physical nodes total).
+	Nodes int `json:"nodes"`
+	Tasks int `json:"tasks"`
+	// Spares is the job's dedicated spare count, allocated from the fleet
+	// pool at admission and returned (if unused) at completion.
+	Spares int `json:"spares"`
+	// Iters is the ring-workload lap count when Factory is nil.
+	Iters int `json:"iters"`
+	// Factory overrides the default ring workload. Jobs with a custom
+	// factory are not golden-verifiable by VerifyRing.
+	Factory runtime.Factory `json:"-"`
+
+	Scheme     core.Scheme     `json:"scheme"`
+	Comparison core.Comparison `json:"comparison"`
+	// Interval is the checkpoint interval; <= 0 selects 2ms.
+	Interval time.Duration `json:"interval"`
+	// FlushEvery > 0 flushes every K-th committed epoch to a durable tier
+	// routed through the fleet's bandwidth arbiter.
+	FlushEvery int `json:"flush_every"`
+}
+
+// JobResult is one job's final accounting.
+type JobResult struct {
+	Name     string `json:"name"`
+	Priority int    `json:"priority"`
+	// QueueWait is the time between submission and admission.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	// DegradedTime is the total time the job ran with folded nodes.
+	DegradedTime time.Duration `json:"degraded_ns"`
+	// Preempted counts spares the fleet took from this job for others;
+	// Grants counts spares the fleet granted to this job while degraded.
+	Preempted int `json:"preempted"`
+	Grants    int `json:"grants"`
+
+	Completed bool       `json:"completed"`
+	Err       string     `json:"err,omitempty"`
+	Stats     core.Stats `json:"stats"`
+}
+
+// FleetStats aggregates the fleet's lifetime accounting.
+type FleetStats struct {
+	Submitted   int `json:"submitted"`
+	Admissions  int `json:"admissions"`
+	Completed   int `json:"completed"`
+	Failed      int `json:"failed"`
+	Preemptions int `json:"preemptions"`
+	SpareGrants int `json:"spare_grants"`
+
+	QueueWait    time.Duration `json:"queue_wait_ns"`
+	MaxQueueWait time.Duration `json:"max_queue_wait_ns"`
+	DegradedTime time.Duration `json:"degraded_ns"`
+
+	Arbiter ArbiterStats `json:"arbiter"`
+	Jobs    []JobResult  `json:"jobs"`
+}
+
+// Job is the handle Submit returns.
+type Job struct {
+	spec     JobSpec
+	seq      int
+	submitAt time.Time
+
+	admitted chan struct{}
+	done     chan struct{}
+
+	// Scheduler-goroutine state (guarded by Scheduler.mu for readers).
+	ctrl          *core.Controller
+	admitAt       time.Time
+	degradedSince time.Time
+	res           JobResult
+}
+
+// Spec returns the submitted spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Admitted is closed once the job holds resources and its controller is
+// running; Controller is valid from then on.
+func (j *Job) Admitted() <-chan struct{} { return j.admitted }
+
+// Done is closed when the job has completed or failed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Controller returns the job's controller (nil before admission) — the
+// handle chaos tests use to inject failures.
+func (j *Job) Controller() *core.Controller {
+	select {
+	case <-j.admitted:
+		return j.ctrl
+	default:
+		return nil
+	}
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (j *Job) Wait() JobResult {
+	<-j.done
+	return j.res
+}
+
+type eventKind int
+
+const (
+	evSubmit eventKind = iota
+	evFold
+	evDone
+	evSpare
+)
+
+type event struct {
+	kind  eventKind
+	job   *Job
+	stats core.Stats
+	err   error
+}
+
+// Scheduler multiplexes jobs over the shared pools. All scheduling state is
+// owned by one goroutine; public methods communicate with it via channels.
+type Scheduler struct {
+	cfg Config
+	arb *Arbiter
+
+	events  chan event
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+	start   time.Time
+
+	mu    sync.Mutex
+	jobs  []*Job
+	stats FleetStats
+
+	// Loop-owned (no locking): pool balances and scheduling queues.
+	freeNodes  int
+	freeSpares int
+	queue      []*Job
+	running    map[*Job]bool
+	waiting    []*Job // degraded jobs owed a spare, priority order
+}
+
+// New builds a scheduler over the given pools and starts its loop.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("fleet: node pool must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Spares < 0 {
+		return nil, fmt.Errorf("fleet: negative spare pool %d", cfg.Spares)
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		arb:        NewArbiter(cfg.BytesPerSec, cfg.TransferSlots),
+		events:     make(chan event, 64),
+		stop:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+		start:      time.Now(),
+		freeNodes:  cfg.Nodes,
+		freeSpares: cfg.Spares,
+		running:    make(map[*Job]bool),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Arbiter exposes the fleet's I/O arbiter (for stats and custom stores).
+func (s *Scheduler) Arbiter() *Arbiter { return s.arb }
+
+func (s *Scheduler) mark(format string, args ...any) {
+	if s.cfg.Timeline == nil {
+		return
+	}
+	s.cfg.Timeline.Add(time.Since(s.start).Seconds(), trace.Fleet, fmt.Sprintf(format, args...))
+}
+
+// Submit queues a job for admission and returns its handle. Submitting
+// after Close is a no-op returning a job whose Done never closes.
+func (s *Scheduler) Submit(spec JobSpec) *Job {
+	if spec.Tasks <= 0 {
+		spec.Tasks = 1
+	}
+	if spec.Interval <= 0 {
+		spec.Interval = 2 * time.Millisecond
+	}
+	if spec.Iters <= 0 {
+		spec.Iters = 4000
+	}
+	j := &Job{
+		spec:     spec,
+		submitAt: time.Now(),
+		admitted: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.mu.Lock()
+	j.seq = len(s.jobs)
+	s.jobs = append(s.jobs, j)
+	s.stats.Submitted++
+	s.mu.Unlock()
+	s.notify(event{kind: evSubmit, job: j})
+	return j
+}
+
+// AddSpare models a repaired physical node rejoining the fleet's shared
+// spare pool; waiting degraded jobs are served immediately.
+func (s *Scheduler) AddSpare() {
+	s.notify(event{kind: evSpare})
+}
+
+// notify delivers an event to the loop unless the scheduler has stopped.
+func (s *Scheduler) notify(ev event) {
+	select {
+	case s.events <- ev:
+	case <-s.stopped:
+	}
+}
+
+// Drain waits until every submitted job has finished, then returns the
+// final stats. It fails if the fleet has not quiesced within the timeout —
+// the no-deadlock watchdog for chaos campaigns.
+func (s *Scheduler) Drain(timeout time.Duration) (FleetStats, error) {
+	deadline := time.After(timeout)
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.jobs...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-deadline:
+			return s.Stats(), fmt.Errorf("fleet: drain timed out after %v with job %q unfinished", timeout, j.spec.Name)
+		}
+	}
+	return s.Stats(), nil
+}
+
+// Close stops the scheduler loop and aborts still-running machines. Safe to
+// call more than once; Drain first for a clean shutdown.
+func (s *Scheduler) Close() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.stopped
+}
+
+// Stats snapshots the fleet accounting, including per-job results in
+// submission order.
+func (s *Scheduler) Stats() FleetStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Arbiter = s.arb.Stats()
+	out.Jobs = make([]JobResult, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out.Jobs = append(out.Jobs, j.res)
+	}
+	return out
+}
+
+// loop is the scheduler goroutine: the only writer of pool balances and
+// queues, and (under s.mu) of job results and aggregate stats.
+func (s *Scheduler) loop() {
+	defer close(s.stopped)
+	for {
+		select {
+		case <-s.stop:
+			for j := range s.running {
+				j.ctrl.Machine().Stop()
+			}
+			return
+		case ev := <-s.events:
+			switch ev.kind {
+			case evSubmit:
+				s.enqueue(ev.job)
+				s.admitReady()
+			case evFold:
+				s.brokerSpare(ev.job)
+			case evDone:
+				s.finish(ev.job, ev.stats, ev.err)
+				s.serveWaiting()
+				s.admitReady()
+			case evSpare:
+				s.freeSpares++
+				s.mark("spare pool +1 (repair), free=%d", s.freeSpares)
+				s.serveWaiting()
+				s.admitReady()
+			}
+		}
+	}
+}
+
+// enqueue inserts the job into the admission queue, priority-descending
+// with submission order breaking ties.
+func (s *Scheduler) enqueue(j *Job) {
+	s.queue = append(s.queue, j)
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		if s.queue[a].spec.Priority != s.queue[b].spec.Priority {
+			return s.queue[a].spec.Priority > s.queue[b].spec.Priority
+		}
+		return s.queue[a].seq < s.queue[b].seq
+	})
+}
+
+// admitReady admits queue-head jobs while resources last. Head-of-line by
+// design: if the highest-priority waiter does not fit, nothing behind it is
+// considered, trading utilization for freedom from priority starvation.
+func (s *Scheduler) admitReady() {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		need := 2 * j.spec.Nodes
+		if need > s.freeNodes || j.spec.Spares > s.freeSpares {
+			return
+		}
+		s.queue = s.queue[1:]
+		if err := s.admit(j); err != nil {
+			s.mu.Lock()
+			j.res = JobResult{Name: j.spec.Name, Priority: j.spec.Priority, Err: err.Error()}
+			s.stats.Failed++
+			s.mu.Unlock()
+			close(j.admitted)
+			close(j.done)
+			continue
+		}
+		s.freeNodes -= need
+		s.freeSpares -= j.spec.Spares
+	}
+}
+
+// admit builds the job's controller and launches its runner.
+func (s *Scheduler) admit(j *Job) error {
+	spec := j.spec
+	factory := spec.Factory
+	if factory == nil {
+		factory = chaos.RingFactory(spec.Tasks, spec.Iters, 0)
+	}
+	cc := core.Config{
+		NodesPerReplica:    spec.Nodes,
+		TasksPerNode:       spec.Tasks,
+		Spares:             spec.Spares,
+		Factory:            factory,
+		Scheme:             spec.Scheme,
+		Comparison:         spec.Comparison,
+		CheckpointInterval: spec.Interval,
+		HeartbeatInterval:  time.Millisecond,
+		HeartbeatTimeout:   8 * time.Millisecond,
+		Degraded:           true,
+		OnFold:             func() { s.notify(event{kind: evFold, job: j}) },
+	}
+	if spec.FlushEvery > 0 {
+		cc.FlushEvery = spec.FlushEvery
+		cc.FlushStore = s.arb.Wrap(ckptstore.NewMem())
+	}
+	ctrl, err := core.New(cc)
+	if err != nil {
+		return fmt.Errorf("fleet: job %q: %w", spec.Name, err)
+	}
+	j.ctrl = ctrl
+	now := time.Now()
+	wait := now.Sub(j.submitAt)
+	j.admitAt = now
+	s.running[j] = true
+	s.mu.Lock()
+	s.stats.Admissions++
+	s.stats.QueueWait += wait
+	if wait > s.stats.MaxQueueWait {
+		s.stats.MaxQueueWait = wait
+	}
+	j.res.Name = spec.Name
+	j.res.Priority = spec.Priority
+	j.res.QueueWait = wait
+	s.mu.Unlock()
+	s.mark("admit %q prio=%d nodes=%d spares=%d after %v (pool nodes=%d spares=%d)",
+		spec.Name, spec.Priority, 2*spec.Nodes, spec.Spares, wait.Round(time.Microsecond),
+		s.freeNodes-2*spec.Nodes, s.freeSpares-spec.Spares)
+	close(j.admitted)
+	go func() {
+		stats, err := ctrl.Run()
+		s.notify(event{kind: evDone, job: j, stats: stats, err: err})
+	}()
+	return nil
+}
+
+// brokerSpare serves a fold notification: grant a free-pool spare, else
+// preempt one from the lowest-priority healthy job the degraded job
+// outranks, else put the job on the waiting list.
+func (s *Scheduler) brokerSpare(j *Job) {
+	if !s.running[j] {
+		return
+	}
+	if j.degradedSince.IsZero() {
+		j.degradedSince = time.Now()
+	}
+	if s.freeSpares > 0 {
+		s.freeSpares--
+		s.grant(j, "pool")
+		return
+	}
+	if v := s.preemptionVictim(j); v != nil {
+		if _, ok := v.ctrl.Machine().TakeSpare(); ok {
+			s.mu.Lock()
+			s.stats.Preemptions++
+			v.res.Preempted++
+			s.mu.Unlock()
+			s.mark("preempt spare from %q (prio=%d) for %q (prio=%d)",
+				v.spec.Name, v.spec.Priority, j.spec.Name, j.spec.Priority)
+			s.grant(j, "preempt")
+			return
+		}
+	}
+	s.mark("%q degraded, no spare available; waiting", j.spec.Name)
+	// One waiting entry per unserved fold: a job folded twice is owed two
+	// grants, so duplicates are deliberate. serveWaiting drops entries that
+	// turn out healthy by the time a spare frees up.
+	s.waiting = append(s.waiting, j)
+	sort.SliceStable(s.waiting, func(a, b int) bool {
+		if s.waiting[a].spec.Priority != s.waiting[b].spec.Priority {
+			return s.waiting[a].spec.Priority > s.waiting[b].spec.Priority
+		}
+		return s.waiting[a].seq < s.waiting[b].seq
+	})
+}
+
+// preemptionVictim picks the lowest-priority running job that is healthy
+// (no folded nodes), still holds an idle spare, and is outranked by j.
+// Ties break toward the youngest job.
+func (s *Scheduler) preemptionVictim(j *Job) *Job {
+	var victim *Job
+	for v := range s.running {
+		if v == j || v.spec.Priority >= j.spec.Priority {
+			continue
+		}
+		m := v.ctrl.Machine()
+		if m.FoldedCount() > 0 || m.SpareCount() == 0 {
+			continue
+		}
+		if victim == nil ||
+			v.spec.Priority < victim.spec.Priority ||
+			(v.spec.Priority == victim.spec.Priority && v.seq > victim.seq) {
+			victim = v
+		}
+	}
+	return victim
+}
+
+// grant hands one spare to a degraded job via FreeSpare (which re-expands
+// the folded node) and settles its degraded-time accounting.
+func (s *Scheduler) grant(j *Job, how string) {
+	j.ctrl.FreeSpare()
+	healthy := j.ctrl.Machine().FoldedCount() == 0
+	s.mu.Lock()
+	s.stats.SpareGrants++
+	j.res.Grants++
+	if healthy && !j.degradedSince.IsZero() {
+		d := time.Since(j.degradedSince)
+		j.res.DegradedTime += d
+		s.stats.DegradedTime += d
+		j.degradedSince = time.Time{}
+	}
+	s.mu.Unlock()
+	s.mark("grant spare to %q via %s (healthy=%v)", j.spec.Name, how, healthy)
+}
+
+// serveWaiting grants free-pool spares to waiting degraded jobs, highest
+// priority first.
+func (s *Scheduler) serveWaiting() {
+	for len(s.waiting) > 0 && s.freeSpares > 0 {
+		j := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		if !s.running[j] || j.ctrl.Machine().FoldedCount() == 0 {
+			continue // finished or already re-expanded; owes nothing
+		}
+		s.freeSpares--
+		s.grant(j, "pool (waited)")
+	}
+}
+
+// finish settles a completed job and returns its resources to the pools.
+// The job's physical nodes — including repaired-and-unused spares still in
+// its machine — rejoin the free pools, modeling node repair at job end.
+func (s *Scheduler) finish(j *Job, stats core.Stats, err error) {
+	if !s.running[j] {
+		return
+	}
+	delete(s.running, j)
+	kept := s.waiting[:0]
+	for _, w := range s.waiting {
+		if w != j {
+			kept = append(kept, w)
+		}
+	}
+	s.waiting = kept
+	s.freeNodes += 2 * j.spec.Nodes
+	s.freeSpares += j.ctrl.Machine().SpareCount()
+	s.mu.Lock()
+	if !j.degradedSince.IsZero() {
+		d := time.Since(j.degradedSince)
+		j.res.DegradedTime += d
+		s.stats.DegradedTime += d
+		j.degradedSince = time.Time{}
+	}
+	j.res.Stats = stats
+	if err != nil {
+		j.res.Err = err.Error()
+		s.stats.Failed++
+	} else {
+		j.res.Completed = true
+		s.stats.Completed++
+	}
+	s.mu.Unlock()
+	s.mark("done %q err=%v (pool nodes=%d spares=%d)", j.spec.Name, err, s.freeNodes, s.freeSpares)
+	close(j.done)
+}

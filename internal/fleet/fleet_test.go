@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// drain is the test harness's watchdog-wrapped shutdown.
+func drain(t *testing.T, s *Scheduler) FleetStats {
+	t.Helper()
+	stats, err := s.Drain(90 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestAdmissionQueuesUntilResources: a pool fitting one job at a time must
+// serialize three submitted jobs, all completing with golden results.
+func TestAdmissionQueuesUntilResources(t *testing.T) {
+	s, err := New(Config{Nodes: 4}) // one 2-node-per-replica job at a time
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, s.Submit(JobSpec{
+			Name: "serial-" + string(rune('a'+i)), Nodes: 2, Tasks: 1, Iters: 2000,
+		}))
+	}
+	stats := drain(t, s)
+	if stats.Admissions != 3 || stats.Completed != 3 || stats.Failed != 0 {
+		t.Fatalf("admissions=%d completed=%d failed=%d, want 3/3/0",
+			stats.Admissions, stats.Completed, stats.Failed)
+	}
+	for _, j := range jobs {
+		if errs := VerifyRing(j); len(errs) > 0 {
+			t.Fatalf("golden violation: %v", errs)
+		}
+	}
+	// With room for only one job, at least the third job measurably queued
+	// behind the first two.
+	if stats.Jobs[2].QueueWait <= 0 {
+		t.Errorf("third job queue wait = %v, want > 0", stats.Jobs[2].QueueWait)
+	}
+}
+
+// TestAdmissionPriorityOrder: with the pool blocked by a running job, the
+// higher-priority later submission must be admitted before the earlier
+// low-priority one.
+func TestAdmissionPriorityOrder(t *testing.T) {
+	s, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	first := s.Submit(JobSpec{Name: "first", Nodes: 1, Tasks: 1, Iters: 40000})
+	<-first.Admitted()
+	low := s.Submit(JobSpec{Name: "low", Priority: 1, Nodes: 1, Tasks: 1, Iters: 500})
+	high := s.Submit(JobSpec{Name: "high", Priority: 5, Nodes: 1, Tasks: 1, Iters: 500})
+	admitTime := func(j *Job) <-chan time.Time {
+		ch := make(chan time.Time, 1)
+		go func() { <-j.Admitted(); ch <- time.Now() }()
+		return ch
+	}
+	lowAt, highAt := admitTime(low), admitTime(high)
+	select {
+	case <-low.Admitted():
+		t.Fatal("low-priority job admitted while pool was full")
+	case <-time.After(5 * time.Millisecond):
+	}
+	drain(t, s)
+	if !high.Wait().Completed || !low.Wait().Completed {
+		t.Fatal("jobs did not complete")
+	}
+	// Head-of-line priority order: low can only be admitted after high has
+	// run and released the pool, so its admission is strictly later.
+	if l, h := <-lowAt, <-highAt; !l.After(h) {
+		t.Fatalf("low admitted at %v, before high at %v", l, h)
+	}
+}
+
+// TestSpareBrokeringFromPool: a degraded job is granted the fleet's free
+// spare and re-expands.
+func TestSpareBrokeringFromPool(t *testing.T) {
+	s, err := New(Config{Nodes: 4, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j := s.Submit(JobSpec{Name: "victim-of-fate", Nodes: 2, Tasks: 2, Iters: 8000})
+	<-j.Admitted()
+	time.Sleep(5 * time.Millisecond)
+	j.Controller().KillNode(0, 1)
+	stats := drain(t, s)
+	res := j.Wait()
+	if !res.Completed {
+		t.Fatalf("job failed: %s", res.Err)
+	}
+	if res.Stats.Folds != 1 {
+		t.Fatalf("folds = %d, want 1 (job had no dedicated spares)", res.Stats.Folds)
+	}
+	if stats.SpareGrants != 1 || res.Grants != 1 {
+		t.Fatalf("spare grants = %d (job %d), want 1", stats.SpareGrants, res.Grants)
+	}
+	if res.DegradedTime <= 0 {
+		t.Errorf("degraded time = %v, want > 0", res.DegradedTime)
+	}
+	if got := j.Controller().Machine().FoldedCount(); got != 0 {
+		t.Errorf("folded nodes at end = %d, want 0 after grant", got)
+	}
+	if errs := VerifyRing(j); len(errs) > 0 {
+		t.Fatalf("golden violation: %v", errs)
+	}
+}
+
+// TestLastSpareContention is the fleet-level chaos scenario from the issue:
+// nodes die in two jobs nearly simultaneously, both outranking a third job
+// that holds the fleet's only (dedicated) spare. Exactly one preemption may
+// occur — the spare exists once — there must be no deadlock, and every job
+// must still produce its golden result.
+func TestLastSpareContention(t *testing.T) {
+	s, err := New(Config{Nodes: 12, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// donor holds the only spare as a dedicated one; the free pool is empty.
+	donor := s.Submit(JobSpec{Name: "donor", Priority: 0, Nodes: 2, Tasks: 2, Iters: 9000, Spares: 1})
+	a := s.Submit(JobSpec{Name: "contender-a", Priority: 2, Nodes: 2, Tasks: 2, Iters: 9000})
+	b := s.Submit(JobSpec{Name: "contender-b", Priority: 1, Nodes: 2, Tasks: 2, Iters: 9000})
+	<-donor.Admitted()
+	<-a.Admitted()
+	<-b.Admitted()
+	time.Sleep(5 * time.Millisecond)
+	// Near-simultaneous kills in both contenders.
+	a.Controller().KillNode(0, 0)
+	b.Controller().KillNode(1, 1)
+
+	stats := drain(t, s)
+	for _, j := range []*Job{donor, a, b} {
+		res := j.Wait()
+		if !res.Completed {
+			t.Fatalf("job %s failed: %s", res.Name, res.Err)
+		}
+		if errs := VerifyRing(j); len(errs) > 0 {
+			t.Fatalf("golden violation in %s: %v", res.Name, errs)
+		}
+	}
+	if stats.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want exactly 1 (one spare to steal)", stats.Preemptions)
+	}
+	if donor.Wait().Preempted != 1 {
+		t.Fatalf("donor preempted = %d, want 1", donor.Wait().Preempted)
+	}
+	// One contender won the stolen spare; the other either finished
+	// degraded or was served later from the donor's returned capacity.
+	aRes, bRes := a.Wait(), b.Wait()
+	if aRes.Grants+bRes.Grants < 1 {
+		t.Fatalf("no contender received a grant (a=%d b=%d)", aRes.Grants, bRes.Grants)
+	}
+	if aRes.Stats.Folds+bRes.Stats.Folds != 2 {
+		t.Fatalf("folds a=%d b=%d, want 2 total (both killed with no dedicated spares)",
+			aRes.Stats.Folds, bRes.Stats.Folds)
+	}
+}
+
+// TestBurstCampaign runs the full acceptance campaign at a CI-friendly
+// size: 8 jobs, 1 shared spare, seeded kills, zero oracle violations.
+func TestBurstCampaign(t *testing.T) {
+	spec := DefaultBurstSpec(7)
+	spec.Jobs = 8
+	spec.Iters = 6000
+	kept := spec.Kills[:0]
+	for _, k := range spec.Kills {
+		if k.Job < spec.Jobs {
+			kept = append(kept, k)
+		}
+	}
+	spec.Kills = kept
+	if len(spec.Kills) < 2 {
+		t.Fatalf("seed produced %d kills under job %d; pick a different seed", len(spec.Kills), spec.Jobs)
+	}
+	report, err := RunBurst(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range report.Violations {
+		t.Error(v)
+	}
+	if report.Stats.Completed != spec.Jobs {
+		t.Fatalf("completed = %d, want %d", report.Stats.Completed, spec.Jobs)
+	}
+}

@@ -479,9 +479,12 @@ func (m *Machine) ReplaceWithSpare(rep, node int) error {
 // physical node of the same replica — the Charm++-style shrink that keeps
 // a job running in degraded mode when the spare pool is exhausted. Load is
 // the number of logical nodes a physical node currently backs; ties break
-// toward the lowest logical node index, so the fold target is
-// deterministic. Returns the logical node whose physical node now also
-// hosts the folded node.
+// toward the lowest PHYSICAL node id, so the fold target is a pure
+// function of the current route state, independent of the remap history
+// that produced it (a logical-index tie-break would pick a different
+// survivor after a spare replacement reordered the route, and fleet-level
+// chaos reports would stop being byte-identical). Returns the logical node
+// whose physical node now also hosts the folded node.
 //
 // Folding is transparent to the tasks: logical addressing (mailboxes,
 // routes) is unchanged, and the replica is restarted from a checkpoint by
@@ -511,7 +514,8 @@ func (m *Machine) FoldOntoSurvivor(rep, node int) (int, error) {
 		if !p.alive() {
 			continue
 		}
-		if best < 0 || load[p.id] < load[best] {
+		if best < 0 || load[p.id] < load[best] ||
+			(load[p.id] == load[best] && p.id < best) {
 			best, bestNode = p.id, n
 		}
 	}
@@ -538,6 +542,22 @@ func (m *Machine) AddSpare() int {
 	m.phys = append(m.phys, &physNode{id: id, dead: make(chan struct{}), lastBeat: time.Now()})
 	m.spares = append(m.spares, id)
 	return id
+}
+
+// TakeSpare withdraws one unused spare from the pool — the fleet scheduler's
+// preemption primitive: a spare taken from a low-priority healthy job is
+// re-granted to a degraded job via its Controller.FreeSpare. The newest
+// spare is taken so the FIFO order ReplaceWithSpare consumes is untouched.
+// Returns the withdrawn physical id, or ok=false when no spare is free.
+func (m *Machine) TakeSpare() (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.spares) == 0 {
+		return -1, false
+	}
+	id := m.spares[len(m.spares)-1]
+	m.spares = m.spares[:len(m.spares)-1]
+	return id, true
 }
 
 // ExpandFolded remaps folded logical nodes back onto free spares (lowest

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded runs several independent Engines in lockstep time windows — the
+// scaling escape hatch for fleet-sized simulations. A single event loop
+// serializes every job's events through one heap; at fleet scale (dozens of
+// jobs, 100k+ simulated cores) the loop becomes the bottleneck even though
+// the jobs never interact. Sharding gives each job (or group of jobs) its
+// own engine and advances all of them in parallel, one barrier window at a
+// time:
+//
+//	t ──────▶ t+W ──────▶ t+2W ─ ...
+//	   shard 0 runs [t, t+W]   ─┐
+//	   shard 1 runs [t, t+W]   ─┼─ barrier ─▶ OnWindow(t+W) ─▶ next window
+//	   shard k runs [t, t+W]   ─┘
+//
+// Within a window the shards are free-running and MUST NOT touch each
+// other: an event may only schedule follow-ups on its own shard. Cross-
+// shard coupling happens exclusively at the barrier, through OnWindow —
+// the fleet-level clock: every shard's virtual clock is parked at the
+// window edge when it runs, so OnWindow sees a consistent global time and
+// may mutate state the next window's events will read (for example a
+// shared disk-bandwidth congestion factor). This split keeps every shard
+// bit-deterministic: each shard's event order is a pure function of its
+// own schedule, and the barrier sequence is a pure function of the window
+// size.
+type Sharded struct {
+	shards []*Engine
+	window float64
+
+	// OnWindow, if non-nil, runs at every barrier with all shard clocks
+	// parked at t (the window edge just completed). It is the only legal
+	// place for cross-shard state exchange.
+	OnWindow func(t float64)
+}
+
+// DefaultWindow is the barrier window used when NewSharded is given a
+// non-positive one.
+const DefaultWindow = 1.0
+
+// NewSharded builds n fresh engines behind one barrier clock. The window
+// is the lockstep granularity in virtual seconds: smaller windows tighten
+// cross-shard coupling at more barrier overhead.
+func NewSharded(n int, window float64) *Sharded {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: sharded engine needs at least one shard, got %d", n))
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	s := &Sharded{window: window}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, NewEngine())
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's engine for scheduling. Schedule only from the
+// owning shard's events (or before Run starts); see the type comment.
+func (s *Sharded) Shard(i int) *Engine { return s.shards[i] }
+
+// Window returns the barrier window in virtual seconds.
+func (s *Sharded) Window() float64 { return s.window }
+
+// Now returns the fleet clock: the window edge every shard has reached.
+// Between Run calls all shards agree on it.
+func (s *Sharded) Now() float64 {
+	t := 0.0
+	for _, sh := range s.shards {
+		if sh.Now() > t {
+			t = sh.Now()
+		}
+	}
+	return t
+}
+
+// Pending returns the total scheduled events across all shards.
+func (s *Sharded) Pending() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Pending()
+	}
+	return n
+}
+
+// nextEventTime returns the earliest pending event time across shards, or
+// ok=false when every queue is empty.
+func (s *Sharded) nextEventTime() (float64, bool) {
+	t, ok := 0.0, false
+	for _, sh := range s.shards {
+		if sh.Pending() == 0 {
+			continue
+		}
+		if nt := sh.queue[0].Time; !ok || nt < t {
+			t, ok = nt, true
+		}
+	}
+	return t, ok
+}
+
+// Run advances every shard in lockstep windows until all queues drain or
+// the fleet clock reaches horizon (<= 0 means no horizon). Each window is
+// executed by one persistent worker goroutine per shard, so the windows'
+// fan-out cost is two channel operations per shard, not a goroutine spawn.
+// Returns the final fleet clock.
+func (s *Sharded) Run(horizon float64) float64 {
+	if len(s.shards) == 1 {
+		// Degenerate fleet: no barrier needed, but keep OnWindow firing at
+		// the same window edges the sharded path would, so single-shard
+		// and multi-shard runs of coupled simulations stay comparable.
+		return s.runSingle(horizon)
+	}
+	targets := make([]chan float64, len(s.shards))
+	var wg sync.WaitGroup
+	var workers sync.WaitGroup
+	for i := range s.shards {
+		targets[i] = make(chan float64)
+		sh := s.shards[i]
+		ch := targets[i]
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for target := range ch {
+				sh.RunUntil(target)
+				wg.Done()
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range targets {
+			close(ch)
+		}
+		workers.Wait()
+	}()
+
+	for {
+		start, ok := s.nextEventTime()
+		if !ok {
+			break
+		}
+		if horizon > 0 && start > horizon {
+			// Nothing left before the horizon: park every clock there.
+			for _, sh := range s.shards {
+				sh.RunUntil(horizon)
+			}
+			break
+		}
+		target := start + s.window
+		if horizon > 0 && target > horizon {
+			target = horizon
+		}
+		wg.Add(len(s.shards))
+		for i, ch := range targets {
+			_ = i
+			ch <- target
+		}
+		wg.Wait()
+		if s.OnWindow != nil {
+			s.OnWindow(target)
+		}
+		if horizon > 0 && target >= horizon {
+			break
+		}
+	}
+	return s.Now()
+}
+
+// runSingle is Run for one shard: same window edges, no worker machinery.
+func (s *Sharded) runSingle(horizon float64) float64 {
+	sh := s.shards[0]
+	for {
+		if sh.Pending() == 0 {
+			break
+		}
+		start := sh.queue[0].Time
+		if horizon > 0 && start > horizon {
+			sh.RunUntil(horizon)
+			break
+		}
+		target := start + s.window
+		if horizon > 0 && target > horizon {
+			target = horizon
+		}
+		sh.RunUntil(target)
+		if s.OnWindow != nil {
+			s.OnWindow(target)
+		}
+		if horizon > 0 && target >= horizon {
+			break
+		}
+	}
+	return sh.Now()
+}

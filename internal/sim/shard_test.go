@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// periodicCounter schedules itself every period seconds and counts fires.
+func periodicCounter(e *Engine, period float64, fires *atomic.Int64, until float64) {
+	var tick func(*Engine)
+	tick = func(e *Engine) {
+		fires.Add(1)
+		if e.Now()+period <= until {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}
+
+func TestShardedMatchesSequential(t *testing.T) {
+	const horizon = 100.0
+	// Reference: each shard's schedule run alone on a plain engine.
+	periods := []float64{0.5, 0.7, 1.3, 2.9}
+	want := make([]int64, len(periods))
+	for i, p := range periods {
+		e := NewEngine()
+		var fires atomic.Int64
+		periodicCounter(e, p, &fires, horizon)
+		e.Run()
+		want[i] = fires.Load()
+	}
+
+	s := NewSharded(len(periods), 5.0)
+	fires := make([]atomic.Int64, len(periods))
+	for i, p := range periods {
+		periodicCounter(s.Shard(i), p, &fires[i], horizon)
+	}
+	s.Run(0)
+	for i := range periods {
+		if got := fires[i].Load(); got != want[i] {
+			t.Errorf("shard %d fired %d events, sequential reference fired %d", i, got, want[i])
+		}
+	}
+}
+
+func TestShardedHorizonParksClocks(t *testing.T) {
+	s := NewSharded(3, 2.0)
+	var fired atomic.Int64
+	for i := 0; i < s.Shards(); i++ {
+		periodicCounter(s.Shard(i), 1.0, &fired, 1000)
+	}
+	end := s.Run(10)
+	if end != 10 {
+		t.Fatalf("fleet clock parked at %v, want horizon 10", end)
+	}
+	for i := 0; i < s.Shards(); i++ {
+		if now := s.Shard(i).Now(); now != 10 {
+			t.Errorf("shard %d clock %v, want 10", i, now)
+		}
+	}
+	// 10 fires per shard (t=1..10).
+	if got := fired.Load(); got != 30 {
+		t.Errorf("fired %d events before horizon, want 30", got)
+	}
+}
+
+func TestShardedOnWindowSeesParkedClocks(t *testing.T) {
+	s := NewSharded(4, 3.0)
+	for i := 0; i < s.Shards(); i++ {
+		periodicCounter(s.Shard(i), 1.0, new(atomic.Int64), 30)
+	}
+	var barriers []float64
+	s.OnWindow = func(tm float64) {
+		for i := 0; i < s.Shards(); i++ {
+			if now := s.Shard(i).Now(); now != tm {
+				t.Errorf("at barrier %v shard %d clock is %v", tm, i, now)
+			}
+		}
+		barriers = append(barriers, tm)
+	}
+	s.Run(0)
+	if len(barriers) == 0 {
+		t.Fatal("OnWindow never fired")
+	}
+	for i := 1; i < len(barriers); i++ {
+		if barriers[i] <= barriers[i-1] {
+			t.Fatalf("barrier times not increasing: %v", barriers)
+		}
+	}
+}
+
+// TestShardedSingleShardWindows pins the degenerate one-shard path to the
+// same barrier edges as the multi-shard path: coupled simulations compare
+// single- vs multi-shard runs and the OnWindow cadence must match.
+func TestShardedSingleShardWindows(t *testing.T) {
+	run := func(shardsOfWork int) []float64 {
+		s := NewSharded(shardsOfWork, 2.0)
+		for i := 0; i < shardsOfWork; i++ {
+			periodicCounter(s.Shard(i), 1.0, new(atomic.Int64), 8)
+		}
+		var edges []float64
+		s.OnWindow = func(tm float64) { edges = append(edges, tm) }
+		s.Run(0)
+		return edges
+	}
+	one, many := run(1), run(2)
+	if len(one) != len(many) {
+		t.Fatalf("single-shard barriers %v, multi-shard %v", one, many)
+	}
+	for i := range one {
+		if one[i] != many[i] {
+			t.Fatalf("barrier %d: single-shard %v, multi-shard %v", i, one[i], many[i])
+		}
+	}
+}
+
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := NewSharded(3, 1.5)
+		fires := make([]atomic.Int64, 3)
+		for i := range fires {
+			periodicCounter(s.Shard(i), 0.3+0.2*float64(i), &fires[i], 50)
+		}
+		s.Run(0)
+		out := make([]int64, 3)
+		for i := range fires {
+			out[i] = fires[i].Load()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run disagreement at shard %d: %v vs %v", i, a, b)
+		}
+	}
+}

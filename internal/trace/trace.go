@@ -41,6 +41,10 @@ const (
 	// retransmission counts from the lossy-link checkpoint exchange.
 	// Like Store, Net events annotate the timeline without drawing on it.
 	Net
+	// Fleet carries multi-job scheduler events (internal/fleet): job
+	// admission, spare grants and preemptions, bandwidth-arbiter waits.
+	// Like Store and Net, Fleet events annotate without drawing.
+	Fleet
 )
 
 // Glyph returns the timeline character for the kind.
@@ -87,13 +91,15 @@ func (k Kind) String() string {
 		return "fold"
 	case Net:
 		return "net"
+	case Fleet:
+		return "fleet"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // ParseKind inverts Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := Work; k <= Net; k++ {
+	for k := Work; k <= Fleet; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -178,7 +184,7 @@ func (tl *Timeline) Render(horizon float64, width int) string {
 		return 1
 	}
 	for _, e := range tl.Events() {
-		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net {
+		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net || e.Kind == Fleet {
 			continue
 		}
 		col := int(e.Time / horizon * float64(width))
