@@ -41,6 +41,7 @@ import (
 	stdruntime "runtime"
 	"time"
 
+	"acr/internal/buildinfo"
 	"acr/internal/core"
 	"acr/internal/fleet"
 )
@@ -55,7 +56,11 @@ func main() {
 		withFleet = flag.Bool("fleet", true, "run the fleet scaling case and failure-burst campaign")
 		burstSeed = flag.Int64("burst-seed", 1, "seed for the fleet failure-burst kill plan")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrbench", *showVersion) {
+		return
+	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	logf("acrbench: GOMAXPROCS=%d quick=%v count=%d fleet=%v", stdruntime.GOMAXPROCS(0), *quick, *count, *withFleet)

@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"acr/internal/buildinfo"
 	"acr/internal/core"
 	"acr/internal/fleet"
 	"acr/internal/trace"
@@ -44,16 +45,16 @@ type fileSpec struct {
 }
 
 type fileJob struct {
-	Name       string `json:"name"`
-	Priority   int    `json:"priority"`
-	Nodes      int    `json:"nodes"`
-	Tasks      int    `json:"tasks"`
-	Spares     int    `json:"spares"`
-	Iters      int    `json:"iters"`
-	Scheme     string `json:"scheme"`
-	Comparison string `json:"comparison"`
+	Name       string  `json:"name"`
+	Priority   int     `json:"priority"`
+	Nodes      int     `json:"nodes"`
+	Tasks      int     `json:"tasks"`
+	Spares     int     `json:"spares"`
+	Iters      int     `json:"iters"`
+	Scheme     string  `json:"scheme"`
+	Comparison string  `json:"comparison"`
 	IntervalMs float64 `json:"interval_ms"`
-	FlushEvery int    `json:"flush_every"`
+	FlushEvery int     `json:"flush_every"`
 }
 
 type fileKill struct {
@@ -75,7 +76,11 @@ func main() {
 		specPath = flag.String("spec", "", "fleet campaign JSON (required)")
 		timeline = flag.Bool("timeline", false, "dump fleet trace events to stderr")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrfleet", *showVersion) {
+		return
+	}
 	if *specPath == "" {
 		fatalf("-spec is required")
 	}
@@ -123,7 +128,10 @@ func main() {
 		if err != nil {
 			fatalf("%s: job %d: %v", *specPath, i, err)
 		}
-		jobs[i] = sched.Submit(js)
+		jobs[i], err = sched.Submit(js)
+		if err != nil {
+			fatalf("%s: job %d: %v", *specPath, i, err)
+		}
 	}
 	for _, k := range spec.Kills {
 		k := k

@@ -1,0 +1,106 @@
+// Command acrload is the seeded closed-loop load generator for an acrd
+// daemon: it submits N ring jobs over the HTTP API at a target rate,
+// follows them to completion, verifies golden-ring results, and emits a
+// JSON report with submit/completion latency percentiles.
+//
+// Usage:
+//
+//	acrload -addr http://127.0.0.1:7946 -jobs 8 -seed 1 -verify
+//	acrload -addr ... -jobs 4 -seed 1 -submit-only        # leave running
+//	acrload -addr ... -wait-existing -verify              # adopt & finish
+//
+// The same -seed always submits the same job shapes, so a -submit-only run
+// before a daemon kill and a -wait-existing run after -resume together
+// assert crash-restart correctness end to end (the acrd-smoke CI job).
+//
+// Exit status: 0 all jobs succeeded (and verified, when asked), 1 any job
+// failed, verification mismatched, or the run errored, 2 usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"acr/internal/acrd/loadgen"
+	"acr/internal/buildinfo"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:7946", "daemon base URL")
+		jobs       = flag.Int("jobs", 4, "jobs to submit")
+		conc       = flag.Int("concurrency", 2, "closed-loop width")
+		rate       = flag.Float64("rate", 0, "target submit rate per second (0 = unpaced)")
+		seed       = flag.Int64("seed", 1, "job-shape seed")
+		nodesMin   = flag.Int("nodes-min", 1, "min nodes per replica")
+		nodesMax   = flag.Int("nodes-max", 2, "max nodes per replica")
+		tasksMin   = flag.Int("tasks-min", 1, "min tasks per node")
+		tasksMax   = flag.Int("tasks-max", 2, "max tasks per node")
+		itersMin   = flag.Int("iters-min", 10000, "min ring laps")
+		itersMax   = flag.Int("iters-max", 30000, "max ring laps")
+		flushEvery = flag.Int("flush-every", 1, "durable flush cadence")
+		submitOnly = flag.Bool("submit-only", false, "return once each job has a durable epoch; leave jobs running")
+		waitExist  = flag.Bool("wait-existing", false, "adopt the daemon's existing jobs instead of submitting")
+		verifyFlag = flag.Bool("verify", false, "golden-ring verify completed jobs")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
+		out        = flag.String("out", "", "write the JSON report here as well as stdout")
+	)
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrload", *showVersion) {
+		return
+	}
+	if *submitOnly && *waitExist {
+		fmt.Fprintln(os.Stderr, "acrload: -submit-only and -wait-existing are mutually exclusive")
+		os.Exit(2)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *addr,
+		Jobs:        *jobs,
+		Concurrency: *conc,
+		RatePerSec:  *rate,
+		Seed:        *seed,
+		NodesMin:    *nodesMin, NodesMax: *nodesMax,
+		TasksMin: *tasksMin, TasksMax: *tasksMax,
+		ItersMin: *itersMin, ItersMax: *itersMax,
+		FlushEvery:   *flushEvery,
+		SubmitOnly:   *submitOnly,
+		WaitExisting: *waitExist,
+		Verify:       *verifyFlag,
+		Timeout:      *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acrload: %v\n", err)
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acrload: marshal report: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	os.Stdout.Write(blob)
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "acrload: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	bad := len(rep.Errors) > 0 || rep.Failed > 0 || rep.VerifyBad > 0
+	if !*submitOnly && rep.Completed != rep.Submitted {
+		bad = true
+	}
+	if *verifyFlag && rep.Verified+rep.Failed < rep.Completed {
+		// Unverified completions are fine only when they predate this
+		// daemon life; those are not counted Verified. Don't fail on them.
+		bad = bad || rep.VerifyBad > 0
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"acr/internal/buildinfo"
 	"acr/internal/expt"
 	"acr/internal/model"
 )
@@ -24,7 +25,11 @@ func main() {
 		fit     = flag.Float64("fit", 100, "per-socket SDC rate in FIT")
 		sweeps  = flag.Bool("sweeps", false, "also print the Figure 1 and Figure 7 sweeps")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrmodel", *showVersion) {
+		return
+	}
 
 	p := model.Params{
 		W:                   *w,

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"acr/internal/apps"
+	"acr/internal/buildinfo"
 	"acr/internal/core"
 	"acr/internal/runtime"
 	"acr/internal/trace"
@@ -39,7 +40,11 @@ func main() {
 		semi     = flag.Bool("semiblocking", false, "overlap checkpoint comparison with execution (§4.2 extension)")
 		predict  = flag.Duration("predict", 0, "emit a failure prediction after this delay (0 = none)")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrrun", *showVersion) {
+		return
+	}
 
 	if *list {
 		for _, s := range apps.Table2() {

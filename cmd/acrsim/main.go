@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"acr/internal/buildinfo"
 	"acr/internal/expt"
 )
 
@@ -24,7 +25,11 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation studies")
 	asCSV := flag.Bool("csv", false, "emit the figure as CSV instead of a formatted table (with -fig)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrsim", *showVersion) {
+		return
+	}
 
 	w := os.Stdout
 	run := func(n int) error {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"acr/internal/buildinfo"
 	"acr/internal/chaos"
 )
 
@@ -41,7 +42,11 @@ func main() {
 		minimize = flag.Bool("minimize", false, "with -repro: shrink each violating fault schedule to a 1-minimal subset (ddmin)")
 		quiet    = flag.Bool("quiet", false, "suppress the progress line per finished run")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout, "acrsoak", *showVersion) {
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "acrsoak: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)

@@ -1,0 +1,134 @@
+// The acrd control-plane journal: an append-only JSONL file under the
+// daemon's data directory recording every event the daemon must survive a
+// kill -9 to remember — job submissions, durable-flush completions, and
+// final results. Each record is one JSON object on one line, fsynced
+// before the append returns, so a record's presence implies it reached
+// stable storage before anything that observed it.
+//
+// The journal is a *claim log*, not ground truth: a flush record says an
+// epoch was completely written at the time, but retention eviction or
+// partial-file damage can invalidate it later. Resume therefore treats
+// journal claims only as hints and re-derives the usable-epoch set from
+// the on-disk checkpoint store itself (see resume.go).
+package acrd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"acr/internal/fleet"
+)
+
+// recordKind discriminates journal records.
+type recordKind string
+
+const (
+	// recSubmit: a job was accepted; carries the external spec and the
+	// daemon-assigned id. Exactly one per job, ever.
+	recSubmit recordKind = "submit"
+	// recFlush: the job's durable tier holds a complete copy of the epoch
+	// (every task checkpoint of both replicas was accepted by the disk).
+	recFlush recordKind = "flush"
+	// recResume: a later daemon life readmitted the job; carries what the
+	// disk scan salvaged and what journaled claims it had to skip.
+	recResume recordKind = "resume"
+	// recDone: the job finished; carries the full fleet result. Jobs
+	// settled by a graceful daemon shutdown are deliberately NOT journaled
+	// done — they are unfinished work the next life must readmit.
+	recDone recordKind = "done"
+)
+
+// record is the union journal line. Kind selects which fields are live.
+type record struct {
+	Kind recordKind `json:"kind"`
+	ID   int        `json:"id"`
+
+	Spec     *SubmitRequest   `json:"spec,omitempty"`     // submit
+	Epoch    uint64           `json:"epoch,omitempty"`    // flush
+	Salvaged []uint64         `json:"salvaged,omitempty"` // resume
+	Skipped  []uint64         `json:"skipped,omitempty"`  // resume
+	Result   *fleet.JobResult `json:"result,omitempty"`   // done
+}
+
+// journal is the append handle. Appends are serialized and fsynced.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("acrd: open journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one record line and fsyncs it. Appends after Close are
+// dropped with an error — they race the daemon teardown and lose.
+func (j *journal) append(r record) error {
+	blob, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("acrd: journal marshal: %w", err)
+	}
+	blob = append(blob, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("acrd: journal closed")
+	}
+	if _, err := j.f.Write(blob); err != nil {
+		return fmt.Errorf("acrd: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("acrd: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// readJournal loads every parseable record from path. A process killed
+// mid-append leaves a torn final line; torn or otherwise unparseable lines
+// are counted and skipped, never fatal — the disk scan downstream decides
+// what is actually usable. A missing file is an empty journal.
+func readJournal(path string) (recs []record, torn int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("acrd: read journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			torn++
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, torn, fmt.Errorf("acrd: scan journal: %w", err)
+	}
+	return recs, torn, nil
+}

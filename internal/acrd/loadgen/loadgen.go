@@ -1,0 +1,410 @@
+// Package loadgen is a seeded closed-loop client for the acrd daemon: it
+// submits N ring jobs over the HTTP API at a target rate, follows each to
+// completion, optionally verifies the golden-ring result, and reports
+// latency percentiles. It doubles as the smoke-test driver: with
+// SubmitOnly it leaves jobs running (but provably durable — each must
+// reach one flushed epoch before it counts), and with WaitExisting it
+// adopts whatever a restarted daemon resumed and drives it home.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes one load run. Zero values pick small defaults.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7946".
+	BaseURL string `json:"base_url"`
+	// Jobs is the number of jobs to submit (default 4).
+	Jobs int `json:"jobs"`
+	// Concurrency bounds in-flight jobs per closed loop (default 2).
+	Concurrency int `json:"concurrency"`
+	// RatePerSec caps the submit rate; <= 0 submits as fast as the loop
+	// allows.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Seed makes the job-parameter stream reproducible: job i's shape
+	// derives from Seed and i alone, independent of worker scheduling.
+	Seed int64 `json:"seed"`
+
+	// Job-shape ranges, inclusive. Zero values select {1,2} nodes,
+	// {1,2} tasks, {10000,30000} iters.
+	NodesMin int `json:"nodes_min,omitempty"`
+	NodesMax int `json:"nodes_max,omitempty"`
+	TasksMin int `json:"tasks_min,omitempty"`
+	TasksMax int `json:"tasks_max,omitempty"`
+	ItersMin int `json:"iters_min,omitempty"`
+	ItersMax int `json:"iters_max,omitempty"`
+	// FlushEvery is the durable cadence for submitted jobs (default 1).
+	FlushEvery int `json:"flush_every,omitempty"`
+
+	// SubmitOnly returns once every submitted job has at least one durable
+	// epoch on disk, leaving the jobs running — the state a crash test
+	// wants to kill the daemon in.
+	SubmitOnly bool `json:"submit_only,omitempty"`
+	// WaitExisting skips submission and instead adopts every job the
+	// daemon already knows, driving each to a terminal state.
+	WaitExisting bool `json:"wait_existing,omitempty"`
+	// Verify runs the golden-ring check on every completed job that still
+	// has a live machine (prior-life completions are skipped).
+	Verify bool `json:"verify,omitempty"`
+
+	// PollInterval spaces status polls (default 25ms).
+	PollInterval time.Duration `json:"-"`
+	// Timeout bounds the whole run (default 5m).
+	Timeout time.Duration `json:"-"`
+
+	Client *http.Client `json:"-"`
+}
+
+// Percentiles summarizes a latency sample in milliseconds.
+type Percentiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Report is the run's accounting, JSON-serializable for CI artifacts.
+type Report struct {
+	Config     Config   `json:"config"`
+	IDs        []int    `json:"ids"`
+	Submitted  int      `json:"submitted"`
+	Completed  int      `json:"completed"`
+	Failed     int      `json:"failed"`
+	Verified   int      `json:"verified"`
+	VerifyBad  int      `json:"verify_failures"`
+	Errors     []string `json:"errors,omitempty"`
+	ElapsedSec float64  `json:"elapsed_sec"`
+	// SubmitMs measures POST /api/v1/jobs round trips; CompleteMs the
+	// submit-to-terminal-state wall time per job (absent with SubmitOnly);
+	// DurableMs the submit-to-first-durable-epoch time (SubmitOnly only).
+	SubmitMs   *Percentiles `json:"submit_ms,omitempty"`
+	CompleteMs *Percentiles `json:"complete_ms,omitempty"`
+	DurableMs  *Percentiles `json:"durable_ms,omitempty"`
+}
+
+func pctiles(samples []time.Duration) *Percentiles {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return &Percentiles{
+		N: len(sorted), P50: at(0.50), P90: at(0.90), P99: at(0.99),
+		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
+
+func (c *Config) setDefaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 4
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.NodesMax <= 0 {
+		c.NodesMin, c.NodesMax = 1, 2
+	}
+	if c.NodesMin <= 0 {
+		c.NodesMin = 1
+	}
+	if c.TasksMax <= 0 {
+		c.TasksMin, c.TasksMax = 1, 2
+	}
+	if c.TasksMin <= 0 {
+		c.TasksMin = 1
+	}
+	if c.ItersMax <= 0 {
+		c.ItersMin, c.ItersMax = 10000, 30000
+	}
+	if c.ItersMin <= 0 {
+		c.ItersMin = 1
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 1
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+}
+
+// jobShape derives job i's parameters from the seed alone, so a rerun with
+// the same seed submits byte-identical specs regardless of thread timing.
+func (c *Config) jobShape(i int) map[string]any {
+	rng := rand.New(rand.NewSource(c.Seed<<20 + int64(i)))
+	span := func(lo, hi int) int {
+		if hi <= lo {
+			return lo
+		}
+		return lo + rng.Intn(hi-lo+1)
+	}
+	return map[string]any{
+		"name":        fmt.Sprintf("lg-%d-%03d", c.Seed, i),
+		"nodes":       span(c.NodesMin, c.NodesMax),
+		"tasks":       span(c.TasksMin, c.TasksMax),
+		"iters":       span(c.ItersMin, c.ItersMax),
+		"flush_every": c.FlushEvery,
+	}
+}
+
+type jobView struct {
+	ID        int    `json:"id"`
+	State     string `json:"state"`
+	PriorLife bool   `json:"prior_life"`
+}
+
+// Run executes the load profile and returns the report.
+func Run(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	rep := &Report{Config: cfg}
+	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
+
+	var ids []int
+	var mu sync.Mutex
+	var submitSamples, completeSamples, durableSamples []time.Duration
+	addErr := func(format string, args ...any) {
+		mu.Lock()
+		rep.Errors = append(rep.Errors, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	if cfg.WaitExisting {
+		existing, err := listJobs(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ids = existing
+	} else {
+		// Closed-loop submit: Concurrency workers claim indices; pacing
+		// holds submit i until its scheduled slot when a rate is set.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= cfg.Jobs || time.Now().After(deadline) {
+						return
+					}
+					if cfg.RatePerSec > 0 {
+						slot := start.Add(time.Duration(float64(i) / cfg.RatePerSec * float64(time.Second)))
+						time.Sleep(time.Until(slot))
+					}
+					began := time.Now()
+					id, err := submit(cfg, cfg.jobShape(i))
+					submitLat := time.Since(began)
+					if err != nil {
+						addErr("submit %d: %v", i, err)
+						continue
+					}
+					mu.Lock()
+					ids = append(ids, id)
+					submitSamples = append(submitSamples, submitLat)
+					mu.Unlock()
+					switch {
+					case cfg.SubmitOnly:
+						// Durability barrier: the job must not count until
+						// something of it would survive a daemon kill.
+						if err := waitDurable(cfg, id, deadline); err != nil {
+							addErr("job %d: %v", id, err)
+						} else {
+							mu.Lock()
+							durableSamples = append(durableSamples, time.Since(began))
+							mu.Unlock()
+						}
+					default:
+						if err := waitTerminal(cfg, id, deadline); err != nil {
+							addErr("job %d: %v", id, err)
+						} else {
+							mu.Lock()
+							completeSamples = append(completeSamples, time.Since(began))
+							mu.Unlock()
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	sort.Ints(ids)
+	rep.IDs = ids
+	rep.Submitted = len(ids)
+
+	if cfg.WaitExisting {
+		for _, id := range ids {
+			if err := waitTerminal(cfg, id, deadline); err != nil {
+				addErr("job %d: %v", id, err)
+			}
+		}
+	}
+
+	// Final census + optional verification.
+	if !cfg.SubmitOnly {
+		for _, id := range ids {
+			jv, err := getJob(cfg, id)
+			if err != nil {
+				addErr("job %d: %v", id, err)
+				continue
+			}
+			switch jv.State {
+			case "completed":
+				rep.Completed++
+				if cfg.Verify && !jv.PriorLife {
+					ok, verr := verify(cfg, id)
+					if verr != nil {
+						addErr("verify %d: %v", id, verr)
+					} else if ok {
+						rep.Verified++
+					} else {
+						rep.VerifyBad++
+					}
+				}
+			case "failed":
+				rep.Failed++
+			default:
+				addErr("job %d ended in state %q", id, jv.State)
+			}
+		}
+	}
+
+	rep.SubmitMs = pctiles(submitSamples)
+	rep.CompleteMs = pctiles(completeSamples)
+	rep.DurableMs = pctiles(durableSamples)
+	rep.ElapsedSec = time.Since(start).Seconds()
+	return rep, nil
+}
+
+func submit(cfg Config, shape map[string]any) (int, error) {
+	blob, err := json.Marshal(shape)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cfg.Client.Post(cfg.BaseURL+"/api/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var jv jobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return 0, fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	return jv.ID, nil
+}
+
+func getJob(cfg Config, id int) (jobView, error) {
+	var jv jobView
+	resp, err := cfg.Client.Get(fmt.Sprintf("%s/api/v1/jobs/%d", cfg.BaseURL, id))
+	if err != nil {
+		return jv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jv, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&jv)
+	return jv, err
+}
+
+func listJobs(cfg Config) ([]int, error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/api/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	ids := make([]int, 0, len(body.Jobs))
+	for _, j := range body.Jobs {
+		ids = append(ids, j.ID)
+	}
+	return ids, nil
+}
+
+func waitTerminal(cfg Config, id int, deadline time.Time) error {
+	for {
+		jv, err := getJob(cfg, id)
+		if err != nil {
+			return err
+		}
+		if jv.State == "completed" || jv.State == "failed" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("still %q at deadline", jv.State)
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+}
+
+// waitDurable blocks until the job's durable tier holds a complete epoch.
+func waitDurable(cfg Config, id int, deadline time.Time) error {
+	for {
+		resp, err := cfg.Client.Get(fmt.Sprintf("%s/api/v1/jobs/%d/inventory", cfg.BaseURL, id))
+		if err != nil {
+			return err
+		}
+		var body struct {
+			DurableEpochs []uint64 `json:"durable_epochs"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if derr != nil {
+			return derr
+		}
+		if len(body.DurableEpochs) > 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no durable epoch at deadline")
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+}
+
+func verify(cfg Config, id int) (bool, error) {
+	resp, err := cfg.Client.Get(fmt.Sprintf("%s/api/v1/jobs/%d/verify", cfg.BaseURL, id))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("verify: status %d", resp.StatusCode)
+	}
+	var body struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, err
+	}
+	return body.OK, nil
+}

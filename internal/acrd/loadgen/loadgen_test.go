@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"acr/internal/acrd"
+	"acr/internal/fleet"
+)
+
+func newDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := acrd.New(acrd.Config{
+		DataDir: t.TempDir(),
+		Fleet:   fleet.Config{Nodes: 16, Spares: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// TestClosedLoopRun drives a seeded profile end to end: every job must
+// complete and verify bit-identical, and the latency summaries must be
+// populated.
+func TestClosedLoopRun(t *testing.T) {
+	ts := newDaemon(t)
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Jobs:        4,
+		Concurrency: 2,
+		Seed:        7,
+		ItersMin:    2000,
+		ItersMax:    8000,
+		Verify:      true,
+		Timeout:     3 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 4 || rep.Completed != 4 || rep.Failed != 0 {
+		t.Fatalf("census: %+v (errors %v)", rep, rep.Errors)
+	}
+	if rep.Verified != 4 || rep.VerifyBad != 0 {
+		t.Fatalf("verification: %+v", rep)
+	}
+	if rep.SubmitMs == nil || rep.SubmitMs.N != 4 || rep.SubmitMs.P99 < rep.SubmitMs.P50 {
+		t.Fatalf("submit percentiles: %+v", rep.SubmitMs)
+	}
+	if rep.CompleteMs == nil || rep.CompleteMs.N != 4 {
+		t.Fatalf("completion percentiles: %+v", rep.CompleteMs)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+}
+
+// TestSeedDeterminism: the same seed must derive the same job shapes.
+func TestSeedDeterminism(t *testing.T) {
+	a := Config{Seed: 42}
+	a.setDefaults()
+	b := Config{Seed: 42}
+	b.setDefaults()
+	for i := 0; i < 10; i++ {
+		sa := a.jobShape(i)
+		sb := b.jobShape(i)
+		for _, k := range []string{"name", "nodes", "tasks", "iters"} {
+			if sa[k] != sb[k] {
+				t.Fatalf("job %d field %s: %v vs %v", i, k, sa[k], sb[k])
+			}
+		}
+	}
+	if a.jobShape(0)["iters"] == a.jobShape(1)["iters"] &&
+		a.jobShape(1)["iters"] == a.jobShape(2)["iters"] {
+		t.Fatal("shapes show no variation across indices")
+	}
+}
+
+// TestSubmitOnlyLeavesDurableJobs: SubmitOnly must return with every job
+// holding at least one durable epoch and still listed by the daemon.
+func TestSubmitOnlyLeavesDurableJobs(t *testing.T) {
+	ts := newDaemon(t)
+	rep, err := Run(Config{
+		BaseURL:    ts.URL,
+		Jobs:       2,
+		Seed:       3,
+		ItersMin:   200000,
+		ItersMax:   200000,
+		SubmitOnly: true,
+		Timeout:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 2 || len(rep.Errors) != 0 {
+		t.Fatalf("%+v", rep)
+	}
+	if rep.DurableMs == nil || rep.DurableMs.N != 2 {
+		t.Fatalf("durable percentiles: %+v", rep.DurableMs)
+	}
+	// Adopt-and-finish: the WaitExisting mode drives the leftovers home.
+	rep2, err := Run(Config{BaseURL: ts.URL, WaitExisting: true, Verify: true, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completed != 2 || rep2.Verified != 2 || rep2.VerifyBad != 0 {
+		t.Fatalf("wait-existing census: %+v (errors %v)", rep2, rep2.Errors)
+	}
+}

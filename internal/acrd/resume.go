@@ -1,0 +1,172 @@
+package acrd
+
+import (
+	"fmt"
+
+	"acr/internal/ckptstore"
+)
+
+// Resume: rebuilding the control plane after the daemon itself died.
+//
+// The validation ladder has three rungs, each trusting the previous one
+// less:
+//
+//  1. Journal claims — the replayed submit/flush/done records say which
+//     jobs existed, which finished, and which epochs were flushed. Claims
+//     only: an epoch journaled as flushed may since have been evicted by
+//     retention, half-written by a dying flush, or corrupted at rest.
+//  2. Disk audit — each unfinished job's checkpoint directory is reopened
+//     (ckptstore.NewDisk rebuilds its index from the files actually
+//     present) and ckptstore.CompleteEpochs derives the epochs with a full
+//     complement of task checkpoints. Epochs the journal claimed but the
+//     disk cannot fully produce are reported skipped; complete epochs are
+//     salvaged — including ones whose flush record was torn off the
+//     journal tail by the crash.
+//  3. Payload verification — salvaged epochs are only candidates. The
+//     core's warm start (resumeFromDurable → adoptEpoch) re-reads every
+//     task checkpoint, and the disk tier re-verifies each payload against
+//     its stored root on Get, walking to the next-older epoch on any
+//     corruption. A job whose every candidate fails verification cold
+//     starts from factory state.
+//
+// Rung 3 lives in internal/core; this file implements rungs 1 and 2.
+
+// ResumeReport is the audit of one resume pass.
+type ResumeReport struct {
+	// Resumed is true when the daemon started with resume enabled.
+	Resumed bool `json:"resumed"`
+	// JournalRecords / TornRecords count parseable and unparseable journal
+	// lines (a kill -9 mid-append leaves at most one torn tail line).
+	JournalRecords int `json:"journal_records"`
+	TornRecords    int `json:"torn_records"`
+	// Readmitted / Finished / ColdStarted count unfinished jobs resubmitted
+	// warm, jobs that finished in a prior life, and readmitted jobs that
+	// had no usable durable epoch at all.
+	Readmitted  int `json:"readmitted"`
+	Finished    int `json:"finished"`
+	ColdStarted int `json:"cold_started"`
+	// SalvagedEpochs / SkippedEpochs total the per-job audit counts.
+	SalvagedEpochs int `json:"salvaged_epochs"`
+	SkippedEpochs  int `json:"skipped_epochs"`
+
+	Jobs []ResumeJobReport `json:"jobs,omitempty"`
+}
+
+// ResumeJobReport is the per-job audit line.
+type ResumeJobReport struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	// State: "readmitted" (warm), "cold" (readmitted with nothing usable),
+	// or "finished" (done record found; not resubmitted).
+	State string `json:"state"`
+	// Claimed lists epochs the journal asserts were flushed; Salvaged the
+	// complete epochs the disk audit confirmed; Skipped the claims the
+	// audit could not confirm (evicted, partial, or unreadable).
+	Claimed  []uint64 `json:"claimed_epochs,omitempty"`
+	Salvaged []uint64 `json:"salvaged_epochs,omitempty"`
+	Skipped  []uint64 `json:"skipped_epochs,omitempty"`
+}
+
+// resume replays journal records into the registry and readmits every job
+// without a done record, warm from whatever its disk audit salvaged.
+// Called from New before the API is reachable, so it needs no locking
+// discipline beyond the registry mutex.
+func (s *Server) resume(recs []record, torn int) error {
+	report := ResumeReport{Resumed: true, JournalRecords: len(recs), TornRecords: torn}
+
+	claimed := make(map[int][]uint64)
+	for _, r := range recs {
+		switch r.Kind {
+		case recSubmit:
+			if r.Spec == nil {
+				continue
+			}
+			req := *r.Spec
+			rec := &jobRecord{
+				id:   r.ID,
+				req:  req,
+				dir:  s.jobDir(r.ID),
+				want: 2 * req.Nodes * max(1, req.Tasks),
+			}
+			s.jobs[r.ID] = rec
+			s.order = append(s.order, r.ID)
+			if r.ID >= s.nextID {
+				s.nextID = r.ID + 1
+			}
+		case recFlush:
+			claimed[r.ID] = append(claimed[r.ID], r.Epoch)
+		case recResume:
+			// A previous life's audit; informational only — this life
+			// re-audits the disk from scratch.
+		case recDone:
+			if rec, ok := s.jobs[r.ID]; ok && r.Result != nil {
+				rec.prior = r.Result
+			}
+		}
+	}
+
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		jr := ResumeJobReport{ID: id, Name: rec.req.Name, Claimed: dedupSortUint64(claimed[id])}
+		if rec.prior != nil {
+			jr.State = "finished"
+			report.Finished++
+			report.Jobs = append(report.Jobs, jr)
+			continue
+		}
+
+		// Rung 2: audit the disk. The reopen rebuilds the index from the
+		// files actually present; CompleteEpochs keeps only epochs with a
+		// full 2×nodes×tasks complement.
+		salvaged, err := auditJobDir(rec.dir, rec.want)
+		if err != nil {
+			return fmt.Errorf("acrd: resume job %d: %w", id, err)
+		}
+		jr.Salvaged = salvaged
+		onDisk := make(map[uint64]bool, len(salvaged))
+		for _, e := range salvaged {
+			onDisk[e] = true
+		}
+		for _, e := range jr.Claimed {
+			if !onDisk[e] {
+				jr.Skipped = append(jr.Skipped, e)
+			}
+		}
+
+		if len(salvaged) > 0 {
+			jr.State = "readmitted"
+			report.Readmitted++
+		} else {
+			jr.State = "cold"
+			report.ColdStarted++
+		}
+		report.SalvagedEpochs += len(jr.Salvaged)
+		report.SkippedEpochs += len(jr.Skipped)
+
+		rec.resumed = true
+		rec.salvaged = jr.Salvaged
+		rec.skipped = jr.Skipped
+		if err := s.jour.append(record{Kind: recResume, ID: id, Salvaged: jr.Salvaged, Skipped: jr.Skipped}); err != nil {
+			return err
+		}
+		if err := s.launch(rec, jr.Salvaged); err != nil {
+			return fmt.Errorf("acrd: readmit job %d: %w", id, err)
+		}
+		report.Jobs = append(report.Jobs, jr)
+	}
+
+	s.report = report
+	return nil
+}
+
+// auditJobDir reopens a job's checkpoint directory and returns its
+// complete (restorable) epochs, ascending. The transient handle is closed
+// again — launch opens its own.
+func auditJobDir(dir string, want int) ([]uint64, error) {
+	disk, err := ckptstore.NewDisk(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer disk.Close()
+	return ckptstore.CompleteEpochs(disk, want), nil
+}

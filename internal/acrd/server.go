@@ -1,0 +1,437 @@
+// Package acrd is the checkpoint/restart control plane as a long-running
+// service: a daemon owning one fleet.Scheduler, accepting jobs over an
+// HTTP/JSON API, journaling every control-plane decision durably, and
+// exposing the protocol's accounting as scrapeable metrics.
+//
+// The daemon applies ACR's own medicine to itself. Every job it runs
+// flushes checkpoints to a per-job on-disk tier, and every submission,
+// completed flush, and final result is fsynced into a JSONL journal before
+// it is acknowledged. When the daemon process itself is the failed
+// component — kill -9, OOM, node crash — a restarted daemon with --resume
+// replays the journal, audits each claim against what actually survived in
+// the checkpoint stores, and re-admits unfinished jobs warm from their
+// newest usable durable epoch (core.Config.ResumeEpochs). The job picks up
+// mid-computation and still finishes bit-identical to the golden serial
+// reference.
+//
+// Layout: server.go (state + lifecycle), journal.go (durable record log),
+// tracker.go (flush-completion observer), resume.go (journal-vs-disk
+// audit), handlers.go (HTTP API), metrics.go (Prometheus exposition).
+package acrd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"acr/internal/buildinfo"
+	"acr/internal/ckptstore"
+	"acr/internal/core"
+	"acr/internal/fleet"
+)
+
+// Config shapes one daemon instance.
+type Config struct {
+	// DataDir roots the daemon's durable state: the control-plane journal
+	// (DataDir/journal.jsonl) and one checkpoint directory per job
+	// (DataDir/jobs/<id>). Required.
+	DataDir string
+	// Fleet configures the scheduler's shared pools (see fleet.Config).
+	Fleet fleet.Config
+	// Resume replays an existing journal and readmits unfinished jobs. A
+	// non-empty journal with Resume false is refused — silently starting
+	// fresh over prior state would orphan resumable work.
+	Resume bool
+	// OpTimeout bounds on-demand flush/restore operations; <= 0 selects 30s.
+	OpTimeout time.Duration
+}
+
+// SubmitRequest is the external job spec — the POST /api/v1/jobs body and
+// the journaled submit payload. Schemes and comparisons are names and the
+// interval is milliseconds, matching the acrfleet file-spec idiom.
+type SubmitRequest struct {
+	Name       string  `json:"name"`
+	Priority   int     `json:"priority"`
+	Nodes      int     `json:"nodes"`
+	Tasks      int     `json:"tasks"`
+	Spares     int     `json:"spares"`
+	Iters      int     `json:"iters"`
+	Scheme     string  `json:"scheme"`
+	Comparison string  `json:"comparison"`
+	IntervalMs float64 `json:"interval_ms"`
+	// FlushEvery is the durable-flush cadence; <= 0 selects 1. Daemon jobs
+	// always flush — durability is what makes them resumable.
+	FlushEvery int `json:"flush_every"`
+	// FlushRetain bounds retained durable epochs; <= 0 selects the core
+	// default.
+	FlushRetain int `json:"flush_retain"`
+}
+
+// validate normalizes the request and rejects what the fleet would choke
+// on, so API callers get a 400 instead of a failed job.
+func (r *SubmitRequest) validate() error {
+	if r.Nodes <= 0 {
+		return fmt.Errorf("nodes must be positive, got %d", r.Nodes)
+	}
+	if r.Tasks < 0 || r.Spares < 0 || r.Iters < 0 {
+		return fmt.Errorf("tasks, spares, and iters must be non-negative")
+	}
+	switch r.Scheme {
+	case "", "strong", "medium", "weak":
+	default:
+		return fmt.Errorf("unknown scheme %q", r.Scheme)
+	}
+	switch r.Comparison {
+	case "", "full", "checksum":
+	default:
+		return fmt.Errorf("unknown comparison %q", r.Comparison)
+	}
+	if r.FlushEvery <= 0 {
+		r.FlushEvery = 1
+	}
+	return nil
+}
+
+// toJobSpec lowers the external request to a fleet spec. The durable store
+// and resume epochs are wired by launch, not here.
+func (r SubmitRequest) toJobSpec() fleet.JobSpec {
+	js := fleet.JobSpec{
+		Name:        r.Name,
+		Priority:    r.Priority,
+		Nodes:       r.Nodes,
+		Tasks:       r.Tasks,
+		Spares:      r.Spares,
+		Iters:       r.Iters,
+		Interval:    time.Duration(r.IntervalMs * float64(time.Millisecond)),
+		FlushEvery:  r.FlushEvery,
+		FlushRetain: r.FlushRetain,
+	}
+	switch r.Scheme {
+	case "medium":
+		js.Scheme = core.Medium
+	case "weak":
+		js.Scheme = core.Weak
+	default:
+		js.Scheme = core.Strong
+	}
+	if r.Comparison == "checksum" {
+		js.Comparison = core.ChecksumCompare
+	} else {
+		js.Comparison = core.FullCompare
+	}
+	return js
+}
+
+// jobRecord is the daemon's view of one job across process lives.
+type jobRecord struct {
+	id   int
+	req  SubmitRequest
+	dir  string // durable checkpoint directory
+	want int    // task checkpoints per complete epoch: 2 × nodes × tasks
+
+	// job is the live fleet handle; nil for jobs that finished in a prior
+	// daemon life (then prior holds the journaled result).
+	job   *fleet.Job
+	prior *fleet.JobResult
+
+	// Resume accounting for this life (empty for fresh submissions).
+	resumed  bool
+	salvaged []uint64
+	skipped  []uint64
+}
+
+// Server is the daemon: scheduler + journal + job registry.
+type Server struct {
+	cfg   Config
+	info  buildinfo.Info
+	sched *fleet.Scheduler
+	jour  *journal
+	start time.Time
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[int]*jobRecord
+	order  []int
+	nextID int
+
+	report ResumeReport
+
+	watchers sync.WaitGroup
+}
+
+// New builds a daemon over DataDir. With cfg.Resume it replays the journal
+// and readmits unfinished jobs; without it, it refuses a non-empty journal.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("acrd: DataDir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("acrd: data dir: %w", err)
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	jpath := filepath.Join(cfg.DataDir, "journal.jsonl")
+	recs, torn, err := readJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 && !cfg.Resume {
+		return nil, fmt.Errorf("acrd: %s holds %d journal records from a previous run; restart with resume enabled or point at a fresh data dir", cfg.DataDir, len(recs))
+	}
+
+	sched, err := fleet.New(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	jour, err := openJournal(jpath)
+	if err != nil {
+		sched.Close()
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		info:  buildinfo.Get("acrd"),
+		sched: sched,
+		jour:  jour,
+		start: time.Now(),
+		jobs:  make(map[int]*jobRecord),
+	}
+	if cfg.Resume {
+		if err := s.resume(recs, torn); err != nil {
+			jour.Close()
+			sched.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close shuts the daemon down: the scheduler settles unfinished jobs with
+// fleet.ErrClosed (deliberately not journaled as done — see watch), then
+// the journal closes. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.sched.Close()
+	s.watchers.Wait()
+	s.jour.Close()
+}
+
+// Scheduler exposes the underlying fleet scheduler (tests, metrics).
+func (s *Server) Scheduler() *fleet.Scheduler { return s.sched }
+
+// ResumeReport returns the audit of the last resume (zero value when the
+// daemon started fresh).
+func (s *Server) ResumeReport() ResumeReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// Submit accepts a fresh job: assign an id, journal the submission, then
+// launch it. The journal append happens before the scheduler sees the job,
+// so a job the API acknowledged is always in the journal.
+func (s *Server) Submit(req SubmitRequest) (int, error) {
+	if err := req.validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fleet.ErrClosed
+	}
+	id := s.nextID
+	s.nextID++
+	rec := &jobRecord{
+		id:   id,
+		req:  req,
+		dir:  s.jobDir(id),
+		want: 2 * req.Nodes * max(1, req.Tasks),
+	}
+	if rec.req.Name == "" {
+		rec.req.Name = fmt.Sprintf("job-%03d", id)
+	}
+	s.jobs[id] = rec
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	if err := s.jour.append(record{Kind: recSubmit, ID: id, Spec: &rec.req}); err != nil {
+		s.dropRecord(id)
+		return 0, err
+	}
+	if err := s.launch(rec, nil); err != nil {
+		// Compensate the journaled submit so a later resume does not
+		// readmit a job the caller was told failed.
+		_ = s.jour.append(record{Kind: recDone, ID: id,
+			Result: &fleet.JobResult{Name: rec.req.Name, Err: err.Error()}})
+		s.dropRecord(id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// dropRecord removes a registry entry whose submit never took effect.
+func (s *Server) dropRecord(id int) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) jobDir(id int) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", fmt.Sprintf("%04d", id))
+}
+
+// launch opens the job's durable tier, wires the flush tracker, and
+// submits to the fleet. resumeEpochs, when non-nil, warm-starts the job
+// from the newest usable of those epochs.
+func (s *Server) launch(rec *jobRecord, resumeEpochs []uint64) error {
+	disk, err := ckptstore.NewDisk(rec.dir, nil)
+	if err != nil {
+		return fmt.Errorf("acrd: job %d durable tier: %w", rec.id, err)
+	}
+	id := rec.id
+	tracker := newFlushTracker(disk, rec.want, func(epoch uint64) {
+		// Journal errors here are unrecoverable mid-flush; the claim is
+		// simply absent and resume falls back to the disk scan.
+		_ = s.jour.append(record{Kind: recFlush, ID: id, Epoch: epoch})
+	})
+	js := rec.req.toJobSpec()
+	js.FlushStore = tracker
+	js.ResumeEpochs = resumeEpochs
+	job, err := s.sched.Submit(js)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	rec.job = job
+	s.mu.Unlock()
+	s.watchers.Add(1)
+	go s.watch(rec, job)
+	return nil
+}
+
+// watch journals the job's final result. Jobs settled by scheduler Close
+// (fleet.ErrClosed) are NOT journaled done: a graceful shutdown leaves
+// them unfinished on purpose, so the next life's resume readmits them.
+func (s *Server) watch(rec *jobRecord, job *fleet.Job) {
+	defer s.watchers.Done()
+	res := job.Wait()
+	if !res.Completed && res.Err == fleet.ErrClosed.Error() {
+		return
+	}
+	_ = s.jour.append(record{Kind: recDone, ID: rec.id, Result: &res})
+}
+
+// JobStatus is the API view of one job.
+type JobStatus struct {
+	ID    int           `json:"id"`
+	Name  string        `json:"name"`
+	State string        `json:"state"` // queued | running | completed | failed
+	Spec  SubmitRequest `json:"spec"`
+	// PriorLife marks a job that finished in a previous daemon process;
+	// its result comes from the journal and its machine no longer exists.
+	PriorLife bool             `json:"prior_life,omitempty"`
+	Resumed   bool             `json:"resumed,omitempty"`
+	Salvaged  []uint64         `json:"salvaged_epochs,omitempty"`
+	Skipped   []uint64         `json:"skipped_epochs,omitempty"`
+	Progress  *core.Progress   `json:"progress,omitempty"`
+	Result    *fleet.JobResult `json:"result,omitempty"`
+}
+
+// lookup returns the registry entry for id.
+func (s *Server) lookup(id int) (*jobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
+// status assembles the API view of one record.
+func (s *Server) status(rec *jobRecord) JobStatus {
+	s.mu.Lock()
+	job, prior := rec.job, rec.prior
+	st := JobStatus{
+		ID:       rec.id,
+		Name:     rec.req.Name,
+		Spec:     rec.req,
+		Resumed:  rec.resumed,
+		Salvaged: rec.salvaged,
+		Skipped:  rec.skipped,
+	}
+	s.mu.Unlock()
+	switch {
+	case job == nil && prior != nil:
+		st.PriorLife = true
+		st.Result = prior
+		if prior.Completed {
+			st.State = "completed"
+		} else {
+			st.State = "failed"
+		}
+	case job == nil:
+		st.State = "queued" // launch in flight
+	default:
+		if res, ok := job.Result(); ok {
+			st.Result = &res
+			if res.Completed {
+				st.State = "completed"
+			} else {
+				st.State = "failed"
+			}
+			// The progress atomics outlive Run; keep serving them so the
+			// metrics series stays continuous across settlement.
+			if ctrl := job.Controller(); ctrl != nil {
+				p := ctrl.Progress()
+				st.Progress = &p
+			}
+		} else if ctrl := job.Controller(); ctrl != nil {
+			st.State = "running"
+			p := ctrl.Progress()
+			st.Progress = &p
+		} else {
+			st.State = "queued"
+		}
+	}
+	return st
+}
+
+// Statuses lists every job in submission order.
+func (s *Server) Statuses() []JobStatus {
+	s.mu.Lock()
+	ids := append([]int(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if rec, ok := s.lookup(id); ok {
+			out = append(out, s.status(rec))
+		}
+	}
+	return out
+}
+
+func dedupSortUint64(in []uint64) []uint64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]uint64(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,277 @@
+package acrd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acr/internal/fleet"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		DataDir: t.TempDir(),
+		Fleet:   fleet.Config{Nodes: 16, Spares: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("%s %s: decode body: %v", method, url, err)
+	}
+	return resp, m
+}
+
+// submitAndWait posts a small job and waits for its completion via the
+// daemon registry, returning the id.
+func submitAndWait(t *testing.T, s *Server, ts *httptest.Server, name string, iters int) int {
+	t.Helper()
+	body := fmt.Sprintf(`{"name":%q,"nodes":2,"tasks":1,"iters":%d,"flush_every":1}`, name, iters)
+	resp, m := doJSON(t, "POST", ts.URL+"/api/v1/jobs", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d, body %v", resp.StatusCode, m)
+	}
+	id := int(m["id"].(float64))
+	rec, ok := s.lookup(id)
+	if !ok {
+		t.Fatalf("submitted job %d not in registry", id)
+	}
+	select {
+	case <-rec.job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %d did not finish", id)
+	}
+	return id
+}
+
+// TestRoutesTable drives every route through httptest, including the
+// malformed-spec, unknown-id, and bad-epoch error paths.
+func TestRoutesTable(t *testing.T) {
+	s, ts := newTestServer(t)
+	// ~20k ring laps run long enough (~100ms) to commit and flush several
+	// checkpoint epochs, so the inventory and verify routes have substance.
+	doneID := submitAndWait(t, s, ts, "routes", 20000)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantSub    string // substring that must appear in the body
+	}{
+		{"healthz", "GET", "/healthz", "", 200, `"name": "acrd"`},
+		{"metrics", "GET", "/metrics", "", 200, "acr_fleet_submitted_total"},
+		{"metrics job series", "GET", "/metrics", "", 200, "acr_job_checkpoints_total"},
+		{"list", "GET", "/api/v1/jobs", "", 200, `"routes"`},
+		{"fleet stats", "GET", "/api/v1/fleet", "", 200, `"admissions"`},
+		{"resume report fresh", "GET", "/api/v1/resume", "", 200, `"resumed": false`},
+		{"job detail", "GET", fmt.Sprintf("/api/v1/jobs/%d", doneID), "", 200, `"state": "completed"`},
+		{"job detail keeps progress", "GET", fmt.Sprintf("/api/v1/jobs/%d", doneID), "", 200, `"committed_epoch"`},
+		{"progress snapshot", "GET", fmt.Sprintf("/api/v1/jobs/%d/progress", doneID), "", 200, `"state": "completed"`},
+		{"inventory", "GET", fmt.Sprintf("/api/v1/jobs/%d/inventory", doneID), "", 200, `"complete_epochs"`},
+		{"verify completed", "GET", fmt.Sprintf("/api/v1/jobs/%d/verify", doneID), "", 200, `"ok": true`},
+
+		{"submit malformed JSON", "POST", "/api/v1/jobs", `{"nodes":`, 400, "malformed job spec"},
+		{"submit unknown field", "POST", "/api/v1/jobs", `{"nodes":2,"bogus":1}`, 400, "malformed job spec"},
+		{"submit zero nodes", "POST", "/api/v1/jobs", `{"nodes":0}`, 400, "nodes must be positive"},
+		{"submit bad scheme", "POST", "/api/v1/jobs", `{"nodes":2,"scheme":"psychic"}`, 400, "unknown scheme"},
+		{"submit bad comparison", "POST", "/api/v1/jobs", `{"nodes":2,"comparison":"vibes"}`, 400, "unknown comparison"},
+		{"submit negative iters", "POST", "/api/v1/jobs", `{"nodes":2,"iters":-5}`, 400, "non-negative"},
+
+		{"unknown job id", "GET", "/api/v1/jobs/9999", "", 404, "unknown job id"},
+		{"non-numeric job id", "GET", "/api/v1/jobs/banana", "", 400, "bad job id"},
+		{"progress unknown id", "GET", "/api/v1/jobs/9999/progress", "", 404, "unknown job id"},
+		{"inventory unknown id", "GET", "/api/v1/jobs/9999/inventory", "", 404, "unknown job id"},
+		{"verify unknown id", "GET", "/api/v1/jobs/9999/verify", "", 404, "unknown job id"},
+		{"flush unknown id", "POST", "/api/v1/jobs/9999/flush", "", 404, "unknown job id"},
+		{"restore unknown id", "POST", "/api/v1/jobs/9999/restore?epoch=1", "", 404, "unknown job id"},
+		{"flush settled job", "POST", fmt.Sprintf("/api/v1/jobs/%d/flush", doneID), "", 409, "already settled"},
+		{"restore settled job", "POST", fmt.Sprintf("/api/v1/jobs/%d/restore?epoch=1", doneID), "", 409, "already settled"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body := readAll(t, resp)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, tc.wantStatus, body)
+			}
+			if !strings.Contains(body, tc.wantSub) {
+				t.Fatalf("body missing %q:\n%s", tc.wantSub, body)
+			}
+		})
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestOnDemandFlushRestoreOverHTTP exercises the operator loop against a
+// live job: force a flush, rewind to it, reject a restore of an epoch the
+// durable tier does not hold, and confirm the job still finishes
+// bit-identical to the golden ring.
+func TestOnDemandFlushRestoreOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, m := doJSON(t, "POST", ts.URL+"/api/v1/jobs",
+		`{"name":"ops","nodes":2,"tasks":1,"iters":400000,"flush_every":1000000}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %v", resp.StatusCode, m)
+	}
+	id := int(m["id"].(float64))
+	rec, _ := s.lookup(id)
+	<-rec.job.Admitted()
+
+	// Wait for a committed checkpoint so the forced flush has something
+	// to persist.
+	deadline := time.Now().Add(30 * time.Second)
+	for rec.job.Controller().Progress().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint committed in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, m = doJSON(t, "POST", fmt.Sprintf("%s/api/v1/jobs/%d/flush", ts.URL, id), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %d %v", resp.StatusCode, m)
+	}
+	epoch := uint64(m["epoch"].(float64))
+	if epoch == 0 {
+		t.Fatal("flush returned epoch 0")
+	}
+
+	resp, m = doJSON(t, "POST", fmt.Sprintf("%s/api/v1/jobs/%d/restore?epoch=%d", ts.URL, id, epoch+999), "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("restore of non-existent epoch: status %d (%v), want 404", resp.StatusCode, m)
+	}
+
+	resp, m = doJSON(t, "POST", fmt.Sprintf("%s/api/v1/jobs/%d/restore?epoch=%d", ts.URL, id, epoch), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: %d %v", resp.StatusCode, m)
+	}
+
+	// Missing ?epoch= is a 400.
+	resp, _ = doJSON(t, "POST", fmt.Sprintf("%s/api/v1/jobs/%d/restore", ts.URL, id), "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("restore without epoch: status %d, want 400", resp.StatusCode)
+	}
+
+	select {
+	case <-rec.job.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("job did not finish after restore")
+	}
+	resp, m = doJSON(t, "GET", fmt.Sprintf("%s/api/v1/jobs/%d/verify", ts.URL, id), "")
+	if resp.StatusCode != http.StatusOK || m["ok"] != true {
+		t.Fatalf("verify after restore: %d %v", resp.StatusCode, m)
+	}
+	// The rewind must show up in the progress counters as rollbacks.
+	p := rec.job.Controller().Progress()
+	if p.Rollbacks < 2 {
+		t.Fatalf("rollbacks = %d after on-demand restore, want >= 2", p.Rollbacks)
+	}
+}
+
+// TestProgressSSE streams a short job to completion and checks the final
+// event carries the terminal state and result.
+func TestProgressSSE(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, m := doJSON(t, "POST", ts.URL+"/api/v1/jobs",
+		`{"name":"sse","nodes":1,"tasks":1,"iters":2000,"flush_every":1}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %v", resp.StatusCode, m)
+	}
+	id := int(m["id"].(float64))
+
+	sresp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%d/progress?stream=1&interval_ms=10", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var events []progressEvent
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev progressEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	last := events[len(events)-1]
+	if last.State != "completed" {
+		t.Fatalf("final event state = %q, want completed", last.State)
+	}
+	if last.Result == nil || !last.Result.Completed {
+		t.Fatalf("final event missing completed result: %+v", last)
+	}
+	_ = s
+}
+
+// TestSubmitAfterClose maps the scheduler's typed error to 503.
+func TestSubmitAfterCloseHTTP(t *testing.T) {
+	s, err := New(Config{DataDir: t.TempDir(), Fleet: fleet.Config{Nodes: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	resp, m := doJSON(t, "POST", ts.URL+"/api/v1/jobs", `{"nodes":1,"iters":100}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close: status %d (%v), want 503", resp.StatusCode, m)
+	}
+}

@@ -1,0 +1,102 @@
+package acrd
+
+import (
+	"sync"
+
+	"acr/internal/ckptstore"
+)
+
+// flushTracker wraps a job's durable tier to observe when an epoch becomes
+// completely resident: once `want` distinct task checkpoints of one epoch
+// have been accepted by the inner store, onComplete fires exactly once for
+// that epoch. The daemon uses it to journal flush records at the moment
+// the claim becomes true on disk — counting is done *after* the inner Put
+// succeeds, so a journaled epoch was really accepted by the store.
+//
+// It sits between the fleet's bandwidth arbiter and the disk tier
+// (core → hooked → arbiter → tracker → disk) and forwards the Enumerator
+// capability so inventory endpoints still see through to the disk.
+type flushTracker struct {
+	inner      ckptstore.Store
+	want       int
+	onComplete func(epoch uint64)
+
+	mu   sync.Mutex
+	seen map[uint64]map[ckptstore.Key]struct{}
+	done map[uint64]bool
+}
+
+func newFlushTracker(inner ckptstore.Store, want int, onComplete func(uint64)) *flushTracker {
+	return &flushTracker{
+		inner:      inner,
+		want:       want,
+		onComplete: onComplete,
+		seen:       make(map[uint64]map[ckptstore.Key]struct{}),
+		done:       make(map[uint64]bool),
+	}
+}
+
+func (t *flushTracker) Put(k ckptstore.Key, ck *ckptstore.Checkpoint) error {
+	if err := t.inner.Put(k, ck); err != nil {
+		return err
+	}
+	var fire bool
+	t.mu.Lock()
+	if !t.done[k.Epoch] {
+		set := t.seen[k.Epoch]
+		if set == nil {
+			set = make(map[ckptstore.Key]struct{}, t.want)
+			t.seen[k.Epoch] = set
+		}
+		set[k] = struct{}{}
+		if len(set) >= t.want {
+			t.done[k.Epoch] = true
+			delete(t.seen, k.Epoch)
+			fire = true
+		}
+	}
+	t.mu.Unlock()
+	if fire && t.onComplete != nil {
+		t.onComplete(k.Epoch)
+	}
+	return nil
+}
+
+func (t *flushTracker) Get(k ckptstore.Key) (*ckptstore.Checkpoint, error) {
+	return t.inner.Get(k)
+}
+
+func (t *flushTracker) Compare(a, b ckptstore.Key) (ckptstore.CompareResult, error) {
+	return t.inner.Compare(a, b)
+}
+
+// Evict forwards retention eviction. Journaled flush records for evicted
+// epochs become stale claims on purpose — resume's disk scan is what
+// weeds them out.
+func (t *flushTracker) Evict(olderThan uint64) int {
+	t.mu.Lock()
+	for e := range t.seen {
+		if e < olderThan {
+			delete(t.seen, e)
+		}
+	}
+	for e := range t.done {
+		if e < olderThan {
+			delete(t.done, e)
+		}
+	}
+	t.mu.Unlock()
+	return t.inner.Evict(olderThan)
+}
+
+func (t *flushTracker) Counters() ckptstore.Counters { return t.inner.Counters() }
+
+func (t *flushTracker) Name() string { return t.inner.Name() + "(tracked)" }
+
+// Keys forwards enumeration when the inner tier supports it.
+func (t *flushTracker) Keys() []ckptstore.Key {
+	if e, ok := t.inner.(ckptstore.Enumerator); ok {
+		return e.Keys()
+	}
+	return nil
+}

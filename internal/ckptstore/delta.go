@@ -45,6 +45,17 @@ func NewDelta() *Delta {
 // Name implements Store.
 func (s *Delta) Name() string { return "delta" }
 
+// Keys implements Enumerator.
+func (s *Delta) Keys() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Key, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Put implements Store. The first epoch of a task identity (or any epoch
 // whose chunk structure no longer lines up with the base) is stored in
 // full and becomes the base; subsequent epochs store only changed chunks.

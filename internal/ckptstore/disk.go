@@ -3,6 +3,7 @@ package ckptstore
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -43,6 +44,13 @@ type diskEntry struct {
 // NewDisk returns a disk store rooted at dir; an empty dir creates a
 // private temp directory that Close removes. cost, if non-nil, accrues
 // modeled parallel-file-system write time per model.DiskSystem.
+//
+// Opening a directory that already holds checkpoint files rebuilds the
+// resident index from them, so a restarted process (the acrd daemon after
+// kill -9) sees exactly what survived on disk — the store's ground truth,
+// independent of any journal's claims. Files with unparsable names or
+// malformed headers are skipped, not fatal; payload corruption is still
+// caught by Get's root re-verification.
 func NewDisk(dir string, cost *model.DiskSystem) (*Disk, error) {
 	ownDir := false
 	if dir == "" {
@@ -54,12 +62,86 @@ func NewDisk(dir string, cost *model.DiskSystem) (*Disk, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckptstore: disk tier: %w", err)
 	}
-	return &Disk{
+	s := &Disk{
 		dir:    dir,
 		ownDir: ownDir,
 		cost:   cost,
 		index:  make(map[Key]*diskEntry),
 		ctrs:   newCounters(),
+	}
+	if !ownDir {
+		if err := s.loadIndex(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// loadIndex rebuilds the resident index from the checkpoint files already
+// in the backing directory.
+func (s *Disk) loadIndex() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("ckptstore: disk tier: %w", err)
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		var k Key
+		if n, err := fmt.Sscanf(de.Name(), "r%d_n%d_t%d_e%d.ckpt", &k.Replica, &k.Node, &k.Task, &k.Epoch); n != 4 || err != nil {
+			continue
+		}
+		path := filepath.Join(s.dir, de.Name())
+		e, err := readDiskHeader(path)
+		if err != nil {
+			continue // malformed header: not a restorable checkpoint
+		}
+		e.path = path
+		s.index[k] = e
+	}
+	return nil
+}
+
+// readDiskHeader parses a checkpoint file's header (magic, chunk size,
+// root, per-chunk sums) and derives the payload size from the file size.
+func readDiskHeader(path string) (*diskEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	fixed := make([]byte, len(diskMagic)+24)
+	if _, err := io.ReadFull(f, fixed); err != nil {
+		return nil, err
+	}
+	if string(fixed[:len(diskMagic)]) != diskMagic {
+		return nil, fmt.Errorf("ckptstore: %s: bad magic", path)
+	}
+	chunkSize := binary.LittleEndian.Uint64(fixed[len(diskMagic):])
+	root := binary.LittleEndian.Uint64(fixed[len(diskMagic)+8:])
+	nsums := binary.LittleEndian.Uint64(fixed[len(diskMagic)+16:])
+	header := int64(len(diskMagic)) + 24 + 8*int64(nsums)
+	if nsums > 1<<32 || fi.Size() < header {
+		return nil, fmt.Errorf("ckptstore: %s: truncated header", path)
+	}
+	raw := make([]byte, 8*nsums)
+	if _, err := io.ReadFull(f, raw); err != nil {
+		return nil, err
+	}
+	sums := make([]uint64, nsums)
+	for i := range sums {
+		sums[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return &diskEntry{
+		size:      int(fi.Size() - header),
+		chunkSize: int(chunkSize),
+		root:      root,
+		sums:      sums,
 	}, nil
 }
 
@@ -250,6 +332,17 @@ func (s *Disk) Evict(olderThan uint64) int {
 		}
 	}
 	return n
+}
+
+// Keys implements Enumerator.
+func (s *Disk) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Counters implements Store.

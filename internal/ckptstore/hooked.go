@@ -64,6 +64,15 @@ func (s *Hooked) DropNode(replica, node int) int {
 	return 0
 }
 
+// Keys forwards the Enumerator capability when the wrapped tier has it;
+// a non-enumerable inner tier yields nil.
+func (s *Hooked) Keys() []Key {
+	if e, ok := s.inner.(Enumerator); ok {
+		return e.Keys()
+	}
+	return nil
+}
+
 // Counters implements Store.
 func (s *Hooked) Counters() Counters { return s.inner.Counters() }
 

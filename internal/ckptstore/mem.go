@@ -113,6 +113,17 @@ func (s *Mem) DropNode(replica, node int) int {
 	return n
 }
 
+// Keys implements Enumerator.
+func (s *Mem) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Counters implements Store.
 func (s *Mem) Counters() Counters { return s.ctrs.snapshot() }
 

@@ -10,17 +10,21 @@ import "sync"
 // cost from "allocate + zero + pack" into just "pack", and keeps the
 // garbage collector out of the checkpoint critical path entirely.
 
-// PoolCounters is a snapshot of a Pool's activity.
+// PoolCounters is a snapshot of a Pool's activity. The JSON tags are the
+// stable lower_snake schema of the acrd API.
 type PoolCounters struct {
 	// Gets / Puts count the calls; Hits counts Gets that found a buffer
 	// with enough capacity, Misses the ones that did not (the caller
 	// allocates or grows).
-	Gets, Puts, Hits, Misses int64
+	Gets   int64 `json:"gets"`
+	Puts   int64 `json:"puts"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Drops counts Puts rejected because the pool was full or the
 	// checkpoint was already pooled (mirrored under two keys).
-	Drops int64
+	Drops int64 `json:"drops"`
 	// BytesRecycled is the total payload capacity handed back out by hits.
-	BytesRecycled int64
+	BytesRecycled int64 `json:"bytes_recycled"`
 }
 
 // DefaultPoolCap bounds how many retired checkpoints a Pool retains. Two

@@ -29,6 +29,7 @@ package ckptstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -234,6 +235,49 @@ type Store interface {
 	Name() string
 }
 
+// Enumerator is the optional capability of tiers that can list their
+// resident checkpoints — the inventory introspection the acrd control
+// plane serves and validates resume journals against. The returned keys
+// are a snapshot in no particular order.
+type Enumerator interface {
+	// Keys lists every resident task checkpoint.
+	Keys() []Key
+}
+
+// EpochInventory summarizes an enumerable store's resident epochs as a map
+// from epoch to resident task-checkpoint count. It returns nil when the
+// store cannot enumerate.
+func EpochInventory(s Store) map[uint64]int {
+	e, ok := s.(Enumerator)
+	if !ok {
+		return nil
+	}
+	out := make(map[uint64]int)
+	for _, k := range e.Keys() {
+		out[k.Epoch]++
+	}
+	return out
+}
+
+// CompleteEpochs returns, ascending, the epochs for which the store holds
+// exactly want task checkpoints — the restorable epochs of a job whose
+// machine shape needs want (= 2 replicas × nodes × tasks) checkpoints per
+// epoch. Nil when the store cannot enumerate or nothing is complete.
+func CompleteEpochs(s Store, want int) []uint64 {
+	if want <= 0 {
+		return nil
+	}
+	inv := EpochInventory(s)
+	var out []uint64
+	for epoch, n := range inv {
+		if n == want {
+			out = append(out, epoch)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Volatile is the optional capability of tiers whose contents live in
 // node memory and die with the nodes holding them. DropNode models the
 // memory loss of a buddy-pair double fault: every epoch of the logical
@@ -247,24 +291,26 @@ type Volatile interface {
 	DropNode(replica, node int) int
 }
 
-// Counters aggregates a store's activity. All fields are cumulative.
+// Counters aggregates a store's activity. All fields are cumulative. The
+// JSON tags are a stable lower_snake schema consumed by the acrd API and
+// metrics exporter; renaming a tag is a breaking API change.
 type Counters struct {
-	Puts         int64
-	Gets         int64
-	Compares     int64
-	Mismatches   int64 // compares that found a difference
-	BytesWritten int64 // payload bytes accepted by Put (after dedup/delta)
-	BytesRead    int64 // payload bytes materialized by Get
-	BytesEvicted int64
+	Puts         int64 `json:"puts"`
+	Gets         int64 `json:"gets"`
+	Compares     int64 `json:"compares"`
+	Mismatches   int64 `json:"mismatches"`    // compares that found a difference
+	BytesWritten int64 `json:"bytes_written"` // payload bytes accepted by Put (after dedup/delta)
+	BytesRead    int64 `json:"bytes_read"`    // payload bytes materialized by Get
+	BytesEvicted int64 `json:"bytes_evicted"`
 	// ChunksStored / ChunksReused split each Put's chunks into freshly
 	// stored versus reused-from-base (delta tier; other tiers store all).
-	ChunksStored int64
-	ChunksReused int64
+	ChunksStored int64 `json:"chunks_stored"`
+	ChunksReused int64 `json:"chunks_reused"`
 	// CompareTime is the cumulative wall time spent in Compare.
-	CompareTime time.Duration
+	CompareTime time.Duration `json:"compare_time_ns"`
 	// LastLocalizedChunk is the chunk index of the most recent localized
 	// mismatch, -1 when no mismatch has been localized yet.
-	LastLocalizedChunk int64
+	LastLocalizedChunk int64 `json:"last_localized_chunk"`
 }
 
 // counters is the embeddable atomic implementation behind Counters.

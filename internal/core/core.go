@@ -203,6 +203,20 @@ type Config struct {
 	// FlushEvery > 0 selects a controller-owned ckptstore.Disk in a
 	// temporary directory, removed at Run end.
 	FlushStore ckptstore.Store
+	// ResumeEpochs, when non-empty, warm-starts the job from durable
+	// checkpoints instead of factory state: Run restores both replicas
+	// from the newest usable epoch in the list (read from ResumeStore,
+	// falling back to FlushStore), walking to older epochs when a restore
+	// fails — the same escalation the recovery ladder uses, applied at
+	// job start. Epochs that turn out corrupt or incomplete are skipped;
+	// if every one is unusable the job falls back to a cold start. When
+	// resuming from the flush tier itself, the epochs also seed the
+	// ladder's durable-epoch index so later double faults can land on
+	// them. The outcome is reported in Stats.ResumedEpoch.
+	ResumeEpochs []uint64
+	// ResumeStore is the durable store ResumeEpochs are read from. Nil
+	// selects FlushStore.
+	ResumeStore ckptstore.Store
 	// Degraded enables Charm++-style shrink on spare exhaustion: instead
 	// of failing with ErrUnrecoverable, the failed node's tasks are folded
 	// onto the least-loaded survivor in the same replica and the job
@@ -264,6 +278,9 @@ func (c *Config) validate() error {
 	if c.FlushEvery > 0 && c.FlushRetain <= 0 {
 		c.FlushRetain = 2
 	}
+	if len(c.ResumeEpochs) > 0 && c.ResumeStore == nil && c.FlushEvery <= 0 {
+		return fmt.Errorf("core: ResumeEpochs set but no durable store to resume from (set ResumeStore or FlushEvery)")
+	}
 	if c.Exchange != nil {
 		if err := c.Exchange.validate(); err != nil {
 			return err
@@ -272,95 +289,101 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// Stats summarizes a completed run.
+// Stats summarizes a completed run. The JSON tags are a stable
+// lower_snake schema — the acrd HTTP API and metrics exporter serve these
+// fields verbatim, so renaming a tag is a breaking API change; the
+// golden-encoding test (stats_json_test.go) pins the schema.
 type Stats struct {
-	Checkpoints     int // committed checkpoint rounds
-	SDCDetected     int // mismatches that forced a double rollback
-	HardErrors      int // fail-stop failures recovered
-	Rollbacks       int // replica restarts from a checkpoint (any cause)
-	SparesUsed      int
-	AbortedRounds   int // checkpoint rounds interrupted by failures
-	Predicted       int // checkpoints taken on failure predictions (§2.2)
-	FinalInterval   time.Duration
-	CheckpointTimes []time.Duration // wall duration of each committed round
+	Checkpoints     int             `json:"checkpoints"`  // committed checkpoint rounds
+	SDCDetected     int             `json:"sdc_detected"` // mismatches that forced a double rollback
+	HardErrors      int             `json:"hard_errors"`  // fail-stop failures recovered
+	Rollbacks       int             `json:"rollbacks"`    // replica restarts from a checkpoint (any cause)
+	SparesUsed      int             `json:"spares_used"`
+	AbortedRounds   int             `json:"aborted_rounds"` // checkpoint rounds interrupted by failures
+	Predicted       int             `json:"predicted"`      // checkpoints taken on failure predictions (§2.2)
+	FinalInterval   time.Duration   `json:"final_interval_ns"`
+	CheckpointTimes []time.Duration `json:"checkpoint_times_ns"` // wall duration of each committed round
 	// BlockedTimes is the wall duration the application was actually
 	// paused per round; equals CheckpointTimes when blocking, and only
 	// the capture time under SemiBlocking.
-	BlockedTimes []time.Duration
+	BlockedTimes []time.Duration `json:"blocked_times_ns"`
 	// CaptureTimes / ExchangeTimes / CompareTimes split each committed
 	// round's cost into its phases (parallel arrays with CheckpointTimes):
 	// packing+checksumming the replicas, moving checkpoint bytes through
 	// the store (Get/Put on the compare and recovery-mirror paths), and
 	// deciding match/mismatch. Exchange time is also contained in compare
 	// time when the exchange happens inside the comparison loop.
-	CaptureTimes  []time.Duration
-	ExchangeTimes []time.Duration
-	CompareTimes  []time.Duration
+	CaptureTimes  []time.Duration `json:"capture_times_ns"`
+	ExchangeTimes []time.Duration `json:"exchange_times_ns"`
+	CompareTimes  []time.Duration `json:"compare_times_ns"`
 	// PackFastPath / PackSlowPath count task packs that skipped the
 	// Sizing traversal via the size-hint fast path versus two-pass packs.
-	PackFastPath int64
-	PackSlowPath int64
+	PackFastPath int64 `json:"pack_fast_path"`
+	PackSlowPath int64 `json:"pack_slow_path"`
 	// CaptureChunksPacked / CaptureChunksReused split the chunks of every
 	// tracked (dirty-spliced) capture into recomputed-and-repacked versus
 	// spliced from the previous epoch; CaptureBytesReused counts the packed
 	// bytes memcpy'd from the previous stream instead of re-encoded.
 	// Untracked captures contribute to neither side (they never splice).
-	CaptureChunksPacked int64
-	CaptureChunksReused int64
-	CaptureBytesReused  int64
+	CaptureChunksPacked int64 `json:"capture_chunks_packed"`
+	CaptureChunksReused int64 `json:"capture_chunks_reused"`
+	CaptureBytesReused  int64 `json:"capture_bytes_reused"`
 	// DirtyRatio is CaptureChunksPacked over the total chunks tracked
 	// captures handled — the fraction of state that actually changed per
 	// round, the quantity the incremental path's cost is proportional to.
 	// 1 when no capture ever spliced (all-dirty fallback throughout).
-	DirtyRatio float64
+	DirtyRatio float64 `json:"dirty_ratio"`
 	// ExchangeChunksShipped / ExchangeChunksReused count recovery-mirror
 	// chunks that crossed the hardened exchange versus chunks the receiver
 	// spliced from its retained base checkpoint (same chunk sum). Zero when
 	// Config.Exchange is nil.
-	ExchangeChunksShipped int64
-	ExchangeChunksReused  int64
+	ExchangeChunksShipped int64 `json:"exchange_chunks_shipped"`
+	ExchangeChunksReused  int64 `json:"exchange_chunks_reused"`
 	// Pool is the checkpoint-recycling pool's counter snapshot (zero when
 	// no pool was attached).
-	Pool    ckptstore.PoolCounters
-	Elapsed time.Duration
+	Pool    ckptstore.PoolCounters `json:"pool"`
+	Elapsed time.Duration          `json:"elapsed_ns"`
 	// StoreName identifies the checkpoint-store backend the run used.
-	StoreName string
+	StoreName string `json:"store_name"`
 	// Store is the checkpoint store's counter snapshot at run end: bytes
 	// written/read, chunks reused by the delta tier, cumulative compare
 	// time, and the last localized corrupted chunk.
-	Store ckptstore.Counters
+	Store ckptstore.Counters `json:"store"`
 	// LocalizedChunks records, per detected SDC, the chunk index the
 	// two-phase comparison attributed the corruption to (-1 when the
 	// mismatch could not be localized to one chunk).
-	LocalizedChunks []int
+	LocalizedChunks []int `json:"localized_chunks"`
 	// TierRecoveries counts replica restores per escalation-ladder tier:
 	// [0] buddy in-memory checkpoint at the committed epoch, [1] durable
 	// flush of the committed epoch, [2] an older complete durable epoch.
-	TierRecoveries [3]int
+	TierRecoveries [3]int `json:"tier_recoveries"`
 	// RollbackDepths records, per ladder restore, how many committed
 	// epochs the restore point lies behind the newest commit (0 for
 	// tiers 0 and 1); MaxRollbackDepth is its maximum.
-	RollbackDepths   []int
-	MaxRollbackDepth int
+	RollbackDepths   []int `json:"rollback_depths"`
+	MaxRollbackDepth int   `json:"max_rollback_depth"`
 	// FlushedEpochs / FlushErrors count durable-tier flush completions
 	// and failures; BuddyPairLosses counts buddy pairs whose in-memory
 	// checkpoints were both destroyed by a double fault.
-	FlushedEpochs   int
-	FlushErrors     int
-	BuddyPairLosses int
+	FlushedEpochs   int `json:"flushed_epochs"`
+	FlushErrors     int `json:"flush_errors"`
+	BuddyPairLosses int `json:"buddy_pair_losses"`
 	// Folds counts spare-exhaustion folds onto a survivor; Expands counts
 	// folded nodes later re-expanded onto freed spares; DegradedNodes is
 	// how many logical nodes were still folded at run end.
-	Folds         int
-	Expands       int
-	DegradedNodes int
+	Folds         int `json:"folds"`
+	Expands       int `json:"expands"`
+	DegradedNodes int `json:"degraded_nodes"`
+	// ResumedEpoch is the durable epoch the job warm-started from via
+	// Config.ResumeEpochs (0 = cold start from factory state).
+	ResumedEpoch uint64 `json:"resumed_epoch"`
 	// ExchangeFrames / ExchangeRetries count frames offered to the lossy
 	// link (data, acks, and resends) and frame-level retransmissions;
 	// Link is the link's own loss/duplication/reorder accounting. All
 	// zero when Config.Exchange is nil.
-	ExchangeFrames  int64
-	ExchangeRetries int64
-	Link            netsim.LinkStats
+	ExchangeFrames  int64            `json:"exchange_frames"`
+	ExchangeRetries int64            `json:"exchange_retries"`
+	Link            netsim.LinkStats `json:"link"`
 }
 
 // Controller runs an ACR job.
@@ -430,6 +453,15 @@ type Controller struct {
 
 	waitErr   chan error
 	predictCh chan struct{}
+	// opCh carries control-plane operations (forced flush, on-demand
+	// restore) onto the controller goroutine, where they run between
+	// rounds with exclusive access to the protocol state. See ops.go.
+	opCh chan func()
+
+	// prog mirrors the protocol counters into atomics so Progress() can
+	// serve live snapshots to pollers (the acrd API) without touching the
+	// controller goroutine's unsynchronized stats.
+	prog progressCounters
 }
 
 // New builds a controller. Call Run to execute the job.
@@ -481,6 +513,7 @@ func New(cfg Config) (*Controller, error) {
 		injectSeed: 1,
 		waitErr:    make(chan error, 1),
 		predictCh:  make(chan struct{}, 8),
+		opCh:       make(chan func()),
 	}
 	if cfg.FlushEvery > 0 {
 		fs := cfg.FlushStore
@@ -554,9 +587,12 @@ func (c *Controller) fire(id point.ID, info point.Info) {
 func (c *Controller) Run() (Stats, error) {
 	c.start = time.Now()
 	c.machine.Start()
+	err := c.resumeFromDurable()
 	go func() { c.waitErr <- c.machine.Wait() }()
 
-	err := c.eventLoop()
+	if err == nil {
+		err = c.eventLoop()
+	}
 	c.machine.Stop()
 	c.flushWG.Wait()
 	if c.ownedFlush != nil {
@@ -655,6 +691,11 @@ func (c *Controller) eventLoop() error {
 			if err := c.checkpointRound(); err != nil {
 				return err
 			}
+			arm()
+		case op := <-c.opCh:
+			// Control-plane operation (forced flush, on-demand restore):
+			// runs with the protocol quiescent between rounds.
+			op()
 			arm()
 		}
 	}

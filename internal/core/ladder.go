@@ -48,42 +48,17 @@ func (c *Controller) maybeFlush(epoch uint64) {
 		return
 	}
 	c.commitsSinceFlush = 0
-	clones := make([]flushClone, 0, 2*c.cfg.NodesPerReplica*c.cfg.TasksPerNode)
-	for rep := 0; rep < 2; rep++ {
-		for n := 0; n < c.cfg.NodesPerReplica; n++ {
-			for t := 0; t < c.cfg.TasksPerNode; t++ {
-				ck, err := c.store.Get(c.key(rep, n, t, epoch))
-				if err != nil {
-					c.flushErrs.Add(1)
-					c.mark(trace.Store, fmt.Sprintf("flush of epoch %d aborted: %v", epoch, err))
-					return
-				}
-				clones = append(clones, flushClone{rep, n, t, ck.Clone()})
-			}
-		}
+	clones, err := c.cloneEpoch(epoch)
+	if err != nil {
+		c.flushErrs.Add(1)
+		c.mark(trace.Store, fmt.Sprintf("flush of epoch %d aborted: %v", epoch, err))
+		return
 	}
 	write := func() {
-		for _, cl := range clones {
-			if err := c.flushStore.Put(c.key(cl.rep, cl.n, cl.t, epoch), cl.ck); err != nil {
-				c.flushErrs.Add(1)
-				c.mark(trace.Store, fmt.Sprintf("flush of epoch %d failed: %v", epoch, err))
-				return
-			}
+		if err := c.writeFlush(epoch, clones); err != nil {
+			c.flushErrs.Add(1)
+			c.mark(trace.Store, fmt.Sprintf("flush of epoch %d failed: %v", epoch, err))
 		}
-		c.flushMu.Lock()
-		i := sort.Search(len(c.flushedEpochs), func(i int) bool { return c.flushedEpochs[i] >= epoch })
-		c.flushedEpochs = append(c.flushedEpochs, 0)
-		copy(c.flushedEpochs[i+1:], c.flushedEpochs[i:])
-		c.flushedEpochs[i] = epoch
-		if keep := c.cfg.FlushRetain; len(c.flushedEpochs) > keep {
-			oldest := c.flushedEpochs[len(c.flushedEpochs)-keep]
-			c.flushedEpochs = append(c.flushedEpochs[:0], c.flushedEpochs[len(c.flushedEpochs)-keep:]...)
-			c.flushStore.Evict(oldest)
-		}
-		c.flushMu.Unlock()
-		c.flushedCount.Add(1)
-		c.fire(point.CoreFlush, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
-		c.mark(trace.Store, fmt.Sprintf("epoch %d flushed to durable tier (%s)", epoch, c.flushStore.Name()))
 	}
 	if c.cfg.Chaos != nil || c.cfg.SerialCommitPath {
 		write()
@@ -94,6 +69,51 @@ func (c *Controller) maybeFlush(epoch uint64) {
 		defer c.flushWG.Done()
 		write()
 	}()
+}
+
+// cloneEpoch deep-copies every task checkpoint of the epoch out of the hot
+// store, detaching the flush from the commit path's buffer recycling.
+func (c *Controller) cloneEpoch(epoch uint64) ([]flushClone, error) {
+	clones := make([]flushClone, 0, 2*c.cfg.NodesPerReplica*c.cfg.TasksPerNode)
+	for rep := 0; rep < 2; rep++ {
+		for n := 0; n < c.cfg.NodesPerReplica; n++ {
+			for t := 0; t < c.cfg.TasksPerNode; t++ {
+				ck, err := c.store.Get(c.key(rep, n, t, epoch))
+				if err != nil {
+					return nil, err
+				}
+				clones = append(clones, flushClone{rep, n, t, ck.Clone()})
+			}
+		}
+	}
+	return clones, nil
+}
+
+// writeFlush lands one cloned epoch on the durable tier, registers it in
+// the ladder's durable-epoch index, and applies the retention bound.
+func (c *Controller) writeFlush(epoch uint64, clones []flushClone) error {
+	for _, cl := range clones {
+		if err := c.flushStore.Put(c.key(cl.rep, cl.n, cl.t, epoch), cl.ck); err != nil {
+			return err
+		}
+	}
+	c.flushMu.Lock()
+	i := sort.Search(len(c.flushedEpochs), func(i int) bool { return c.flushedEpochs[i] >= epoch })
+	if i == len(c.flushedEpochs) || c.flushedEpochs[i] != epoch {
+		c.flushedEpochs = append(c.flushedEpochs, 0)
+		copy(c.flushedEpochs[i+1:], c.flushedEpochs[i:])
+		c.flushedEpochs[i] = epoch
+	}
+	if keep := c.cfg.FlushRetain; len(c.flushedEpochs) > keep {
+		oldest := c.flushedEpochs[len(c.flushedEpochs)-keep]
+		c.flushedEpochs = append(c.flushedEpochs[:0], c.flushedEpochs[len(c.flushedEpochs)-keep:]...)
+		c.flushStore.Evict(oldest)
+	}
+	c.flushMu.Unlock()
+	c.flushedCount.Add(1)
+	c.fire(point.CoreFlush, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
+	c.mark(trace.Store, fmt.Sprintf("epoch %d flushed to durable tier (%s)", epoch, c.flushStore.Name()))
+	return nil
 }
 
 // durableEpochsNewestFirst snapshots the complete durable epochs at or
@@ -116,6 +136,7 @@ func (c *Controller) durableEpochsNewestFirst() []uint64 {
 // behind the newest commit.
 func (c *Controller) recordLadderRestore(tier int, epoch uint64) {
 	c.stats.TierRecoveries[tier]++
+	c.prog.tierRecoveries[tier].Add(1)
 	depth := 0
 	for i := len(c.commitLog) - 1; i >= 0 && c.commitLog[i] > epoch; i-- {
 		depth++

@@ -106,6 +106,7 @@ func (c *Controller) normalRound() error {
 		// previous safely stored checkpoint (§2.1). Under semi-blocking
 		// the application also loses the overlap window it just ran.
 		c.stats.SDCDetected++
+		c.prog.sdcDetected.Add(1)
 		c.stats.LocalizedChunks = append(c.stats.LocalizedChunks, chunk)
 		c.mark(trace.Failure, "sdc detected: "+mismatch)
 		if !c.cfg.SemiBlocking {
@@ -511,6 +512,8 @@ func (c *Controller) commit(epoch uint64, began time.Time) {
 	c.committedEpoch = epoch
 	c.commitLog = append(c.commitLog, epoch)
 	c.stats.Checkpoints++
+	c.prog.checkpoints.Add(1)
+	c.prog.committedEpoch.Store(epoch)
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
 	c.appendPhaseTimes()
 	c.store.Evict(epoch)
@@ -526,6 +529,8 @@ func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
 	c.committedEpoch = epoch
 	c.commitLog = append(c.commitLog, epoch)
 	c.stats.Checkpoints++
+	c.prog.checkpoints.Add(1)
+	c.prog.committedEpoch.Store(epoch)
 	c.stats.CheckpointTimes = append(c.stats.CheckpointTimes, time.Since(began))
 	c.appendPhaseTimes()
 	c.store.Evict(epoch)
@@ -562,6 +567,7 @@ func (c *Controller) handleFailure(f runtime.Failure) error {
 		return nil
 	}
 	c.stats.HardErrors++
+	c.prog.hardErrors.Add(1)
 	c.history.Record(c.now())
 	c.mark(trace.Failure, fmt.Sprintf("hard error r%d/n%d", f.Replica, f.Node))
 	c.adaptInterval()
@@ -597,6 +603,7 @@ func (c *Controller) handleFailure(f runtime.Failure) error {
 			return fmt.Errorf("%w at r%d/n%d: %v", ErrUnrecoverable, f.Replica, f.Node, foldErr)
 		}
 		c.stats.Folds++
+		c.prog.folds.Add(1)
 		c.fire(point.CoreFold, point.Info{Replica: f.Replica, Node: f.Node, Task: host})
 		c.mark(trace.Fold, fmt.Sprintf("spares exhausted: r%d/n%d folded onto survivor n%d (degraded)", f.Replica, f.Node, host))
 		if c.cfg.OnFold != nil {
@@ -652,6 +659,7 @@ func (c *Controller) rollbackReplica(rep int) error {
 		return err
 	}
 	c.stats.Rollbacks++
+	c.prog.rollbacks.Add(1)
 	return nil
 }
 
@@ -669,6 +677,7 @@ func (c *Controller) restartReplicaFromEpoch(rep int, epoch uint64) error {
 		return fmt.Errorf("core: restart replica %d: %w", rep, err)
 	}
 	c.stats.Rollbacks++
+	c.prog.rollbacks.Add(1)
 	return nil
 }
 

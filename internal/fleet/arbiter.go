@@ -42,10 +42,10 @@ type Arbiter struct {
 
 // ArbiterStats is a snapshot of the arbiter's traffic counters.
 type ArbiterStats struct {
-	WriteWaits   int64         `json:"write_waits"`    // writes that had to queue for budget
-	WriteWait    time.Duration `json:"write_wait_ns"`  // total time writers spent queued
-	WriteBytes   int64         `json:"write_bytes"`    // bytes admitted through the budget
-	ReadBypasses int64         `json:"read_bypasses"`  // recovery reads that skipped the queue
+	WriteWaits   int64         `json:"write_waits"`   // writes that had to queue for budget
+	WriteWait    time.Duration `json:"write_wait_ns"` // total time writers spent queued
+	WriteBytes   int64         `json:"write_bytes"`   // bytes admitted through the budget
+	ReadBypasses int64         `json:"read_bypasses"` // recovery reads that skipped the queue
 }
 
 // NewArbiter builds an arbiter with the given write budget in bytes per
@@ -175,3 +175,12 @@ func (s *arbitratedStore) Evict(olderThan uint64) int { return s.inner.Evict(old
 func (s *arbitratedStore) Counters() ckptstore.Counters { return s.inner.Counters() }
 
 func (s *arbitratedStore) Name() string { return "arb(" + s.inner.Name() + ")" }
+
+// Keys forwards enumeration to the inner store when it supports it, so the
+// acrd inventory endpoints see through the arbitration wrapper.
+func (s *arbitratedStore) Keys() []ckptstore.Key {
+	if e, ok := s.inner.(ckptstore.Enumerator); ok {
+		return e.Keys()
+	}
+	return nil
+}

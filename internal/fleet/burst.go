@@ -40,8 +40,8 @@ type BurstSpec struct {
 // BurstReport is the campaign outcome: fleet stats plus oracle violations
 // (empty means the fleet survived with every job's golden result intact).
 type BurstReport struct {
-	Stats      FleetStats `json:"stats"`
-	Violations []string   `json:"violations,omitempty"`
+	Stats      FleetStats    `json:"stats"`
+	Violations []string      `json:"violations,omitempty"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 }
 
@@ -93,7 +93,7 @@ func RunBurst(spec BurstSpec) (BurstReport, error) {
 	start := time.Now()
 	jobs := make([]*Job, spec.Jobs)
 	for i := range jobs {
-		jobs[i] = sched.Submit(JobSpec{
+		jobs[i], err = sched.Submit(JobSpec{
 			Name:     fmt.Sprintf("burst-%02d", i),
 			Priority: i % 4,
 			Nodes:    spec.NodesPerJob,
@@ -101,6 +101,9 @@ func RunBurst(spec BurstSpec) (BurstReport, error) {
 			Iters:    spec.Iters,
 			Interval: spec.Interval,
 		})
+		if err != nil {
+			return BurstReport{}, err
+		}
 	}
 	for _, k := range spec.Kills {
 		if k.Job < 0 || k.Job >= len(jobs) {

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubmitAfterClose: the typed-error contract.
+func TestSubmitAfterClose(t *testing.T) {
+	s, err := New(Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Submit(JobSpec{Name: "late", Nodes: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent: a second close must return, not hang or panic
+}
+
+// TestCloseSettlesUnfinishedJobs: jobs still queued (the pool fits one at a
+// time) must be settled with ErrClosed when the scheduler shuts down — Wait
+// returns instead of hanging.
+func TestCloseSettlesUnfinishedJobs(t *testing.T) {
+	s, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := mustSubmit(t, s, JobSpec{Name: "running", Nodes: 1, Tasks: 1, Iters: 400000})
+	queued := mustSubmit(t, s, JobSpec{Name: "queued", Nodes: 1, Tasks: 1, Iters: 100})
+	<-running.Admitted()
+	s.Close()
+
+	waitDone := make(chan JobResult, 2)
+	go func() { waitDone <- running.Wait() }()
+	go func() { waitDone <- queued.Wait() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-waitDone:
+			if res.Completed {
+				t.Fatalf("job %q reported completed after Close", res.Name)
+			}
+			if res.Err != ErrClosed.Error() {
+				t.Errorf("job %q err = %q, want %q", res.Name, res.Err, ErrClosed)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("Wait hung after Close")
+		}
+	}
+	if _, ok := queued.Result(); !ok {
+		t.Fatal("Result not available after settle")
+	}
+}
+
+// TestCloseRacesSubmitAndDrain hammers Close concurrently with Submit and
+// Drain: every accepted job must settle (Drain and Wait return), every
+// rejected submit must fail with ErrClosed, and nothing may deadlock or
+// trip the race detector.
+func TestCloseRacesSubmitAndDrain(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		s, err := New(Config{Nodes: 8, Spares: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var accepted []*Job
+
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					j, err := s.Submit(JobSpec{Name: "race", Nodes: 1, Tasks: 1, Iters: 200})
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("submit error = %v, want ErrClosed", err)
+						}
+						return
+					}
+					mu.Lock()
+					accepted = append(accepted, j)
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Drain(100 * time.Millisecond)
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+			s.Close()
+		}()
+		wg.Wait()
+		s.Close() // idempotent after the racing close
+
+		mu.Lock()
+		jobs := accepted
+		mu.Unlock()
+		for _, j := range jobs {
+			select {
+			case <-j.Done():
+			case <-time.After(30 * time.Second):
+				t.Fatal("accepted job never settled after Close")
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -82,6 +83,18 @@ type JobSpec struct {
 	// FlushEvery > 0 flushes every K-th committed epoch to a durable tier
 	// routed through the fleet's bandwidth arbiter.
 	FlushEvery int `json:"flush_every"`
+	// FlushRetain bounds the complete durable epochs the job's flush tier
+	// keeps (core.Config.FlushRetain); <= 0 selects the core default.
+	FlushRetain int `json:"flush_retain,omitempty"`
+	// FlushStore overrides the job's durable tier (still routed through the
+	// fleet arbiter). Nil with FlushEvery > 0 selects a job-private
+	// in-memory tier. A daemon passes a per-job disk store here so flushed
+	// epochs survive the process.
+	FlushStore ckptstore.Store `json:"-"`
+	// ResumeEpochs warm-starts the job from the newest usable of these
+	// durable epochs in FlushStore (core.Config.ResumeEpochs) instead of
+	// factory state. Requires FlushEvery > 0.
+	ResumeEpochs []uint64 `json:"resume_epochs,omitempty"`
 }
 
 // JobResult is one job's final accounting.
@@ -162,6 +175,21 @@ func (j *Job) Wait() JobResult {
 	return j.res
 }
 
+// Result returns the job's final accounting without blocking; ok is false
+// while the job is still queued or running.
+func (j *Job) Result() (res JobResult, ok bool) {
+	select {
+	case <-j.done:
+		return j.res, true
+	default:
+		return JobResult{}, false
+	}
+}
+
+// Seq returns the job's submission sequence number — its stable identity
+// within the scheduler (and the acrd job id).
+func (j *Job) Seq() int { return j.seq }
+
 type eventKind int
 
 const (
@@ -190,9 +218,10 @@ type Scheduler struct {
 	once    sync.Once
 	start   time.Time
 
-	mu    sync.Mutex
-	jobs  []*Job
-	stats FleetStats
+	mu     sync.Mutex
+	closed bool
+	jobs   []*Job
+	stats  FleetStats
 
 	// Loop-owned (no locking): pool balances and scheduling queues.
 	freeNodes  int
@@ -235,9 +264,14 @@ func (s *Scheduler) mark(format string, args ...any) {
 	s.cfg.Timeline.Add(time.Since(s.start).Seconds(), trace.Fleet, fmt.Sprintf(format, args...))
 }
 
+// ErrClosed reports an operation against a scheduler that has been Closed.
+var ErrClosed = errors.New("fleet: scheduler closed")
+
 // Submit queues a job for admission and returns its handle. Submitting
-// after Close is a no-op returning a job whose Done never closes.
-func (s *Scheduler) Submit(spec JobSpec) *Job {
+// after (or concurrently with) Close returns ErrClosed; a job accepted by
+// Submit is always settled — admitted and run, or failed with ErrClosed in
+// its result — so Wait and Drain never hang on it.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.Tasks <= 0 {
 		spec.Tasks = 1
 	}
@@ -254,12 +288,23 @@ func (s *Scheduler) Submit(spec JobSpec) *Job {
 		done:     make(chan struct{}),
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	j.seq = len(s.jobs)
 	s.jobs = append(s.jobs, j)
 	s.stats.Submitted++
 	s.mu.Unlock()
 	s.notify(event{kind: evSubmit, job: j})
-	return j
+	return j, nil
+}
+
+// Jobs snapshots every submitted job in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.jobs...)
 }
 
 // AddSpare models a repaired physical node rejoining the fleet's shared
@@ -294,9 +339,15 @@ func (s *Scheduler) Drain(timeout time.Duration) (FleetStats, error) {
 	return s.Stats(), nil
 }
 
-// Close stops the scheduler loop and aborts still-running machines. Safe to
-// call more than once; Drain first for a clean shutdown.
+// Close stops the scheduler loop, aborts still-running machines, and
+// settles every unfinished job with ErrClosed so no Wait or Drain hangs.
+// Idempotent and safe to call concurrently with Submit and Drain; Drain
+// first for a clean shutdown. The closed flag is raised before the loop is
+// stopped, so any job Submit accepted is visible to the final settle pass.
 func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 	s.once.Do(func() { close(s.stop) })
 	<-s.stopped
 }
@@ -325,6 +376,7 @@ func (s *Scheduler) loop() {
 			for j := range s.running {
 				j.ctrl.Machine().Stop()
 			}
+			s.settleAll()
 			return
 		case ev := <-s.events:
 			switch ev.kind {
@@ -406,7 +458,13 @@ func (s *Scheduler) admit(j *Job) error {
 	}
 	if spec.FlushEvery > 0 {
 		cc.FlushEvery = spec.FlushEvery
-		cc.FlushStore = s.arb.Wrap(ckptstore.NewMem())
+		cc.FlushRetain = spec.FlushRetain
+		fs := spec.FlushStore
+		if fs == nil {
+			fs = ckptstore.NewMem()
+		}
+		cc.FlushStore = s.arb.Wrap(fs)
+		cc.ResumeEpochs = spec.ResumeEpochs
 	}
 	ctrl, err := core.New(cc)
 	if err != nil {
@@ -567,4 +625,33 @@ func (s *Scheduler) finish(j *Job, stats core.Stats, err error) {
 	s.mu.Unlock()
 	s.mark("done %q err=%v (pool nodes=%d spares=%d)", j.spec.Name, err, s.freeNodes, s.freeSpares)
 	close(j.done)
+}
+
+// settleAll fails every job that has not finished when the loop stops —
+// queued, admitted-and-aborted, or accepted by a Submit whose event never
+// reached the loop. Runs on the loop goroutine after the final event, so
+// the channel closes cannot race admit or finish.
+func (s *Scheduler) settleAll() {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.jobs...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+			continue
+		default:
+		}
+		s.mu.Lock()
+		j.res.Name = j.spec.Name
+		j.res.Priority = j.spec.Priority
+		j.res.Err = ErrClosed.Error()
+		s.stats.Failed++
+		s.mu.Unlock()
+		select {
+		case <-j.admitted:
+		default:
+			close(j.admitted)
+		}
+		close(j.done)
+	}
 }

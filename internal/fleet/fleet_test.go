@@ -15,6 +15,16 @@ func drain(t *testing.T, s *Scheduler) FleetStats {
 	return stats
 }
 
+// mustSubmit fails the test on a submit error (scheduler closed).
+func mustSubmit(t *testing.T, s *Scheduler, spec JobSpec) *Job {
+	t.Helper()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit %q: %v", spec.Name, err)
+	}
+	return j
+}
+
 // TestAdmissionQueuesUntilResources: a pool fitting one job at a time must
 // serialize three submitted jobs, all completing with golden results.
 func TestAdmissionQueuesUntilResources(t *testing.T) {
@@ -25,7 +35,7 @@ func TestAdmissionQueuesUntilResources(t *testing.T) {
 	defer s.Close()
 	var jobs []*Job
 	for i := 0; i < 3; i++ {
-		jobs = append(jobs, s.Submit(JobSpec{
+		jobs = append(jobs, mustSubmit(t, s, JobSpec{
 			Name: "serial-" + string(rune('a'+i)), Nodes: 2, Tasks: 1, Iters: 2000,
 		}))
 	}
@@ -55,10 +65,10 @@ func TestAdmissionPriorityOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	first := s.Submit(JobSpec{Name: "first", Nodes: 1, Tasks: 1, Iters: 40000})
+	first := mustSubmit(t, s, JobSpec{Name: "first", Nodes: 1, Tasks: 1, Iters: 40000})
 	<-first.Admitted()
-	low := s.Submit(JobSpec{Name: "low", Priority: 1, Nodes: 1, Tasks: 1, Iters: 500})
-	high := s.Submit(JobSpec{Name: "high", Priority: 5, Nodes: 1, Tasks: 1, Iters: 500})
+	low := mustSubmit(t, s, JobSpec{Name: "low", Priority: 1, Nodes: 1, Tasks: 1, Iters: 500})
+	high := mustSubmit(t, s, JobSpec{Name: "high", Priority: 5, Nodes: 1, Tasks: 1, Iters: 500})
 	admitTime := func(j *Job) <-chan time.Time {
 		ch := make(chan time.Time, 1)
 		go func() { <-j.Admitted(); ch <- time.Now() }()
@@ -89,7 +99,7 @@ func TestSpareBrokeringFromPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	j := s.Submit(JobSpec{Name: "victim-of-fate", Nodes: 2, Tasks: 2, Iters: 8000})
+	j := mustSubmit(t, s, JobSpec{Name: "victim-of-fate", Nodes: 2, Tasks: 2, Iters: 8000})
 	<-j.Admitted()
 	time.Sleep(5 * time.Millisecond)
 	j.Controller().KillNode(0, 1)
@@ -127,9 +137,9 @@ func TestLastSpareContention(t *testing.T) {
 	}
 	defer s.Close()
 	// donor holds the only spare as a dedicated one; the free pool is empty.
-	donor := s.Submit(JobSpec{Name: "donor", Priority: 0, Nodes: 2, Tasks: 2, Iters: 9000, Spares: 1})
-	a := s.Submit(JobSpec{Name: "contender-a", Priority: 2, Nodes: 2, Tasks: 2, Iters: 9000})
-	b := s.Submit(JobSpec{Name: "contender-b", Priority: 1, Nodes: 2, Tasks: 2, Iters: 9000})
+	donor := mustSubmit(t, s, JobSpec{Name: "donor", Priority: 0, Nodes: 2, Tasks: 2, Iters: 9000, Spares: 1})
+	a := mustSubmit(t, s, JobSpec{Name: "contender-a", Priority: 2, Nodes: 2, Tasks: 2, Iters: 9000})
+	b := mustSubmit(t, s, JobSpec{Name: "contender-b", Priority: 1, Nodes: 2, Tasks: 2, Iters: 9000})
 	<-donor.Admitted()
 	<-a.Admitted()
 	<-b.Admitted()

@@ -31,11 +31,11 @@ type LinkParams struct {
 
 // LinkStats counts a link's frame-level activity.
 type LinkStats struct {
-	Sent       int64 // frames offered to the link
-	Delivered  int64 // frames that came out the far end (includes duplicates)
-	Lost       int64
-	Duplicated int64
-	Reordered  int64
+	Sent       int64 `json:"sent"`      // frames offered to the link
+	Delivered  int64 `json:"delivered"` // frames that came out the far end (includes duplicates)
+	Lost       int64 `json:"lost"`
+	Duplicated int64 `json:"duplicated"`
+	Reordered  int64 `json:"reordered"`
 }
 
 // Link is a deterministic lossy/duplicating/reordering link. Transfer is

@@ -266,7 +266,12 @@ type Machine struct {
 	failures chan Failure
 	stopped  chan struct{}
 	stopOnce sync.Once
-	wg       sync.WaitGroup // task goroutines + detector
+	// startMu serializes Start against Stop: Stop must not Wait on the
+	// WaitGroup while a concurrent Start is still issuing its first Adds
+	// (an external owner, e.g. a fleet scheduler shutting down, may stop a
+	// machine whose controller has only just begun running it).
+	startMu sync.Mutex
+	wg      sync.WaitGroup // task goroutines + detector
 
 	// packFast / packSlow count task packs that hit the single-pass
 	// size-hint path versus the two-pass Sizing+Packing fallback.
@@ -365,8 +370,17 @@ func (m *Machine) SpareCount() int {
 // Failures delivers detected hard errors (one event per failed node).
 func (m *Machine) Failures() <-chan Failure { return m.failures }
 
-// Start launches every task goroutine and the failure detector.
+// Start launches every task goroutine and the failure detector. Starting a
+// machine that has already been stopped is a no-op: the stop wins, and Wait
+// reports ErrStopped.
 func (m *Machine) Start() {
+	m.startMu.Lock()
+	defer m.startMu.Unlock()
+	select {
+	case <-m.stopped:
+		return
+	default:
+	}
 	m.mu.Lock()
 	for rep := 0; rep < 2; rep++ {
 		for n := 0; n < m.cfg.NodesPerReplica; n++ {
@@ -383,9 +397,13 @@ func (m *Machine) Start() {
 }
 
 // Stop aborts everything; Wait will return ErrStopped unless the job had
-// already finished.
+// already finished. Safe to call concurrently with Start: the startMu
+// acquisition orders Stop's WaitGroup wait after any in-flight Start's
+// goroutine launches, and later Starts see the closed stop channel.
 func (m *Machine) Stop() {
 	m.stopOnce.Do(func() { close(m.stopped) })
+	m.startMu.Lock()
+	m.startMu.Unlock() //nolint:staticcheck // empty section: barrier against in-flight Start
 	m.wg.Wait()
 }
 
