@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	stdruntime "runtime"
+	"runtime/pprof"
 	"time"
 
 	"acr/internal/buildinfo"
@@ -48,13 +49,15 @@ import (
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "run only the smoke-subset of machine shapes")
-		count     = flag.Int("count", 3, "measure each cell this many times, keep the fastest")
-		out       = flag.String("out", "BENCH_checkpoint.json", "write the JSON report to this file ('-' = stdout only)")
-		against   = flag.String("against", "", "baseline report to check for regressions")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed relative regression vs the baseline")
-		withFleet = flag.Bool("fleet", true, "run the fleet scaling case and failure-burst campaign")
-		burstSeed = flag.Int64("burst-seed", 1, "seed for the fleet failure-burst kill plan")
+		quick      = flag.Bool("quick", false, "run only the smoke-subset of machine shapes")
+		count      = flag.Int("count", 3, "measure each cell this many times, keep the fastest")
+		out        = flag.String("out", "BENCH_checkpoint.json", "write the JSON report to this file ('-' = stdout only)")
+		against    = flag.String("against", "", "baseline report to check for regressions")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed relative regression vs the baseline")
+		withFleet  = flag.Bool("fleet", true, "run the fleet scaling case and failure-burst campaign")
+		burstSeed  = flag.Int64("burst-seed", 1, "seed for the fleet failure-burst kill plan")
+		only       = flag.String("only", "", "run only machine shapes whose name contains this substring")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench run to this file")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -63,23 +66,48 @@ func main() {
 	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
-	logf("acrbench: GOMAXPROCS=%d quick=%v count=%d fleet=%v", stdruntime.GOMAXPROCS(0), *quick, *count, *withFleet)
+	logf("acrbench: GOMAXPROCS=%d quick=%v count=%d fleet=%v only=%q", stdruntime.GOMAXPROCS(0), *quick, *count, *withFleet, *only)
 
-	report, err := core.RunCheckpointBench(*quick, *count, stdruntime.GOMAXPROCS(0), logf)
+	// The profile brackets the measurement section only and is flushed
+	// before any gate can os.Exit, so a failing run still ships a usable
+	// profile for triage.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "acrbench: close %s: %v\n", *cpuprofile, err)
+			}
+			stopProfile = func() {}
+		}
+	}
+
+	report, err := core.RunCheckpointBench(*quick, *count, stdruntime.GOMAXPROCS(0), *only, logf)
 	if err != nil {
+		stopProfile()
 		fatalf("bench: %v", err)
 	}
 	if *withFleet {
 		cs, err := fleet.RunFleetScalingBench(*quick, *count, logf)
 		if err != nil {
+			stopProfile()
 			fatalf("fleet bench: %v", err)
 		}
 		report.Cases = append(report.Cases, cs)
 		if err := runBurst(*burstSeed, logf); err != nil {
+			stopProfile()
 			fmt.Fprintln(os.Stderr, "VIOLATION:", err)
 			os.Exit(1)
 		}
 	}
+	stopProfile()
 
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -92,6 +93,13 @@ type Report struct {
 	DurableMs  *Percentiles `json:"durable_ms,omitempty"`
 }
 
+// pctiles summarizes a latency sample with linearly interpolated
+// quantiles (the numpy/Prometheus convention): the q-th quantile sits at
+// rank q*(n-1), interpolating between the two straddling order statistics.
+// The previous truncate-to-index rank collapsed the tail on small samples
+// — at n=8, int(0.99*7) == int(0.90*7) == 6, so p99 silently reported
+// p90's value; interpolation keeps p99 above p90 whenever the underlying
+// samples differ.
 func pctiles(samples []time.Duration) *Percentiles {
 	if len(samples) == 0 {
 		return nil
@@ -99,8 +107,15 @@ func pctiles(samples []time.Duration) *Percentiles {
 	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return float64(sorted[i]) / float64(time.Millisecond)
+		r := q * float64(len(sorted)-1)
+		lo := int(math.Floor(r))
+		hi := int(math.Ceil(r))
+		v := float64(sorted[lo])
+		if hi > lo {
+			frac := r - float64(lo)
+			v += frac * float64(sorted[hi]-sorted[lo])
+		}
+		return v / float64(time.Millisecond)
 	}
 	return &Percentiles{
 		N: len(sorted), P50: at(0.50), P90: at(0.90), P99: at(0.99),

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"math"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -58,6 +59,67 @@ func TestClosedLoopRun(t *testing.T) {
 	}
 	if len(rep.Errors) != 0 {
 		t.Fatalf("errors: %v", rep.Errors)
+	}
+}
+
+// TestPctiles pins the quantile math against hand-computed values on
+// known sample sets: nearest ranks where the quantile lands on an order
+// statistic, linear interpolation between them otherwise, and — the bug
+// this pins against — a distinct p99 above p90 on small samples like n=8,
+// where the old truncate-to-index rank collapsed both onto sorted[6].
+func TestPctiles(t *testing.T) {
+	ms := func(vs ...float64) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v * float64(time.Millisecond))
+		}
+		return out
+	}
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+	if pctiles(nil) != nil {
+		t.Fatal("empty sample must summarize to nil")
+	}
+
+	// n=1: every quantile is the single sample.
+	p := pctiles(ms(7))
+	if p.N != 1 || !approx(p.P50, 7) || !approx(p.P90, 7) || !approx(p.P99, 7) || !approx(p.Max, 7) {
+		t.Fatalf("n=1: %+v", p)
+	}
+
+	// n=2: ranks fall between the two samples; p50 = midpoint,
+	// p90/p99 interpolate toward the max.
+	p = pctiles(ms(10, 20))
+	if !approx(p.P50, 15) || !approx(p.P90, 19) || !approx(p.P99, 19.9) || !approx(p.Max, 20) {
+		t.Fatalf("n=2: %+v", p)
+	}
+
+	// n=5 over 0..40 in steps of 10: p50 lands exactly on sorted[2].
+	p = pctiles(ms(40, 0, 30, 10, 20)) // order must not matter
+	if !approx(p.P50, 20) || !approx(p.P90, 36) || !approx(p.P99, 39.6) {
+		t.Fatalf("n=5: %+v", p)
+	}
+
+	// n=8, distinct samples: the old rank math reported p99 == p90
+	// (both truncated to index 6). Interpolated: p90 = rank 6.3,
+	// p99 = rank 6.93.
+	p = pctiles(ms(1, 2, 3, 4, 5, 6, 7, 100))
+	if !approx(p.P90, 7+0.3*93) || !approx(p.P99, 7+0.93*93) {
+		t.Fatalf("n=8: %+v", p)
+	}
+	if p.P99 <= p.P90 {
+		t.Fatalf("n=8 tail collapsed: p99 %v <= p90 %v", p.P99, p.P90)
+	}
+
+	// n=101: quantile ranks are integral, so the percentiles are exactly
+	// the classic order statistics.
+	vs := make([]float64, 101)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	p = pctiles(ms(vs...))
+	if !approx(p.P50, 50) || !approx(p.P90, 90) || !approx(p.P99, 99) || !approx(p.Max, 100) {
+		t.Fatalf("n=101: %+v", p)
 	}
 }
 

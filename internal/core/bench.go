@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -119,7 +120,22 @@ type BenchSpec struct {
 	// splice), and only the round op is measured — capture in isolation is
 	// degenerate on an unstarted machine (no writes, everything clean).
 	Dirty int `json:"dirty,omitempty"`
+	// LinkLatencyMs > 0 (or LinkLossPct > 0) selects the pipeline axis:
+	// live rounds ship every task's checkpoint through a hardened
+	// exchange link with this one-way latency and loss percentage
+	// (ExchangeConfig.ShipCheckpoints). Both legs then run the default
+	// fast commit path over the same program — the "serial" leg with the
+	// barrier schedule (PipelineOff: capture all, ship every task one
+	// after the other, compare all) and the "fast" leg with the per-task
+	// pipeline — so the measured difference is stage overlap alone.
+	// Combines with Dirty (both legs tracked: delta-aware shipping).
+	// Only the round op is measured.
+	LinkLatencyMs int     `json:"link_latency_ms,omitempty"`
+	LinkLossPct   float64 `json:"link_loss_pct,omitempty"`
 }
+
+// linked reports whether the spec runs on the pipeline (lossy-link) axis.
+func (s BenchSpec) linked() bool { return s.LinkLatencyMs > 0 || s.LinkLossPct > 0 }
 
 // DefaultBenchSpecs returns the benchmarked shapes. Quick mode keeps the
 // subset CI smoke-runs; names are stable, so a quick run can be checked
@@ -128,11 +144,23 @@ func DefaultBenchSpecs(quick bool) []BenchSpec {
 	specs := []BenchSpec{
 		{Name: "2x2nodes-4tasks-96KB", Nodes: 2, Tasks: 2, Particles: 2048},
 		{Name: "2x1node-1task-16MB-dirty10", Nodes: 1, Tasks: 1, Particles: 2097152, Dirty: 10},
+		// The pipeline case: 8 tasks of 256KB each rewriting a quarter of
+		// their state per round, shipped over a 2ms / 1%-loss link. The
+		// barrier leg pays every task's round trips serially; the
+		// pipelined leg overlaps them, and the dirty tracking keeps the
+		// steady-state frame count low enough that capture and compare
+		// meaningfully overlap the flight time too.
+		{Name: "2x4nodes-8tasks-2MB-link2ms-dirty25", Nodes: 4, Tasks: 2, Particles: 32768, Dirty: 25, LinkLatencyMs: 2, LinkLossPct: 1},
 	}
 	if !quick {
 		specs = append(specs,
 			BenchSpec{Name: "2x4nodes-16tasks-192KB", Nodes: 4, Tasks: 4, Particles: 4096},
 			BenchSpec{Name: "2x8nodes-8tasks-384KB", Nodes: 8, Tasks: 1, Particles: 8192},
+			// Large-state compare shape: 4 tasks of ~1MB. Above the
+			// parallel-compare crossover, so this is the case where the
+			// parallel walk must beat serial on a multicore box (on one
+			// core the heuristic now pins serial and the ratio is ~1x).
+			BenchSpec{Name: "2x2nodes-4tasks-4MB", Nodes: 2, Tasks: 2, Particles: 21845},
 		)
 	}
 	return specs
@@ -145,18 +173,38 @@ type BenchMeasurement struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
+// BenchPhases is one round-op variant's mean per-round phase split:
+// wall-clock span and summed per-task busy time for capture, exchange,
+// and compare (core.Stats busy arrays, averaged over the measured
+// rounds). On a barrier leg busy == wall per phase and the wall spans sum
+// to roughly the round; on a pipelined leg the spans overlap, which is
+// exactly what the breakdown exists to show.
+type BenchPhases struct {
+	CaptureWallNs  int64 `json:"capture_wall_ns"`
+	CaptureBusyNs  int64 `json:"capture_busy_ns"`
+	ExchangeWallNs int64 `json:"exchange_wall_ns"`
+	ExchangeBusyNs int64 `json:"exchange_busy_ns"`
+	CompareWallNs  int64 `json:"compare_wall_ns"`
+	CompareBusyNs  int64 `json:"compare_busy_ns"`
+}
+
 // BenchCase compares the serial baseline against the fast path for one
 // (shape, operation) pair.
 type BenchCase struct {
 	Name string `json:"name"` // "<spec>/<op>"
-	// Serial is the pinned pre-fast-path behavior (SerialCommitPath);
-	// Fast is the default commit path.
+	// Serial is the pinned pre-fast-path behavior (SerialCommitPath), or
+	// the barrier schedule on the pipeline axis; Fast is the default
+	// commit path.
 	Serial BenchMeasurement `json:"serial"`
 	Fast   BenchMeasurement `json:"fast"`
 	// Speedup is Serial ns / Fast ns; AllocRatio is Serial allocs / Fast
 	// allocs (capped denominators at 1).
 	Speedup    float64 `json:"speedup"`
 	AllocRatio float64 `json:"alloc_ratio"`
+	// SerialPhases / FastPhases carry the round op's per-phase breakdown
+	// (nil for capture/compare ops, whose measurement is a single phase).
+	SerialPhases *BenchPhases `json:"serial_phases,omitempty"`
+	FastPhases   *BenchPhases `json:"fast_phases,omitempty"`
 }
 
 // BenchReport is the serialized benchmark trajectory (BENCH_checkpoint.json).
@@ -296,7 +344,33 @@ func benchDirtyFactory(floats, dirtyPct int, tracked bool) runtime.Factory {
 // On the dirty axis the serial flag selects the untracked program rather
 // than SerialCommitPath — both legs run the default commit path, so the
 // measured difference is dirty-chunk splice versus full re-pack alone.
+// On the pipeline (link) axis both legs run the same program and the same
+// default commit path through the same kind of lossy link; the serial
+// flag only selects the barrier schedule versus the per-task pipeline.
 func benchController(spec BenchSpec, serial bool) (*Controller, error) {
+	if spec.linked() {
+		factory := benchFactory(spec.Particles)
+		if spec.Dirty > 0 {
+			factory = benchDirtyFactory(spec.Particles, spec.Dirty, true)
+		}
+		mode := PipelineAuto
+		if serial {
+			mode = PipelineOff
+		}
+		return New(Config{
+			NodesPerReplica: spec.Nodes,
+			TasksPerNode:    spec.Tasks,
+			Factory:         factory,
+			Comparison:      ChecksumCompare,
+			Pipeline:        mode,
+			Exchange: &ExchangeConfig{
+				Latency:         time.Duration(spec.LinkLatencyMs) * time.Millisecond,
+				Loss:            spec.LinkLossPct / 100,
+				Seed:            42,
+				ShipCheckpoints: true,
+			},
+		})
+	}
 	if spec.Dirty > 0 {
 		return New(Config{
 			NodesPerReplica: spec.Nodes,
@@ -318,10 +392,10 @@ func benchController(spec BenchSpec, serial bool) (*Controller, error) {
 // fresh epoch, then evict the previous epoch — exactly the commit path's
 // lifecycle, so on the fast path eviction feeds the pool that the next
 // capture draws from (the zero-allocation steady state).
-func benchCapture(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
+func benchCapture(spec BenchSpec, serial bool) (testing.BenchmarkResult, *BenchPhases, error) {
 	ctrl, err := benchController(spec, serial)
 	if err != nil {
-		return testing.BenchmarkResult{}, err
+		return testing.BenchmarkResult{}, nil, err
 	}
 	opts := ctrl.captureOptions()
 	epoch := uint64(0)
@@ -337,20 +411,20 @@ func benchCapture(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) 
 			ctrl.store.Evict(epoch)
 		}
 	})
-	return res, benchErr
+	return res, nil, benchErr
 }
 
 // benchCompare measures the buddy comparison of one committed epoch, both
 // replicas captured once up front.
-func benchCompare(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
+func benchCompare(spec BenchSpec, serial bool) (testing.BenchmarkResult, *BenchPhases, error) {
 	ctrl, err := benchController(spec, serial)
 	if err != nil {
-		return testing.BenchmarkResult{}, err
+		return testing.BenchmarkResult{}, nil, err
 	}
 	opts := ctrl.captureOptions()
 	for rep := 0; rep < 2; rep++ {
 		if err := ctrl.machine.CaptureReplica(rep, 1, ctrl.store, opts); err != nil {
-			return testing.BenchmarkResult{}, err
+			return testing.BenchmarkResult{}, nil, err
 		}
 	}
 	var benchErr error
@@ -364,16 +438,16 @@ func benchCompare(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) 
 			}
 		}
 	})
-	return res, benchErr
+	return res, nil, benchErr
 }
 
 // benchRound measures the full live checkpoint round — consensus cut,
 // two-replica capture, buddy comparison, commit + eviction — against a
 // running machine whose tasks are mid-iteration when each round begins.
-func benchRound(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
+func benchRound(spec BenchSpec, serial bool) (testing.BenchmarkResult, *BenchPhases, error) {
 	ctrl, err := benchController(spec, serial)
 	if err != nil {
-		return testing.BenchmarkResult{}, err
+		return testing.BenchmarkResult{}, nil, err
 	}
 	ctrl.start = time.Now()
 	ctrl.machine.Start()
@@ -391,15 +465,44 @@ func benchRound(spec BenchSpec, serial bool) (testing.BenchmarkResult, error) {
 	if benchErr == nil && ctrl.stats.SDCDetected > 0 {
 		benchErr = fmt.Errorf("round: spurious SDC detected (%d)", ctrl.stats.SDCDetected)
 	}
-	return res, benchErr
+	return res, roundPhases(&ctrl.stats), benchErr
+}
+
+// roundPhases averages the controller's per-round phase arrays (every
+// committed round across the measurement, warmups included) into one
+// BenchPhases breakdown. Nil when no round committed.
+func roundPhases(s *Stats) *BenchPhases {
+	n := len(s.CaptureTimes)
+	if n == 0 || len(s.CaptureBusyTimes) != n || len(s.ExchangeTimes) != n ||
+		len(s.ExchangeBusyTimes) != n || len(s.CompareTimes) != n || len(s.CompareBusyTimes) != n {
+		return nil
+	}
+	mean := func(xs []time.Duration) int64 {
+		var sum time.Duration
+		for _, x := range xs {
+			sum += x
+		}
+		return int64(sum) / int64(len(xs))
+	}
+	return &BenchPhases{
+		CaptureWallNs:  mean(s.CaptureTimes),
+		CaptureBusyNs:  mean(s.CaptureBusyTimes),
+		ExchangeWallNs: mean(s.ExchangeTimes),
+		ExchangeBusyNs: mean(s.ExchangeBusyTimes),
+		CompareWallNs:  mean(s.CompareTimes),
+		CompareBusyNs:  mean(s.CompareBusyTimes),
+	}
 }
 
 // RunCheckpointBench runs the full serial-vs-fast matrix and assembles the
 // report. Each (shape, operation, variant) cell is measured count times and
 // the fastest run is kept — live rounds share the CPU with the replicas'
 // task goroutines, so the minimum is the measurement least polluted by
-// scheduler noise. logf (may be nil) receives one progress line per case.
-func RunCheckpointBench(quick bool, count, maxProcs int, logf func(format string, args ...any)) (*BenchReport, error) {
+// scheduler noise. only, when non-empty, restricts the matrix to specs
+// whose name contains it as a substring (for targeted smoke runs). logf
+// (may be nil) receives one progress line per case, plus a phase
+// breakdown for round ops.
+func RunCheckpointBench(quick bool, count, maxProcs int, only string, logf func(format string, args ...any)) (*BenchReport, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -408,46 +511,67 @@ func RunCheckpointBench(quick bool, count, maxProcs int, logf func(format string
 	}
 	type op struct {
 		name string
-		run  func(BenchSpec, bool) (testing.BenchmarkResult, error)
+		run  func(BenchSpec, bool) (testing.BenchmarkResult, *BenchPhases, error)
 	}
 	ops := []op{
 		{"capture", benchCapture},
 		{"compare", benchCompare},
 		{"round", benchRound},
 	}
-	best := func(spec BenchSpec, o op, serial bool) (testing.BenchmarkResult, error) {
+	best := func(spec BenchSpec, o op, serial bool) (testing.BenchmarkResult, *BenchPhases, error) {
 		var min testing.BenchmarkResult
+		var minPhases *BenchPhases
 		for i := 0; i < count; i++ {
-			r, err := o.run(spec, serial)
+			r, ph, err := o.run(spec, serial)
 			if err != nil {
-				return testing.BenchmarkResult{}, err
+				return testing.BenchmarkResult{}, nil, err
 			}
 			if i == 0 || r.NsPerOp() < min.NsPerOp() {
-				min = r
+				min, minPhases = r, ph
 			}
 		}
-		return min, nil
+		return min, minPhases, nil
 	}
 	report := &BenchReport{Version: 1, Quick: quick, MaxProcs: maxProcs}
 	for _, spec := range DefaultBenchSpecs(quick) {
+		if only != "" && !strings.Contains(spec.Name, only) {
+			continue
+		}
 		for _, o := range ops {
-			if spec.Dirty > 0 && o.name != "round" {
+			if (spec.Dirty > 0 || spec.linked()) && o.name != "round" {
 				continue
 			}
-			serial, err := best(spec, o, true)
+			serial, serialPhases, err := best(spec, o, true)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s serial: %w", spec.Name, o.name, err)
 			}
-			fast, err := best(spec, o, false)
+			fast, fastPhases, err := best(spec, o, false)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s fast: %w", spec.Name, o.name, err)
 			}
 			cs := benchCase(spec.Name+"/"+o.name, serial, fast)
+			cs.SerialPhases, cs.FastPhases = serialPhases, fastPhases
 			report.Cases = append(report.Cases, cs)
 			logf("%-28s serial %10d ns/op %7d allocs/op | fast %10d ns/op %7d allocs/op | %.2fx, %.1fx fewer allocs",
 				cs.Name, cs.Serial.NsPerOp, cs.Serial.AllocsPerOp, cs.Fast.NsPerOp, cs.Fast.AllocsPerOp,
 				cs.Speedup, cs.AllocRatio)
+			logPhases(logf, "serial", cs.SerialPhases)
+			logPhases(logf, "fast", cs.FastPhases)
 		}
 	}
 	return report, nil
+}
+
+// logPhases emits one variant's per-round phase breakdown, busy vs wall,
+// so stage overlap is visible in the report rather than only in the total
+// speedup. Silent for ops without phase data.
+func logPhases(logf func(format string, args ...any), leg string, p *BenchPhases) {
+	if p == nil {
+		return
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	logf("  %-6s phases (busy/wall ms): capture %.2f/%.2f  exchange %.2f/%.2f  compare %.2f/%.2f",
+		leg, ms(p.CaptureBusyNs), ms(p.CaptureWallNs),
+		ms(p.ExchangeBusyNs), ms(p.ExchangeWallNs),
+		ms(p.CompareBusyNs), ms(p.CompareWallNs))
 }

@@ -89,6 +89,36 @@ func (c Comparison) String() string {
 	return fmt.Sprintf("Comparison(%d)", int(c))
 }
 
+// PipelineMode selects how a live checkpoint round schedules its capture,
+// exchange, and compare work across tasks.
+type PipelineMode int
+
+// Pipeline modes.
+const (
+	// PipelineAuto pipelines whenever a hardened-exchange link is
+	// attached (Config.Exchange != nil) — the configuration where phase
+	// barriers turn link latency into dead time — and keeps the barrier
+	// schedule otherwise. The default.
+	PipelineAuto PipelineMode = iota
+	// PipelineOff always runs the three-phase barrier schedule.
+	PipelineOff
+	// PipelineOn always pipelines (still overridden by the chaos /
+	// SerialCommitPath / SemiBlocking pins).
+	PipelineOn
+)
+
+func (p PipelineMode) String() string {
+	switch p {
+	case PipelineAuto:
+		return "auto"
+	case PipelineOff:
+		return "off"
+	case PipelineOn:
+		return "on"
+	}
+	return fmt.Sprintf("PipelineMode(%d)", int(p))
+}
+
 // Estimator selects the failure-rate model behind the adaptive interval
 // (§2.2: "fit the actual observed failures during application execution to
 // a certain distribution").
@@ -235,6 +265,15 @@ type Config struct {
 	// exponential backoff, and idempotent receive. Nil keeps the direct
 	// in-process store path.
 	Exchange *ExchangeConfig
+	// Pipeline selects whether live checkpoint rounds run as three barrier
+	// phases (capture all → exchange all → compare all) or as a bounded
+	// per-task pipeline where each (node, task) flows into exchange and
+	// compare as soon as its own capture finishes. PipelineAuto (the zero
+	// value) pipelines exactly when an Exchange link is attached — that is
+	// where barrier stalls are link latency, the cost overlap recovers.
+	// Chaos runs, SerialCommitPath, and SemiBlocking always pin the
+	// barrier path regardless of this setting (see Controller.pipelined).
+	Pipeline PipelineMode
 	// SerialCommitPath pins the pre-fast-path commit behavior: replicas
 	// captured one after the other with two-pass packing and no buffer
 	// recycling, and buddies compared serially. It exists as the measured
@@ -316,6 +355,18 @@ type Stats struct {
 	CaptureTimes  []time.Duration `json:"capture_times_ns"`
 	ExchangeTimes []time.Duration `json:"exchange_times_ns"`
 	CompareTimes  []time.Duration `json:"compare_times_ns"`
+	// CaptureBusyTimes / ExchangeBusyTimes / CompareBusyTimes record, per
+	// round, each phase's summed per-task time (parallel arrays with the
+	// wall spans above). Under the pipelined round the wall arrays become
+	// first-entry→last-exit spans that overlap each other, so per-phase
+	// busy > wall means tasks overlapped inside the phase, and
+	// wall(capture)+wall(exchange)+wall(compare) > round wall means the
+	// phases themselves overlapped — the two signatures of pipelining. On
+	// the barrier path busy simply mirrors the wall entries, so existing
+	// consumers of the wall arrays see unchanged numbers.
+	CaptureBusyTimes  []time.Duration `json:"capture_busy_times_ns"`
+	ExchangeBusyTimes []time.Duration `json:"exchange_busy_times_ns"`
+	CompareBusyTimes  []time.Duration `json:"compare_busy_times_ns"`
 	// PackFastPath / PackSlowPath count task packs that skipped the
 	// Sizing traversal via the size-hint fast path versus two-pass packs.
 	PackFastPath int64 `json:"pack_fast_path"`
@@ -426,6 +477,11 @@ type Controller struct {
 	roundCapture  time.Duration
 	roundCompare  time.Duration
 	roundExchange atomicDuration
+	// roundBusy holds the pipelined round's overlap-aware phase
+	// accounting (wall spans + summed per-task busy time). Barrier rounds
+	// leave it unset and commit mirrors the wall times into the busy
+	// arrays instead. Reset alongside the fields above.
+	roundBusy *pipePhaseTimes
 
 	// committedEpoch is the last verified (or trusted) checkpoint epoch in
 	// the store; 0 = job start, nothing committed. epochSeq is the last
@@ -619,8 +675,10 @@ func (c *Controller) Run() (Stats, error) {
 	c.stats.Expands = int(c.machine.ExpandCount())
 	if c.exch != nil {
 		c.stats.Link = c.exch.link.Stats()
-		c.stats.ExchangeChunksShipped = c.exch.chunksShipped
-		c.stats.ExchangeChunksReused = c.exch.chunksReused
+		c.stats.ExchangeChunksShipped = c.exch.chunksShipped.Load()
+		c.stats.ExchangeChunksReused = c.exch.chunksReused.Load()
+		c.stats.ExchangeFrames = c.exch.frames.Load()
+		c.stats.ExchangeRetries = c.exch.retries.Load()
 	}
 	return c.stats, err
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"acr/internal/chaos/point"
@@ -59,12 +61,29 @@ type ExchangeConfig struct {
 	// 5s). It exists so a pathological link fails the round visibly
 	// rather than tripping the campaign watchdog.
 	RoundDeadline time.Duration
+	// Latency is the modeled one-way frame propagation delay: a reliable
+	// delivery costs one full round trip (data frame out, ack back) per
+	// attempt. Zero keeps the link instantaneous — the pre-latency
+	// behavior every chaos campaign is pinned to. A positive latency is
+	// what the pipelined commit path overlaps across tasks; on the serial
+	// path it is dead time for every task behind the one in flight.
+	Latency time.Duration
+	// ShipCheckpoints routes every live round's buddy checkpoints through
+	// the link as well — per task, delta-aware against the last committed
+	// epoch — instead of only recovery mirrors and compare-result
+	// messages. The shipped copy is root-verified against the source, so
+	// comparison outcomes are unchanged; the link cost (and its overlap
+	// under the pipelined round) becomes part of every round.
+	ShipCheckpoints bool
 }
 
 func (e *ExchangeConfig) validate() error {
 	if e.Loss < 0 || e.Dup < 0 || e.Reorder < 0 || e.Loss+e.Dup+e.Reorder >= 1 {
 		return fmt.Errorf("core: exchange fault probabilities must be non-negative and sum below 1 (loss=%v dup=%v reorder=%v)",
 			e.Loss, e.Dup, e.Reorder)
+	}
+	if e.Latency < 0 {
+		return fmt.Errorf("core: negative exchange latency %v", e.Latency)
 	}
 	if e.MaxAttempts <= 0 {
 		e.MaxAttempts = 16
@@ -106,13 +125,22 @@ type assemblyKey struct {
 	task  int
 }
 
-// exchanger drives the ack/retry protocol over one lossy link. It runs
-// entirely on the controller's event-loop goroutine.
+// exchanger drives the ack/retry protocol over one lossy link. Chaos runs
+// drive it from the controller's event-loop goroutine alone (the serial
+// pin), but the pipelined commit path runs several transfers in flight at
+// once, so the protocol state is mutex-guarded: map mutations and frame
+// arbitration serialize on mu (the wire is serial), while propagation
+// delay and backoff sleeps happen outside it (flight time is concurrent).
 type exchanger struct {
 	c    *Controller
 	cfg  ExchangeConfig
 	link *netsim.Link
-	rng  *rand.Rand // backoff jitter
+	// mu guards seen/acked/assembling, the rng, and transmit's worklist
+	// loop. Acquiring it on the final ack check also publishes every
+	// assembly-buffer write (they happen under the same mutex) to the
+	// transfer's goroutine.
+	mu  sync.Mutex
+	rng *rand.Rand // backoff jitter
 	// seen deduplicates delivered data frames; acked records received
 	// acks. Both persist across transfers so late duplicates of a
 	// finished transfer stay inert.
@@ -120,14 +148,20 @@ type exchanger struct {
 	acked map[frameID]bool
 	// assembling maps in-flight reassemblies to their destination
 	// buffers; a data frame whose transfer already finalized finds no
-	// buffer and is dropped (counted, never written).
+	// buffer and is dropped (counted, never written). Distinct transfers
+	// own distinct buffers keyed by (epoch, node, task), so concurrent
+	// in-flight transfers can never cross-contaminate.
 	assembling map[assemblyKey][]byte
 	// chunksShipped / chunksReused split transferred checkpoints into
 	// chunks that crossed the link versus chunks reconstructed from the
-	// receiver's retained base (matching per-chunk sums). Event-loop
-	// goroutine only, like the rest of the exchanger.
-	chunksShipped int64
-	chunksReused  int64
+	// receiver's retained base (matching per-chunk sums). frames / retries
+	// mirror Stats.ExchangeFrames / ExchangeRetries; all four are atomics
+	// because pipelined transfers update them concurrently, and are
+	// harvested into Stats at Run end.
+	chunksShipped atomic.Int64
+	chunksReused  atomic.Int64
+	frames        atomic.Int64
+	retries       atomic.Int64
 }
 
 func newExchanger(c *Controller, cfg ExchangeConfig) *exchanger {
@@ -160,9 +194,15 @@ func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src, base *ckpt
 		// Prefill from the base; shipped chunks overwrite their slots.
 		copy(buf, base.Bytes())
 	}
+	x.mu.Lock()
 	x.assembling[key] = buf
-	defer delete(x.assembling, key)
-	retriesBefore := x.c.stats.ExchangeRetries
+	x.mu.Unlock()
+	defer func() {
+		x.mu.Lock()
+		delete(x.assembling, key)
+		x.mu.Unlock()
+	}()
+	var transferRetries int64
 	shipped, reused := 0, 0
 	for i := 0; i < src.NumChunks(); i++ {
 		if baseOK && src.Sums[i] == base.Sums[i] {
@@ -180,12 +220,12 @@ func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src, base *ckpt
 			payload: payload,
 			off:     i * src.ChunkSize,
 		}
-		if err := x.sendReliable(f, deadline); err != nil {
+		if err := x.sendReliable(f, deadline, &transferRetries); err != nil {
 			return nil, fmt.Errorf("transfer r?/n%d/t%d@e%d chunk %d/%d: %w", node, task, epoch, i, src.NumChunks(), err)
 		}
 	}
-	x.chunksShipped += int64(shipped)
-	x.chunksReused += int64(reused)
+	x.chunksShipped.Add(int64(shipped))
+	x.chunksReused.Add(int64(reused))
 	ck := ckptstore.Capture(buf, src.ChunkSize, 1)
 	if ck.Root != src.Root {
 		// Load-bearing with base reuse: a base whose stored bytes diverged
@@ -194,8 +234,8 @@ func (x *exchanger) shipCheckpoint(epoch uint64, node, task int, src, base *ckpt
 		// check catches it — loud error, not silent SDC.
 		return nil, fmt.Errorf("%w: reassembled checkpoint n%d/t%d@e%d root mismatch", ErrExchange, node, task, epoch)
 	}
-	if r := x.c.stats.ExchangeRetries - retriesBefore; r > 0 {
-		x.c.mark(trace.Net, fmt.Sprintf("exchange n%d/t%d@e%d: %d chunks shipped, %d reused, %d retransmissions", node, task, epoch, shipped, reused, r))
+	if transferRetries > 0 {
+		x.c.mark(trace.Net, fmt.Sprintf("exchange n%d/t%d@e%d: %d chunks shipped, %d reused, %d retransmissions", node, task, epoch, shipped, reused, transferRetries))
 	}
 	return ck, nil
 }
@@ -208,15 +248,18 @@ func (x *exchanger) shipResult(epoch uint64, mismatch bool) error {
 	deadline := time.Now().Add(x.cfg.RoundDeadline)
 	f := frame{id: frameID{epoch: epoch, node: -1, task: -1, chunk: -1}}
 	_ = mismatch // the verdict rides in the controller; the frame carries agreement
-	if err := x.sendReliable(f, deadline); err != nil {
+	var retries int64
+	if err := x.sendReliable(f, deadline, &retries); err != nil {
 		return fmt.Errorf("compare-result message e%d: %w", epoch, err)
 	}
 	return nil
 }
 
 // sendReliable transmits one frame until it is acknowledged, with capped
-// exponential backoff plus jitter between attempts.
-func (x *exchanger) sendReliable(f frame, deadline time.Time) error {
+// exponential backoff plus jitter between attempts. retries accumulates
+// this transfer's retransmission count (for the caller's trace mark);
+// the exchanger-wide total lands in x.retries.
+func (x *exchanger) sendReliable(f frame, deadline time.Time, retries *int64) error {
 	backoff := x.cfg.BaseBackoff
 	for attempt := 0; ; attempt++ {
 		if attempt >= x.cfg.MaxAttempts {
@@ -226,18 +269,31 @@ func (x *exchanger) sendReliable(f frame, deadline time.Time) error {
 			return fmt.Errorf("%w: frame %+v missed the round deadline", ErrExchange, f.id)
 		}
 		if attempt > 0 {
-			x.c.stats.ExchangeRetries++
+			x.retries.Add(1)
+			*retries++
 			// Full jitter on the capped exponential: sleep in
 			// [backoff/2, backoff), deterministically from the seed.
-			d := backoff/2 + time.Duration(x.rng.Int63n(int64(backoff/2)+1))
-			time.Sleep(d)
+			x.mu.Lock()
+			jitter := time.Duration(x.rng.Int63n(int64(backoff/2) + 1))
+			x.mu.Unlock()
+			time.Sleep(backoff/2 + jitter)
 			backoff *= 2
 			if backoff > x.cfg.MaxBackoff {
 				backoff = x.cfg.MaxBackoff
 			}
 		}
 		x.transmit(f)
-		if x.acked[f.id] {
+		if x.cfg.Latency > 0 {
+			// One round trip per attempt: the data frame propagates out,
+			// the ack propagates back. This flight time is what the
+			// pipelined round overlaps across concurrent transfers — the
+			// sleep deliberately happens outside mu.
+			time.Sleep(2 * x.cfg.Latency)
+		}
+		x.mu.Lock()
+		ok := x.acked[f.id]
+		x.mu.Unlock()
+		if ok {
 			return nil
 		}
 	}
@@ -248,17 +304,24 @@ func (x *exchanger) sendReliable(f frame, deadline time.Time) error {
 // assembly buffer exactly once and acknowledged; the acks cross the same
 // lossy link. The worklist bounds: every delivery of a data frame enqueues
 // at most one ack, ack deliveries enqueue nothing, and the link's held
-// queue only drains, so the loop terminates.
+// queue only drains, so the loop terminates. The whole exchange runs
+// under mu — the wire is serial even when many transfers are in flight —
+// and that same mutex is what publishes assembly-buffer writes to the
+// owning transfer's final ack check.
 func (x *exchanger) transmit(f frame) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	queue := []frame{f}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		info := point.Info{Replica: -1, Node: cur.id.node, Task: cur.id.task, Epoch: cur.id.epoch, Iter: cur.id.chunk}
 		if x.c.cfg.Chaos != nil {
+			// Chaos campaigns are pinned to the serial commit path, so Fire
+			// never races here even though it runs under mu.
 			x.c.cfg.Chaos.Fire(point.NetFrame, &info)
 		}
-		x.c.stats.ExchangeFrames++
+		x.frames.Add(1)
 		if info.Drop {
 			// An injected drop: the frame dies before the link sees it.
 			continue

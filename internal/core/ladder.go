@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"acr/internal/chaos/point"
 	"acr/internal/ckptstore"
@@ -72,18 +75,57 @@ func (c *Controller) maybeFlush(epoch uint64) {
 }
 
 // cloneEpoch deep-copies every task checkpoint of the epoch out of the hot
-// store, detaching the flush from the commit path's buffer recycling.
+// store, detaching the flush from the commit path's buffer recycling. The
+// copies are independent, so under the pipelined commit path they run on a
+// bounded worker pool — the clone barrier is commit-path latency exactly
+// like the phases pipeline.go overlaps. Output order (and therefore the
+// durable Put order downstream) stays the serial walk's: workers fill a
+// dense pre-indexed slice, first error in index order wins.
 func (c *Controller) cloneEpoch(epoch uint64) ([]flushClone, error) {
-	clones := make([]flushClone, 0, 2*c.cfg.NodesPerReplica*c.cfg.TasksPerNode)
-	for rep := 0; rep < 2; rep++ {
-		for n := 0; n < c.cfg.NodesPerReplica; n++ {
-			for t := 0; t < c.cfg.TasksPerNode; t++ {
-				ck, err := c.store.Get(c.key(rep, n, t, epoch))
-				if err != nil {
-					return nil, err
-				}
-				clones = append(clones, flushClone{rep, n, t, ck.Clone()})
+	nodes, tasks := c.cfg.NodesPerReplica, c.cfg.TasksPerNode
+	total := 2 * nodes * tasks
+	cloneAt := func(i int) (flushClone, error) {
+		rep, n, t := i/(nodes*tasks), i/tasks%nodes, i%tasks
+		ck, err := c.store.Get(c.key(rep, n, t, epoch))
+		if err != nil {
+			return flushClone{}, err
+		}
+		return flushClone{rep, n, t, ck.Clone()}, nil
+	}
+	clones := make([]flushClone, total)
+	if !c.pipelined() || total == 1 {
+		for i := 0; i < total; i++ {
+			var err error
+			if clones[i], err = cloneAt(i); err != nil {
+				return nil, err
 			}
+		}
+		return clones, nil
+	}
+	workers := stdruntime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	errs := make([]error, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				clones[i], errs[i] = cloneAt(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return clones, nil

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acr/internal/ckptstore"
+	"acr/internal/runtime"
+	"acr/internal/trace"
+)
+
+// This file implements the pipelined live checkpoint round. The barrier
+// schedule in rounds.go runs capture → exchange → compare as three strict
+// phases over the whole machine, so with a hardened exchange link every
+// task behind the one in flight spends the link's round trips idle. The
+// pipeline keeps the same three stages but connects them with channels and
+// bounded worker pools: each (node, task) flows into exchange the moment
+// both of its replica captures land in the store, and into compare the
+// moment its shipped copy is verified — capture CPU, link flight time, and
+// compare CPU for different tasks overlap.
+//
+// Determinism contract: the pipeline never runs under chaos hooks,
+// SerialCommitPath, or SemiBlocking (Controller.pipelined pins those to
+// the barrier path), and its commit/mismatch decisions are bit-identical
+// to the serial walk anyway — per-task outcomes are recorded in a dense
+// array and resolved in (node, task) order after the stages drain, with no
+// early cancellation, so the lowest-(node, task) outcome wins exactly as
+// in compareSerial. Shipped checkpoints are root-verified against their
+// source and then discarded; comparison always reads the store's
+// canonical bytes.
+
+// pipePhaseTimes is one round's overlap-aware phase accounting: per phase,
+// the wall-clock span from its first task entering to its last task
+// leaving, and the summed per-task busy time. Spans of different phases
+// overlap each other under the pipeline; busy > wall within a phase means
+// tasks overlapped inside it.
+type pipePhaseTimes struct {
+	captureWall, captureBusy   time.Duration
+	exchangeWall, exchangeBusy time.Duration
+	compareWall, compareBusy   time.Duration
+}
+
+// stageClock accumulates one stage's busy time and wall span from
+// concurrent workers. first/last hold nanosecond offsets from the round
+// base, CAS-min/maxed per observation.
+type stageClock struct {
+	busy  atomicDuration
+	first atomic.Int64
+	last  atomic.Int64
+}
+
+func (s *stageClock) init() {
+	s.first.Store(math.MaxInt64)
+	s.last.Store(math.MinInt64)
+}
+
+// observe folds one task's stage occupancy [start, now) into the clock.
+func (s *stageClock) observe(base, start time.Time) {
+	end := time.Now()
+	s.busy.Add(end.Sub(start))
+	so, eo := start.Sub(base).Nanoseconds(), end.Sub(base).Nanoseconds()
+	for {
+		cur := s.first.Load()
+		if so >= cur || s.first.CompareAndSwap(cur, so) {
+			break
+		}
+	}
+	for {
+		cur := s.last.Load()
+		if eo <= cur || s.last.CompareAndSwap(cur, eo) {
+			break
+		}
+	}
+}
+
+// wall is the stage's first-entry→last-exit span (0 when nothing ran).
+func (s *stageClock) wall() time.Duration {
+	f, l := s.first.Load(), s.last.Load()
+	if f == math.MaxInt64 || l < f {
+		return 0
+	}
+	return time.Duration(l - f)
+}
+
+// pipelined reports whether live rounds (and the recovery mirror) run the
+// per-task pipeline. Chaos campaigns and SerialCommitPath pin the barrier
+// path unconditionally — hook firing order, store-op order, and frame
+// schedules are part of their byte-identical-report contract. SemiBlocking
+// pins too: its release point is "after capture, before compare", a
+// boundary the pipeline deliberately dissolves.
+func (c *Controller) pipelined() bool {
+	if c.cfg.Chaos != nil || c.cfg.SerialCommitPath || c.cfg.SemiBlocking {
+		return false
+	}
+	switch c.cfg.Pipeline {
+	case PipelineOff:
+		return false
+	case PipelineOn:
+		return true
+	default:
+		return c.exch != nil
+	}
+}
+
+// pipeOutcome records one (node, task)'s results across the stages. An
+// item that fails a stage never enters the next one; its later fields
+// stay zero.
+type pipeOutcome struct {
+	capErr   error
+	exErr    error
+	mismatch string
+	chunk    int
+	cmpErr   error
+}
+
+// pipelineExchangeWorkers bounds the exchange stage's concurrency. The
+// stage is latency-bound, not CPU-bound — its workers spend their time in
+// link round-trip sleeps — so the bound is about not flooding the wire
+// arbitration mutex, not about cores.
+const pipelineExchangeWorkers = 32
+
+// pipelinedRound runs capture → exchange → compare for every (node, task)
+// as a channel-connected pipeline and returns the round's verdict with
+// the exact semantics of the barrier path: first (lowest node, task)
+// mismatch or error wins. It fills the controller's phase accumulators
+// (roundCapture/roundExchange/roundCompare as wall spans, roundBusy with
+// the busy sums) before returning.
+func (c *Controller) pipelinedRound(epoch uint64) (string, int, error) {
+	nodes, tasks := c.cfg.NodesPerReplica, c.cfg.TasksPerNode
+	total := nodes * tasks
+	out := make([]pipeOutcome, total)
+	base := time.Now()
+	var capClock, exClock, cmpClock stageClock
+	capClock.init()
+	exClock.init()
+	cmpClock.init()
+
+	opts := c.captureOptions()
+	ship := c.exch != nil && c.cfg.Exchange.ShipCheckpoints
+
+	capWorkers := c.cfg.ChecksumWorkers
+	if capWorkers <= 0 {
+		capWorkers = stdruntime.GOMAXPROCS(0)
+	}
+	if capWorkers > total {
+		capWorkers = total
+	}
+	cmpWorkers := c.compareWorkers()
+	if cmpWorkers > total {
+		cmpWorkers = total
+	}
+
+	toCmp := make(chan int, total)
+	capOut := toCmp
+	var toEx chan int
+	if ship {
+		toEx = make(chan int, total)
+		capOut = toEx
+	}
+
+	// Stage 1: capture. Workers claim dense item indices and capture both
+	// replicas of the task back to back — once the consensus cut parked
+	// everything, the two replicas of one task share nothing, and the
+	// runtime's capture path is already safe for concurrent distinct
+	// addresses (CaptureReplica's own pool does the same).
+	var capWG sync.WaitGroup
+	var next atomic.Int64
+	capWG.Add(capWorkers)
+	for w := 0; w < capWorkers; w++ {
+		go func() {
+			defer capWG.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				n, t := i/tasks, i%tasks
+				began := time.Now()
+				err := c.machine.CaptureTask(runtime.Addr{Replica: 0, Node: n, Task: t}, epoch, c.store, opts)
+				if err == nil {
+					err = c.machine.CaptureTask(runtime.Addr{Replica: 1, Node: n, Task: t}, epoch, c.store, opts)
+				}
+				capClock.observe(base, began)
+				if err != nil {
+					out[i].capErr = err
+					continue
+				}
+				capOut <- i
+			}
+		}()
+	}
+	go func() {
+		capWG.Wait()
+		close(capOut)
+	}()
+
+	// Stage 2: exchange (only when checkpoints ride the link). Each item
+	// ships its freshly captured checkpoint chunk-by-chunk with acks and
+	// retries; the workers overlap their round-trip sleeps, which is
+	// where the pipeline's speedup lives.
+	if ship {
+		exWorkers := pipelineExchangeWorkers
+		if exWorkers > total {
+			exWorkers = total
+		}
+		var exWG sync.WaitGroup
+		exWG.Add(exWorkers)
+		for w := 0; w < exWorkers; w++ {
+			go func() {
+				defer exWG.Done()
+				for i := range toEx {
+					began := time.Now()
+					err := c.shipTask(epoch, i/tasks, i%tasks)
+					exClock.observe(base, began)
+					if err != nil {
+						out[i].exErr = err
+						continue
+					}
+					toCmp <- i
+				}
+			}()
+		}
+		go func() {
+			exWG.Wait()
+			close(toCmp)
+		}()
+	}
+
+	// Stage 3: compare. No early cancellation — every forwarded item is
+	// compared and its outcome recorded; order resolution happens below.
+	var cmpWG sync.WaitGroup
+	cmpWG.Add(cmpWorkers)
+	for w := 0; w < cmpWorkers; w++ {
+		go func() {
+			defer cmpWG.Done()
+			for i := range toCmp {
+				began := time.Now()
+				mismatch, chunk, err := c.compareTask(i/tasks, i%tasks, epoch)
+				cmpClock.observe(base, began)
+				out[i].mismatch, out[i].chunk, out[i].cmpErr = mismatch, chunk, err
+			}
+		}()
+	}
+	cmpWG.Wait()
+
+	// Harvest overlap-aware phase times. compareTask billed its store
+	// fetches to roundExchange (the bytes a real machine ships between
+	// buddies); fold that into exchange busy and let the wall arrays
+	// carry the true stage spans.
+	storeExch := c.roundExchange.Load()
+	c.roundCapture = capClock.wall()
+	c.roundCompare = cmpClock.wall()
+	c.roundExchange.Reset()
+	c.roundExchange.Add(exClock.wall())
+	c.roundBusy = &pipePhaseTimes{
+		captureWall:  capClock.wall(),
+		captureBusy:  capClock.busy.Load(),
+		exchangeWall: exClock.wall(),
+		exchangeBusy: exClock.busy.Load() + storeExch,
+		compareWall:  cmpClock.wall(),
+		compareBusy:  cmpClock.busy.Load() + storeExch,
+	}
+	c.mark(trace.Pipeline, fmt.Sprintf(
+		"pipelined round e%d: capture %v/%v exchange %v/%v compare %v/%v (busy/wall, %d tasks)",
+		epoch, c.roundBusy.captureBusy, c.roundBusy.captureWall,
+		c.roundBusy.exchangeBusy, c.roundBusy.exchangeWall,
+		c.roundBusy.compareBusy, c.roundBusy.compareWall, total))
+
+	// Resolve outcomes in (node, task) order — identical verdict to the
+	// serial walk. Capture errors outrank exchange errors outrank compare
+	// outcomes, mirroring the barrier phases' abort order.
+	for i := range out {
+		if out[i].capErr != nil {
+			return "", -1, fmt.Errorf("core: capture n%d/t%d: %w", i/tasks, i%tasks, out[i].capErr)
+		}
+	}
+	for i := range out {
+		if out[i].exErr != nil {
+			return "", -1, out[i].exErr
+		}
+	}
+	for i := range out {
+		if out[i].mismatch != "" || out[i].cmpErr != nil {
+			return out[i].mismatch, out[i].chunk, out[i].cmpErr
+		}
+	}
+	return "", -1, nil
+}
+
+// shipTask ships one task's freshly captured checkpoint (replica 0's
+// copy, the one compare treats as "shipped over") through the hardened
+// link, delta-aware against the receiver's retained last committed epoch.
+// The reassembled copy is root-verified inside shipCheckpoint and then
+// discarded: the wire cost is fully modeled, while comparison keeps
+// reading the store's canonical bytes, so round verdicts stay
+// bit-identical to the direct path.
+func (c *Controller) shipTask(epoch uint64, n, t int) error {
+	src, err := c.store.Get(c.key(0, n, t, epoch))
+	if err != nil {
+		return fmt.Errorf("core: ship checkpoint n%d/t%d@e%d: %w", n, t, epoch, err)
+	}
+	var base *ckptstore.Checkpoint
+	if ce := c.committedEpoch; ce > 0 {
+		// The buddy usually still holds this task's last committed
+		// checkpoint; chunks with matching sums need not cross the link
+		// again. A miss (nil) degrades to a full ship.
+		base, _ = c.store.Get(c.key(0, n, t, ce))
+	}
+	if _, err := c.exch.shipCheckpoint(epoch, n, t, src, base); err != nil {
+		return fmt.Errorf("core: ship checkpoint n%d/t%d@e%d: %w", n, t, epoch, err)
+	}
+	return nil
+}
+
+// shipEpochBarrier is the barrier path's exchange phase when live rounds
+// ship checkpoints over the link (ExchangeConfig.ShipCheckpoints) but the
+// pipeline is off: every task ships serially, one after the other — the
+// schedule whose dead time the pipeline exists to reclaim. Billed to the
+// round's exchange phase.
+func (c *Controller) shipEpochBarrier(epoch uint64) error {
+	if c.exch == nil || !c.cfg.Exchange.ShipCheckpoints {
+		return nil
+	}
+	began := time.Now()
+	defer func() { c.roundExchange.Add(time.Since(began)) }()
+	for n := 0; n < c.cfg.NodesPerReplica; n++ {
+		for t := 0; t < c.cfg.TasksPerNode; t++ {
+			if err := c.shipTask(epoch, n, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mirrorEpoch implements the recovery round's exchange phase: the healthy
+// replica's stored checkpoints are mirrored under the crashed replica's
+// keys — through the hardened link (delta-aware, reassembled copy stored)
+// when one is attached, by shared reference otherwise. When the pipeline
+// is enabled the per-task transfers run on a bounded worker pool so their
+// link round trips overlap; error resolution is by lowest (node, task),
+// matching the serial walk.
+func (c *Controller) mirrorEpoch(crashed, healthy int, epoch uint64) error {
+	nodes, tasks := c.cfg.NodesPerReplica, c.cfg.TasksPerNode
+	total := nodes * tasks
+	mirrorOne := func(n, t int) error {
+		ck, err := c.store.Get(c.key(healthy, n, t, epoch))
+		if err != nil {
+			return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
+		}
+		if c.exch != nil {
+			// The crashed side usually still holds the last committed
+			// epoch's checkpoint for this task; chunks whose sums match
+			// need not cross the lossy link again. A miss (nil base)
+			// degrades to a full ship.
+			var base *ckptstore.Checkpoint
+			if c.committedEpoch > 0 {
+				base, _ = c.store.Get(c.key(crashed, n, t, c.committedEpoch))
+			}
+			ck, err = c.exch.shipCheckpoint(epoch, n, t, ck, base)
+			if err != nil {
+				return fmt.Errorf("core: exchange recovery checkpoint: %w", err)
+			}
+		}
+		if err := c.store.Put(c.key(crashed, n, t, epoch), ck); err != nil {
+			return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
+		}
+		return nil
+	}
+	if !c.pipelined() || total == 1 {
+		for n := 0; n < nodes; n++ {
+			for t := 0; t < tasks; t++ {
+				if err := mirrorOne(n, t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	workers := pipelineExchangeWorkers
+	if workers > total {
+		workers = total
+	}
+	errs := make([]error, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				errs[i] = mirrorOne(i/tasks, i%tasks)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"acr/internal/chaos/point"
+	"acr/internal/ckptstore"
+	"acr/internal/consensus"
+	"acr/internal/runtime"
+)
+
+// TestPipelinePins asserts the determinism contract: chaos hooks,
+// SerialCommitPath, and SemiBlocking pin the barrier path no matter what
+// Pipeline mode says, and Auto engages the pipeline exactly when a
+// hardened exchange link is attached. Chaos campaigns' byte-identical
+// reports depend on this — a regression here silently reorders their
+// hook firings.
+func TestPipelinePins(t *testing.T) {
+	noop := point.HookFunc(func(point.ID, *point.Info) {})
+	exch := func() *ExchangeConfig { return &ExchangeConfig{} }
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want bool
+	}{
+		{"auto with exchange", func(c *Config) { c.Exchange = exch() }, true},
+		{"auto without exchange", func(c *Config) {}, false},
+		{"forced on without exchange", func(c *Config) { c.Pipeline = PipelineOn }, true},
+		{"forced off with exchange", func(c *Config) { c.Exchange = exch(); c.Pipeline = PipelineOff }, false},
+		{"chaos pins", func(c *Config) { c.Exchange = exch(); c.Pipeline = PipelineOn; c.Chaos = noop }, false},
+		{"serial commit path pins", func(c *Config) { c.Exchange = exch(); c.Pipeline = PipelineOn; c.SerialCommitPath = true }, false},
+		{"semi-blocking pins", func(c *Config) { c.Exchange = exch(); c.Pipeline = PipelineOn; c.SemiBlocking = true }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig(2, 2, 1000)
+			tc.mut(&cfg)
+			ctrl, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ctrl.pipelined(); got != tc.want {
+				t.Errorf("pipelined() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// pipelinePair builds two idle controllers over the same quiescent bench
+// workload: one pinned to the barrier path, one running the per-task
+// pipeline, both shipping live-round checkpoints through the same seeded
+// lossy link geometry. The machines are never started, so both hold
+// bit-identical factory state.
+func pipelinePair(t *testing.T, nodes, tasks int, comparison Comparison) (barrier, piped *Controller) {
+	t.Helper()
+	mk := func(mode PipelineMode) *Controller {
+		ctrl, err := New(Config{
+			NodesPerReplica: nodes,
+			TasksPerNode:    tasks,
+			Factory:         benchFactory(64),
+			Comparison:      comparison,
+			Exchange:        &ExchangeConfig{Loss: 0.05, Dup: 0.05, Reorder: 0.1, Seed: 11, ShipCheckpoints: true},
+			Pipeline:        mode,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return ctrl
+	}
+	barrier, piped = mk(PipelineOff), mk(PipelineAuto)
+	if barrier.pipelined() {
+		t.Fatal("PipelineOff controller reports pipelined")
+	}
+	if !piped.pipelined() {
+		t.Fatal("exchange-attached Auto controller not pipelined")
+	}
+	return barrier, piped
+}
+
+// barrierVerdict runs one barrier-path round body (capture, serial ship,
+// compare) and returns its verdict.
+func barrierVerdict(t *testing.T, ctrl *Controller, epoch uint64) (string, int, error) {
+	t.Helper()
+	ctrl.resetPhases()
+	if err := ctrl.captureScope(consensus.BothReplicas, epoch); err != nil {
+		t.Fatalf("captureScope: %v", err)
+	}
+	if err := ctrl.shipEpochBarrier(epoch); err != nil {
+		t.Fatalf("shipEpochBarrier: %v", err)
+	}
+	return ctrl.compare(epoch)
+}
+
+// TestPipelinedRoundMatchesBarrierVerdict plants identical seeded SDC into
+// the live task state of a barrier-path controller and a pipelined one
+// (same injection seed, same quiescent factory state), runs one round body
+// on each, and requires bit-identical verdicts: same mismatch string, same
+// localized chunk, same error — with the corruption at every (node, task)
+// in turn, and on a clean machine. This is the equivalence the pipeline's
+// in-order outcome resolution exists to preserve.
+func TestPipelinedRoundMatchesBarrierVerdict(t *testing.T) {
+	const nodes, tasks = 2, 2
+	for _, mode := range []struct {
+		name       string
+		comparison Comparison
+	}{{"checksum", ChecksumCompare}, {"full", FullCompare}} {
+		t.Run(mode.name, func(t *testing.T) {
+			// spot {-1,-1} is the clean round: both paths must agree
+			// there is nothing to find.
+			spots := [][2]int{{-1, -1}}
+			for n := 0; n < nodes; n++ {
+				for task := 0; task < tasks; task++ {
+					spots = append(spots, [2]int{n, task})
+				}
+			}
+			for _, spot := range spots {
+				name := "clean"
+				if spot[0] >= 0 {
+					name = fmt.Sprintf("sdc-n%d-t%d", spot[0], spot[1])
+				}
+				t.Run(name, func(t *testing.T) {
+					barrier, piped := pipelinePair(t, nodes, tasks, mode.comparison)
+					if spot[0] >= 0 {
+						for _, ctrl := range []*Controller{barrier, piped} {
+							ctrl.InjectSDCAtNextCheckpoint(runtime.Addr{Replica: 0, Node: spot[0], Task: spot[1]})
+							ctrl.applyPendingSDC(consensus.BothReplicas)
+						}
+					}
+					sMsg, sChunk, sErr := barrierVerdict(t, barrier, 1)
+					piped.resetPhases()
+					pMsg, pChunk, pErr := piped.pipelinedRound(1)
+					if pMsg != sMsg || pChunk != sChunk || !errEq(pErr, sErr) {
+						t.Fatalf("pipelined = (%q, %d, %v), barrier = (%q, %d, %v)",
+							pMsg, pChunk, pErr, sMsg, sChunk, sErr)
+					}
+					if spot[0] >= 0 && sMsg == "" {
+						t.Fatal("barrier path missed the injected corruption")
+					}
+					if piped.roundBusy == nil {
+						t.Fatal("pipelined round recorded no busy-time accounting")
+					}
+					// Both paths must also have stored identical checkpoint
+					// bytes — the pipeline's per-task capture is the same
+					// capture, just scheduled differently.
+					for n := 0; n < nodes; n++ {
+						for task := 0; task < tasks; task++ {
+							for rep := 0; rep < 2; rep++ {
+								b, err := barrier.store.Get(barrier.key(rep, n, task, 1))
+								if err != nil {
+									t.Fatal(err)
+								}
+								p, err := piped.store.Get(piped.key(rep, n, task, 1))
+								if err != nil {
+									t.Fatal(err)
+								}
+								if !bytes.Equal(b.Bytes(), p.Bytes()) {
+									t.Fatalf("stored checkpoint r%d/n%d/t%d differs between paths", rep, n, task)
+								}
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPipelinedRunEndToEnd drives a full live run through the pipelined
+// path — hardened exchange with live-round checkpoint shipping, an
+// injected SDC, and the resulting rollback — and checks the round verdicts
+// and final state match the serial semantics, with the overlap-aware phase
+// accounting filled in.
+func TestPipelinedRunEndToEnd(t *testing.T) {
+	cfg := baseConfig(2, 2, 8000)
+	cfg.Exchange = &ExchangeConfig{Loss: 0.02, Dup: 0.02, Seed: 5, ShipCheckpoints: true}
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctrl.pipelined() {
+		t.Fatal("exchange-attached run not pipelined")
+	}
+	ctrl.InjectSDCAtNextCheckpoint(runtime.Addr{Replica: 1, Node: 1, Task: 0})
+	stats, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SDCDetected != 1 {
+		t.Errorf("sdc detected = %d, want 1", stats.SDCDetected)
+	}
+	if len(stats.LocalizedChunks) != 1 {
+		t.Errorf("localized chunks = %v, want one entry", stats.LocalizedChunks)
+	}
+	if stats.Rollbacks != 2 {
+		t.Errorf("rollbacks = %d, want 2 (both replicas)", stats.Rollbacks)
+	}
+	if stats.ExchangeFrames == 0 || stats.ExchangeChunksShipped == 0 {
+		t.Errorf("live rounds shipped nothing: frames=%d chunks=%d",
+			stats.ExchangeFrames, stats.ExchangeChunksShipped)
+	}
+	// The busy arrays ride along with the wall arrays, one entry per
+	// committed round, and a pipelined capture phase's busy time can
+	// never undercut by more than measurement noise the barrier
+	// invariant busy >= 0; what is structural is the lengths matching.
+	if len(stats.CaptureBusyTimes) != len(stats.CaptureTimes) ||
+		len(stats.ExchangeBusyTimes) != len(stats.ExchangeTimes) ||
+		len(stats.CompareBusyTimes) != len(stats.CompareTimes) {
+		t.Errorf("busy arrays out of step with wall arrays: %d/%d %d/%d %d/%d",
+			len(stats.CaptureBusyTimes), len(stats.CaptureTimes),
+			len(stats.ExchangeBusyTimes), len(stats.ExchangeTimes),
+			len(stats.CompareBusyTimes), len(stats.CompareTimes))
+	}
+	verifyFinalState(t, ctrl, 2, 2, 8000)
+}
+
+// TestShipCheckpointConcurrentNoCrossContamination runs many transfers
+// through one exchanger at once — distinct (node, task) checkpoints with
+// distinctive payloads, over a seeded lossy/duplicating/reordering link,
+// half of them delta-shipping against a partially matching base — and
+// requires every reassembled checkpoint to be byte-identical to its
+// source. Duplicate or late frames of one transfer landing in another's
+// assembly buffer would fail the per-transfer root check; run under -race
+// this also proves the protocol state's locking. (CI runs the bench smoke
+// with -race; `go test -race ./internal/core` covers it directly.)
+func TestShipCheckpointConcurrentNoCrossContamination(t *testing.T) {
+	cfg := baseConfig(2, 2, 1000)
+	cfg.Exchange = &ExchangeConfig{
+		Loss: 0.05, Dup: 0.10, Reorder: 0.20, Seed: 17,
+		// Tiny latency keeps many transfers genuinely in flight at once
+		// without slowing the test measurably.
+		Latency: 50 * time.Microsecond,
+	}
+	ctrl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ctrl.exch
+
+	const transfers = 24
+	const chunkSize = 256
+	const chunks = 16
+	srcs := make([]*ckptstore.Checkpoint, transfers)
+	bases := make([]*ckptstore.Checkpoint, transfers)
+	for i := range srcs {
+		data := make([]byte, chunkSize*chunks)
+		for j := range data {
+			// Distinctive per-transfer pattern: any cross-written chunk
+			// makes the reassembled bytes (and root) differ.
+			data[j] = byte(i*31 + j)
+		}
+		srcs[i] = ckptstore.Capture(data, chunkSize, 1)
+		if i%2 == 1 {
+			// Half the transfers are delta-aware: the base shares the
+			// first half of the chunks, so only the rest cross the link.
+			bdata := append([]byte(nil), data...)
+			for j := len(bdata) / 2; j < len(bdata); j++ {
+				bdata[j] ^= 0xA5
+			}
+			bases[i] = ckptstore.Capture(bdata, chunkSize, 1)
+		}
+	}
+
+	got := make([]*ckptstore.Checkpoint, transfers)
+	errs := make([]error, transfers)
+	var wg sync.WaitGroup
+	wg.Add(transfers)
+	for i := 0; i < transfers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = x.shipCheckpoint(1, i/4, i%4, srcs[i], bases[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < transfers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("transfer %d: %v", i, errs[i])
+		}
+		if got[i].Root != srcs[i].Root || !bytes.Equal(got[i].Bytes(), srcs[i].Bytes()) {
+			t.Fatalf("transfer %d reassembled bytes differ from source", i)
+		}
+		if &got[i].Bytes()[0] == &srcs[i].Bytes()[0] {
+			t.Fatalf("transfer %d aliases its source buffer", i)
+		}
+	}
+	shipped, reused := x.chunksShipped.Load(), x.chunksReused.Load()
+	if shipped+reused != transfers*chunks {
+		t.Errorf("chunk accounting: shipped %d + reused %d != %d total", shipped, reused, transfers*chunks)
+	}
+	// Every odd transfer's base matched exactly its first half.
+	if wantReused := int64(transfers / 2 * chunks / 2); reused != wantReused {
+		t.Errorf("chunks reused = %d, want %d", reused, wantReused)
+	}
+	if x.retries.Load() == 0 {
+		t.Error("lossy link produced no retries")
+	}
+}

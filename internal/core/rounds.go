@@ -70,25 +70,52 @@ func (c *Controller) normalRound() error {
 	c.applyPendingSDC(consensus.BothReplicas)
 	c.resetPhases()
 	epoch := c.nextEpoch()
-	if err := c.captureScope(consensus.BothReplicas, epoch); err != nil {
-		c.coord.Release()
-		return err
-	}
-	blocked := time.Since(began)
-	if c.cfg.SemiBlocking {
-		// Asynchronous checkpointing (§4.2 [27]): the application
-		// resumes as soon as the local capture is done; the exchange
-		// and comparison overlap with execution. The tolerance-aware
-		// live-state comparison is unavailable here (the state is
-		// moving again), so the captured bytes are compared directly.
-		c.coord.Release()
-	}
-	mismatch, chunk, err := c.compare(epoch)
-	if err != nil {
-		if !c.cfg.SemiBlocking {
+	var blocked time.Duration
+	var mismatch string
+	var chunk int
+	if c.pipelined() {
+		// Per-task pipeline: each (node, task) flows through capture →
+		// exchange → compare as soon as its predecessor stage completes
+		// (pipeline.go). Never taken under SemiBlocking, so the whole
+		// round blocks the application.
+		var perr error
+		mismatch, chunk, perr = c.pipelinedRound(epoch)
+		if perr != nil {
+			c.coord.Release()
+			return perr
+		}
+		blocked = time.Since(began)
+	} else {
+		if err := c.captureScope(consensus.BothReplicas, epoch); err != nil {
+			c.coord.Release()
+			return err
+		}
+		blocked = time.Since(began)
+		if c.cfg.SemiBlocking {
+			// Asynchronous checkpointing (§4.2 [27]): the application
+			// resumes as soon as the local capture is done; the exchange
+			// and comparison overlap with execution. The tolerance-aware
+			// live-state comparison is unavailable here (the state is
+			// moving again), so the captured bytes are compared directly.
 			c.coord.Release()
 		}
-		return err
+		// When live rounds ship checkpoints over the link, the barrier
+		// path pays for every task's transfer serially before any
+		// comparison starts.
+		if err := c.shipEpochBarrier(epoch); err != nil {
+			if !c.cfg.SemiBlocking {
+				c.coord.Release()
+			}
+			return err
+		}
+		var err error
+		mismatch, chunk, err = c.compare(epoch)
+		if err != nil {
+			if !c.cfg.SemiBlocking {
+				c.coord.Release()
+			}
+			return err
+		}
 	}
 	if c.exch != nil {
 		// The round's verdict is itself a message between the replicas
@@ -196,6 +223,7 @@ func (c *Controller) captureOptions() runtime.CaptureOptions {
 func (c *Controller) resetPhases() {
 	c.roundCapture, c.roundCompare = 0, 0
 	c.roundExchange.Reset()
+	c.roundBusy = nil
 }
 
 // recoveryCheckpoint is the weak-scheme recovery: the healthy replica
@@ -233,35 +261,12 @@ func (c *Controller) recoveryCheckpoint(crashed int) error {
 	// the chunked capture is shared, not recomputed, while the hardened
 	// exchange ships it chunk-by-chunk through the lossy link and stores
 	// the reassembled copy. This mirroring is the recovery round's
-	// exchange phase.
+	// exchange phase; under the pipeline the per-task transfers overlap
+	// their link round trips (see mirrorEpoch).
 	exchBegan := time.Now()
-	for n := 0; n < c.cfg.NodesPerReplica; n++ {
-		for t := 0; t < c.cfg.TasksPerNode; t++ {
-			ck, err := c.store.Get(c.key(healthy, n, t, epoch))
-			if err != nil {
-				c.coord.Release()
-				return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
-			}
-			if c.exch != nil {
-				// The crashed side usually still holds the last committed
-				// epoch's checkpoint for this task; chunks whose sums match
-				// need not cross the lossy link again. A miss (nil base)
-				// degrades to a full ship.
-				var base *ckptstore.Checkpoint
-				if c.committedEpoch > 0 {
-					base, _ = c.store.Get(c.key(crashed, n, t, c.committedEpoch))
-				}
-				ck, err = c.exch.shipCheckpoint(epoch, n, t, ck, base)
-				if err != nil {
-					c.coord.Release()
-					return fmt.Errorf("core: exchange recovery checkpoint: %w", err)
-				}
-			}
-			if err := c.store.Put(c.key(crashed, n, t, epoch), ck); err != nil {
-				c.coord.Release()
-				return fmt.Errorf("core: mirror recovery checkpoint: %w", err)
-			}
-		}
+	if err := c.mirrorEpoch(crashed, healthy, epoch); err != nil {
+		c.coord.Release()
+		return err
 	}
 	c.roundExchange.Add(time.Since(exchBegan))
 	// This checkpoint is trusted without comparison: SDC that struck the
@@ -329,30 +334,60 @@ func (c *Controller) compare(epoch uint64) (string, int, error) {
 	return c.compareParallel(epoch, workers)
 }
 
-// parallelCompareThreshold is the per-task state size below which the
-// parallel comparison path loses to the serial walk: goroutine spin-up,
-// the claim counter, and cancellation checks cost more than comparing a
-// few hundred KiB of bytes. Measured on the 2x2nodes-4tasks-96KB bench
-// shape, where the parallel path ran at 0.82x of serial.
+// parallelCompareThreshold is the replica state size below which the
+// parallel comparison path loses to the serial walk outright: goroutine
+// spin-up, the claim counter, and cancellation checks cost more than
+// comparing a few hundred KiB of bytes. Measured on the
+// 2x2nodes-4tasks-96KB bench shape, where the parallel path ran at 0.82x
+// of serial.
 const parallelCompareThreshold = 1 << 20
+
+// parallelComparePerWorkerBytes is the payload each comparison worker
+// needs to amortize its share of the fan-out overhead. Above the absolute
+// threshold the pool is shrunk so every worker compares at least this
+// much — the 96KB and 192KB committed bench cases showed 0.87–0.99x when
+// GOMAXPROCS workers each got only a few tens of KiB.
+const parallelComparePerWorkerBytes = 512 << 10
 
 // compareWorkers sizes the comparison pool. Chaos runs pin the serial
 // walk: the hooked store fires a StoreRead point per fetched checkpoint,
 // and a campaign's occurrence-counted faults depend on those firings'
 // order and count, which early cancellation would perturb. Small states
-// pin it too — fan-out overhead dominates below the threshold.
+// pin it too — fan-out overhead dominates below the threshold — as does a
+// single-core box, where parallel compare is pure scheduling overhead.
+// Explicit Config.CompareWorkers bypasses the heuristics (not the pins).
 func (c *Controller) compareWorkers() int {
 	if c.cfg.SerialCommitPath || c.cfg.Chaos != nil {
 		return 1
 	}
-	if hint := c.machine.ReplicaStateHint(0); hint > 0 && hint < parallelCompareThreshold {
+	total := c.cfg.NodesPerReplica * c.cfg.TasksPerNode
+	if w := c.cfg.CompareWorkers; w > 0 {
+		if w > total {
+			w = total
+		}
+		return w
+	}
+	procs := stdruntime.GOMAXPROCS(0)
+	if procs <= 1 {
 		return 1
 	}
-	w := c.cfg.CompareWorkers
-	if w <= 0 {
-		w = stdruntime.GOMAXPROCS(0)
+	hint := c.machine.ReplicaStateHint(0)
+	if hint > 0 && hint < parallelCompareThreshold {
+		return 1
 	}
-	if total := c.cfg.NodesPerReplica * c.cfg.TasksPerNode; w > total {
+	w := procs
+	if hint > 0 {
+		// Shrink until every worker has a crossover-sized share of the
+		// replica's bytes; comparing 2MB across 16 workers is slower than
+		// across 4.
+		if byBytes := hint / parallelComparePerWorkerBytes; byBytes < w {
+			w = byBytes
+		}
+		if w < 1 {
+			w = 1
+		}
+	}
+	if w > total {
 		w = total
 	}
 	return w
@@ -540,11 +575,23 @@ func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
 }
 
 // appendPhaseTimes records the committed round's capture/exchange/compare
-// split, keeping the phase arrays parallel with CheckpointTimes.
+// split, keeping the phase arrays parallel with CheckpointTimes. Barrier
+// rounds mirror their wall times into the busy arrays (the phases neither
+// overlap each other nor themselves); pipelined rounds supply real
+// overlap-aware accounting via roundBusy.
 func (c *Controller) appendPhaseTimes() {
 	c.stats.CaptureTimes = append(c.stats.CaptureTimes, c.roundCapture)
 	c.stats.ExchangeTimes = append(c.stats.ExchangeTimes, c.roundExchange.Load())
 	c.stats.CompareTimes = append(c.stats.CompareTimes, c.roundCompare)
+	if b := c.roundBusy; b != nil {
+		c.stats.CaptureBusyTimes = append(c.stats.CaptureBusyTimes, b.captureBusy)
+		c.stats.ExchangeBusyTimes = append(c.stats.ExchangeBusyTimes, b.exchangeBusy)
+		c.stats.CompareBusyTimes = append(c.stats.CompareBusyTimes, b.compareBusy)
+		return
+	}
+	c.stats.CaptureBusyTimes = append(c.stats.CaptureBusyTimes, c.roundCapture)
+	c.stats.ExchangeBusyTimes = append(c.stats.ExchangeBusyTimes, c.roundExchange.Load())
+	c.stats.CompareBusyTimes = append(c.stats.CompareBusyTimes, c.roundCompare)
 }
 
 // markStore emits a trace.Store event carrying the store's counters.

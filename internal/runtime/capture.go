@@ -82,34 +82,7 @@ func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, opts
 	}
 	captureOne := func(i int) error {
 		addr := Addr{Replica: rep, Node: i / tasks, Task: i % tasks}
-		var ck *ckptstore.Checkpoint
-		if opts.ForceTwoPass {
-			// The pinned serial baseline: two-pass pack, full checksum, no
-			// splice base retained.
-			data, err := m.PackTask(addr)
-			if err != nil {
-				return fmt.Errorf("runtime: capture %v: %w", addr, err)
-			}
-			ck = ckptstore.CaptureInto(nil, data, opts.ChunkSize, chunkWorkers)
-		} else {
-			hint := m.sizeHint(addr)
-			var buf []byte
-			var recycled *ckptstore.Checkpoint
-			if opts.Pool != nil {
-				recycled = opts.Pool.Get(hint)
-				buf = recycled.Scratch()
-			}
-			var err error
-			ck, err = m.captureTaskInto(addr, recycled, buf, hint, opts.ChunkSize, chunkWorkers, opts.PatchCapture)
-			if err != nil {
-				return fmt.Errorf("runtime: capture %v: %w", addr, err)
-			}
-		}
-		key := ckptstore.Key{Replica: rep, Node: addr.Node, Task: addr.Task, Epoch: epoch}
-		if err := st.Put(key, ck); err != nil {
-			return fmt.Errorf("runtime: store %v: %w", key, err)
-		}
-		return nil
+		return m.captureAndStore(addr, epoch, st, opts, chunkWorkers)
 	}
 	if workers == 1 {
 		// Inline fast path: a single worker needs no goroutine, waitgroup,
@@ -143,6 +116,55 @@ func (m *Machine) CaptureReplica(rep int, epoch uint64, st ckptstore.Store, opts
 	wg.Wait()
 	if err := firstErr.Load(); err != nil {
 		return err.(error)
+	}
+	return nil
+}
+
+// CaptureTask packs one task's state and stores its chunked, checksummed
+// checkpoint under the epoch — the per-(node, task) capture hook the
+// pipelined commit path in internal/core drives, where task checkpoints
+// flow into exchange and comparison as soon as they exist instead of
+// waiting for the whole replica. Quiescence rules match CaptureReplica:
+// the task must be parked, completed, or its replica stopped. Safe to call
+// concurrently for distinct tasks; opts.ChunkWorkers <= 0 selects 1 (the
+// caller is assumed to already be task-parallel).
+func (m *Machine) CaptureTask(addr Addr, epoch uint64, st ckptstore.Store, opts CaptureOptions) error {
+	chunkWorkers := opts.ChunkWorkers
+	if chunkWorkers <= 0 {
+		chunkWorkers = 1
+	}
+	return m.captureAndStore(addr, epoch, st, opts, chunkWorkers)
+}
+
+// captureAndStore is the shared per-task capture body behind
+// CaptureReplica's worker pool and the exported CaptureTask hook.
+func (m *Machine) captureAndStore(addr Addr, epoch uint64, st ckptstore.Store, opts CaptureOptions, chunkWorkers int) error {
+	var ck *ckptstore.Checkpoint
+	if opts.ForceTwoPass {
+		// The pinned serial baseline: two-pass pack, full checksum, no
+		// splice base retained.
+		data, err := m.PackTask(addr)
+		if err != nil {
+			return fmt.Errorf("runtime: capture %v: %w", addr, err)
+		}
+		ck = ckptstore.CaptureInto(nil, data, opts.ChunkSize, chunkWorkers)
+	} else {
+		hint := m.sizeHint(addr)
+		var buf []byte
+		var recycled *ckptstore.Checkpoint
+		if opts.Pool != nil {
+			recycled = opts.Pool.Get(hint)
+			buf = recycled.Scratch()
+		}
+		var err error
+		ck, err = m.captureTaskInto(addr, recycled, buf, hint, opts.ChunkSize, chunkWorkers, opts.PatchCapture)
+		if err != nil {
+			return fmt.Errorf("runtime: capture %v: %w", addr, err)
+		}
+	}
+	key := ckptstore.Key{Replica: addr.Replica, Node: addr.Node, Task: addr.Task, Epoch: epoch}
+	if err := st.Put(key, ck); err != nil {
+		return fmt.Errorf("runtime: store %v: %w", key, err)
 	}
 	return nil
 }

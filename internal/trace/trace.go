@@ -45,6 +45,10 @@ const (
 	// admission, spare grants and preemptions, bandwidth-arbiter waits.
 	// Like Store and Net, Fleet events annotate without drawing.
 	Fleet
+	// Pipeline carries per-round overlap accounting from the pipelined
+	// commit path (internal/core): busy-vs-wall time per capture /
+	// exchange / compare stage. Annotates without drawing.
+	Pipeline
 )
 
 // Glyph returns the timeline character for the kind.
@@ -93,13 +97,15 @@ func (k Kind) String() string {
 		return "net"
 	case Fleet:
 		return "fleet"
+	case Pipeline:
+		return "pipeline"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // ParseKind inverts Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := Work; k <= Fleet; k++ {
+	for k := Work; k <= Pipeline; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -184,7 +190,7 @@ func (tl *Timeline) Render(horizon float64, width int) string {
 		return 1
 	}
 	for _, e := range tl.Events() {
-		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net || e.Kind == Fleet {
+		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net || e.Kind == Fleet || e.Kind == Pipeline {
 			continue
 		}
 		col := int(e.Time / horizon * float64(width))
