@@ -43,6 +43,14 @@ func main() {
 		bps       = flag.Float64("bytes-per-sec", 0, "disk-tier flush bandwidth budget (0 = unthrottled)")
 		slots     = flag.Int("transfer-slots", 0, "concurrent disk transfers (0 = unlimited)")
 		opTimeout = flag.Duration("op-timeout", 30*time.Second, "on-demand flush/restore timeout")
+		authToken = flag.String("auth-token", "", "token required on mutating API routes (default $ACRD_TOKEN; empty = open)")
+
+		remote     = flag.Bool("remote", false, "enable the remote object-store checkpoint tier")
+		remEvery   = flag.Int("remote-every", 4, "default remote upload cadence in committed epochs")
+		remLatency = flag.Duration("remote-latency", 0, "simulated remote per-op latency")
+		remFault   = flag.Float64("remote-fault-rate", 0, "simulated remote per-op transient fault probability [0,1)")
+		remSeed    = flag.Int64("remote-seed", 1, "remote fault-schedule seed (offset per job)")
+		remBW      = flag.Float64("remote-bw", 0, "remote-tier upload bandwidth budget in bytes/sec (0 = unthrottled)")
 	)
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -52,17 +60,32 @@ func main() {
 	if *dataDir == "" {
 		fatalf("-data is required")
 	}
+	if *authToken == "" {
+		*authToken = os.Getenv("ACRD_TOKEN")
+	}
+	if *remFault < 0 || *remFault >= 1 {
+		fatalf("-remote-fault-rate must be in [0,1), got %g", *remFault)
+	}
 
 	srv, err := acrd.New(acrd.Config{
 		DataDir: *dataDir,
 		Fleet: fleet.Config{
-			Nodes:         *nodes,
-			Spares:        *spares,
-			BytesPerSec:   *bps,
-			TransferSlots: *slots,
+			Nodes:             *nodes,
+			Spares:            *spares,
+			BytesPerSec:       *bps,
+			TransferSlots:     *slots,
+			RemoteBytesPerSec: *remBW,
 		},
 		Resume:    *resume,
 		OpTimeout: *opTimeout,
+		AuthToken: *authToken,
+		Remote: acrd.RemoteConfig{
+			Enabled:   *remote,
+			Every:     *remEvery,
+			Latency:   *remLatency,
+			FaultRate: *remFault,
+			Seed:      *remSeed,
+		},
 	})
 	if err != nil {
 		fatalf("%v", err)

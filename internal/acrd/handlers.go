@@ -1,11 +1,13 @@
 package acrd
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"acr/internal/buildinfo"
@@ -16,21 +18,49 @@ import (
 
 // Handler builds the daemon's HTTP API. Routes use Go 1.22 method+wildcard
 // patterns; every response body is JSON except /metrics (Prometheus text).
+// Mutating routes (submit, flush, restore) require the configured auth
+// token; read routes stay open so scrapers and dashboards need no write
+// credential.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/jobs", s.requireAuth(s.handleSubmit))
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/inventory", s.handleInventory)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/verify", s.handleVerify)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/flush", s.handleFlush)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/restore", s.handleRestore)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/flush", s.requireAuth(s.handleFlush))
+	mux.HandleFunc("POST /api/v1/jobs/{id}/restore", s.requireAuth(s.handleRestore))
 	mux.HandleFunc("GET /api/v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /api/v1/resume", s.handleResume)
 	return mux
+}
+
+// requireAuth gates a mutating handler behind Config.AuthToken. The token
+// rides either "Authorization: Bearer <token>" or "X-ACRD-Token: <token>";
+// comparison is constant-time. An empty configured token leaves the route
+// open (single-user dev daemons).
+func (s *Server) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.AuthToken == "" {
+		return h
+	}
+	want := []byte(s.cfg.AuthToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok := r.Header.Get("X-ACRD-Token")
+		if tok == "" {
+			if ah := r.Header.Get("Authorization"); strings.HasPrefix(ah, "Bearer ") {
+				tok = strings.TrimPrefix(ah, "Bearer ")
+			}
+		}
+		if subtle.ConstantTimeCompare([]byte(tok), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="acrd"`)
+			writeErr(w, http.StatusUnauthorized, "missing or invalid auth token")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // apiError is the uniform JSON error body.
@@ -239,6 +269,9 @@ func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 		resp.Tiers = append(resp.Tiers, tierView(ctrl.Store(), rec.want))
 		if fs := ctrl.FlushStore(); fs != nil {
 			resp.Tiers = append(resp.Tiers, tierView(fs, rec.want))
+		}
+		if rs := ctrl.RemoteStore(); rs != nil {
+			resp.Tiers = append(resp.Tiers, tierView(rs, rec.want))
 		}
 		resp.DurableEpochs = ctrl.DurableEpochs()
 	} else {

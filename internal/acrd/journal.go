@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"acr/internal/fleet"
@@ -98,6 +99,59 @@ func (j *journal) Close() error {
 	}
 	j.closed = true
 	return j.f.Close()
+}
+
+// rewriteJournal atomically replaces the journal at path with exactly recs
+// (the compacted equivalent of its replayed state). The rewrite goes
+// through a temp file in the same directory — write, fsync, rename, fsync
+// the directory — so a crash at any instant leaves either the old journal
+// or the complete new one, never a truncated hybrid. Callers must hold no
+// open append handle on path.
+func rewriteJournal(path string, recs []record) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("acrd: compact journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("acrd: compact journal marshal: %w", err)
+		}
+		blob = append(blob, '\n')
+		if _, err := w.Write(blob); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("acrd: compact journal write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("acrd: compact journal flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("acrd: compact journal sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("acrd: compact journal close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("acrd: compact journal rename: %w", err)
+	}
+	// Fsync the directory so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // readJournal loads every parseable record from path. A process killed

@@ -94,6 +94,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"acr_job_folds_total",
 		"acr_job_degraded_nodes",
 		"acr_job_resumed_epoch",
+		"acr_remote_flushed_epochs_total",
+		"acr_remote_retries_total",
+		"acr_remote_breaker_trips_total",
+		"acr_remote_breaker_recloses_total",
+		"acr_remote_failovers_total",
+		"acr_remote_breaker_open",
 	}
 	help := map[string]string{
 		"acr_job_committed_epoch":      "Newest committed checkpoint epoch.",
@@ -105,6 +111,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"acr_job_folds_total":          "Degraded-mode folds.",
 		"acr_job_degraded_nodes":       "Logical nodes currently folded.",
 		"acr_job_resumed_epoch":        "Durable epoch this job warm-started from (0 = cold).",
+
+		"acr_remote_flushed_epochs_total":   "Epochs landed on the remote tier (including failovers).",
+		"acr_remote_retries_total":          "Remote store operations retried after transient faults.",
+		"acr_remote_breaker_trips_total":    "Circuit breaker open transitions on the remote store.",
+		"acr_remote_breaker_recloses_total": "Circuit breaker close transitions after successful probes.",
+		"acr_remote_failovers_total":        "Remote puts diverted to the local fallback store.",
+		"acr_remote_breaker_open":           "1 while the remote circuit breaker is open or half-open.",
 	}
 	typ := func(name string) string {
 		if strings.HasSuffix(name, "_total") {
@@ -128,7 +141,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				hard: float64(st.Progress.HardErrors), sdc: float64(st.Progress.SDCDetected),
 				rollbacks: float64(st.Progress.Rollbacks), flushed: float64(st.Progress.FlushedEpochs),
 				folds: float64(st.Progress.Folds), degraded: float64(st.Progress.DegradedNodes),
-				resumed: float64(st.Progress.ResumedEpoch),
+				resumed:       float64(st.Progress.ResumedEpoch),
+				remoteFlushed: float64(st.Progress.RemoteFlushedEpochs), remoteRetries: float64(st.Progress.RemoteRetries),
+				remoteTrips: float64(st.Progress.RemoteTrips), remoteRecloses: float64(st.Progress.RemoteRecloses),
+				remoteFailovers: float64(st.Progress.RemoteFailovers), remoteOpen: float64(st.Progress.RemoteBreakerOpen),
 			}
 			for i, n := range st.Progress.TierRecoveries {
 				pv.tiers[i] = float64(n)
@@ -142,8 +158,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				checkpoints: float64(r.Checkpoints),
 				hard:        float64(r.HardErrors), sdc: float64(r.SDCDetected),
 				rollbacks: float64(r.Rollbacks), flushed: float64(r.FlushedEpochs),
-				folds:   float64(r.Folds),
-				resumed: float64(r.ResumedEpoch),
+				folds:         float64(r.Folds),
+				resumed:       float64(r.ResumedEpoch),
+				remoteFlushed: float64(r.RemoteFlushedEpochs), remoteRetries: float64(r.Remote.Retries),
+				remoteTrips: float64(r.Remote.Trips), remoteRecloses: float64(r.Remote.Recloses),
+				remoteFailovers: float64(r.Remote.Failovers),
+			}
+			if r.Remote.State != "" && r.Remote.State != "closed" {
+				pv.remoteOpen = 1
 			}
 			for i, n := range r.TierRecoveries {
 				pv.tiers[i] = float64(n)
@@ -163,6 +185,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"acr_job_folds_total":          p.folds,
 			"acr_job_degraded_nodes":       p.degraded,
 			"acr_job_resumed_epoch":        p.resumed,
+
+			"acr_remote_flushed_epochs_total":   p.remoteFlushed,
+			"acr_remote_retries_total":          p.remoteRetries,
+			"acr_remote_breaker_trips_total":    p.remoteTrips,
+			"acr_remote_breaker_recloses_total": p.remoteRecloses,
+			"acr_remote_failovers_total":        p.remoteFailovers,
+			"acr_remote_breaker_open":           p.remoteOpen,
 		}})
 		for tier, n := range p.tiers {
 			tierSamples = append(tierSamples, struct {
@@ -178,7 +207,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "%s{%s} %g\n", name, smp.labels, smp.vals[name])
 		}
 	}
-	meta("acr_job_tier_recoveries_total", "counter", "Recoveries by ladder tier (0 buddy memory, 1 durable flush, 2 older durable epoch).")
+	meta("acr_job_tier_recoveries_total", "counter", "Recoveries by ladder tier (0 buddy memory, 1 durable flush, 2 older durable epoch, 3 remote object store).")
 	sort.SliceStable(tierSamples, func(i, j int) bool { return tierSamples[i].tier < tierSamples[j].tier })
 	for _, ts := range tierSamples {
 		fmt.Fprintf(&b, "acr_job_tier_recoveries_total{%s,tier=\"%d\"} %g\n", ts.labels, ts.tier, ts.v)
@@ -193,5 +222,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // the exporter.
 type progressView struct {
 	committed, checkpoints, hard, sdc, rollbacks, flushed, folds, degraded, resumed float64
-	tiers                                                                           [3]float64
+	remoteFlushed, remoteRetries, remoteTrips, remoteRecloses, remoteFailovers      float64
+	remoteOpen                                                                      float64
+	tiers                                                                           [4]float64
 }

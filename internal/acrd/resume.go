@@ -48,6 +48,11 @@ type ResumeReport struct {
 	// SalvagedEpochs / SkippedEpochs total the per-job audit counts.
 	SalvagedEpochs int `json:"salvaged_epochs"`
 	SkippedEpochs  int `json:"skipped_epochs"`
+	// CompactedRecords counts the records the rewritten (compacted)
+	// journal was reduced to: one submit per job plus only audit-confirmed
+	// flush claims and final results. Stale claims, torn lines, and prior
+	// resume records are dropped by the rewrite.
+	CompactedRecords int `json:"compacted_records"`
 
 	Jobs []ResumeJobReport `json:"jobs,omitempty"`
 }
@@ -67,11 +72,13 @@ type ResumeJobReport struct {
 	Skipped  []uint64 `json:"skipped_epochs,omitempty"`
 }
 
-// resume replays journal records into the registry and readmits every job
-// without a done record, warm from whatever its disk audit salvaged.
-// Called from New before the API is reachable, so it needs no locking
-// discipline beyond the registry mutex.
-func (s *Server) resume(recs []record, torn int) error {
+// replay loads journal records into the registry and audits every
+// unfinished job's disk tier (rungs 1 and 2), filling s.report. It writes
+// nothing: the journal is not even open for appends yet — New compacts it
+// from the replayed state before reopening. Called from New before the API
+// is reachable, so it needs no locking discipline beyond the registry
+// mutex.
+func (s *Server) replay(recs []record, torn int) error {
 	report := ResumeReport{Resumed: true, JournalRecords: len(recs), TornRecords: torn}
 
 	claimed := make(map[int][]uint64)
@@ -146,16 +153,54 @@ func (s *Server) resume(recs []record, torn int) error {
 		rec.resumed = true
 		rec.salvaged = jr.Salvaged
 		rec.skipped = jr.Skipped
-		if err := s.jour.append(record{Kind: recResume, ID: id, Salvaged: jr.Salvaged, Skipped: jr.Skipped}); err != nil {
-			return err
-		}
-		if err := s.launch(rec, jr.Salvaged); err != nil {
-			return fmt.Errorf("acrd: readmit job %d: %w", id, err)
-		}
 		report.Jobs = append(report.Jobs, jr)
 	}
 
 	s.report = report
+	return nil
+}
+
+// compactedRecords rebuilds the journal's minimal equivalent from the
+// replayed registry: per job, its submit record, then either the final
+// result (finished jobs) or one flush record per audit-confirmed epoch.
+// Everything else — stale claims the audit skipped, prior resume records,
+// flush records for since-evicted epochs — is history the next resume
+// would re-derive anyway, so the rewrite drops it.
+func (s *Server) compactedRecords() []record {
+	var out []record
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		req := rec.req
+		out = append(out, record{Kind: recSubmit, ID: id, Spec: &req})
+		if rec.prior != nil {
+			out = append(out, record{Kind: recDone, ID: id, Result: rec.prior})
+			continue
+		}
+		for _, e := range rec.salvaged {
+			out = append(out, record{Kind: recFlush, ID: id, Epoch: e})
+		}
+	}
+	s.report.CompactedRecords = len(out)
+	return out
+}
+
+// readmit journals a resume record for every unfinished job and relaunches
+// it warm from its salvaged epochs. Runs after the compacted journal has
+// reopened for appends, so a crash between compaction and here replays the
+// same compacted state again.
+func (s *Server) readmit() error {
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		if rec.prior != nil {
+			continue
+		}
+		if err := s.jour.append(record{Kind: recResume, ID: id, Salvaged: rec.salvaged, Skipped: rec.skipped}); err != nil {
+			return err
+		}
+		if err := s.launch(rec, rec.salvaged); err != nil {
+			return fmt.Errorf("acrd: readmit job %d: %w", id, err)
+		}
+	}
 	return nil
 }
 

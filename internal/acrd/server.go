@@ -47,6 +47,36 @@ type Config struct {
 	Resume bool
 	// OpTimeout bounds on-demand flush/restore operations; <= 0 selects 30s.
 	OpTimeout time.Duration
+	// AuthToken, when non-empty, is required on every mutating API route
+	// (job submit, on-demand flush, on-demand restore) as either
+	// "Authorization: Bearer <token>" or "X-ACRD-Token: <token>". Read
+	// routes stay open: scraping metrics and watching progress must not
+	// need write credentials.
+	AuthToken string
+	// Remote configures the per-job remote object-store flush tier.
+	Remote RemoteConfig
+}
+
+// RemoteConfig shapes the daemon's remote checkpoint tier: each job whose
+// spec (or the daemon default) sets a remote cadence gets its own simulated
+// object store wrapped in the ckptstore.Resilient retry/breaker layer. The
+// resilient fallback is the job's tracked disk tier, so a dark or flapping
+// remote degrades uploads to local durability instead of losing them.
+type RemoteConfig struct {
+	// Enabled turns the tier on; without it remote cadences in job specs
+	// are rejected so callers are not silently ignored.
+	Enabled bool
+	// Every is the default flush cadence (committed epochs per upload) for
+	// jobs that do not set remote_every themselves; <= 0 selects 4.
+	Every int
+	// Latency and PerKB shape the simulated store's transfer time.
+	Latency time.Duration
+	PerKB   time.Duration
+	// FaultRate is the per-op transient failure probability (split between
+	// timeouts and throttling); Seed feeds the store's fault schedule,
+	// offset per job id so jobs see independent schedules.
+	FaultRate float64
+	Seed      int64
 }
 
 // SubmitRequest is the external job spec — the POST /api/v1/jobs body and
@@ -68,6 +98,13 @@ type SubmitRequest struct {
 	// FlushRetain bounds retained durable epochs; <= 0 selects the core
 	// default.
 	FlushRetain int `json:"flush_retain"`
+	// RemoteEvery is the remote-tier upload cadence in committed epochs.
+	// Zero inherits the daemon's default cadence when the remote tier is
+	// enabled; negative disables the remote tier for this job even then.
+	RemoteEvery int `json:"remote_every,omitempty"`
+	// RemoteRetain bounds retained remote epochs; <= 0 selects the core
+	// default.
+	RemoteRetain int `json:"remote_retain,omitempty"`
 }
 
 // validate normalizes the request and rejects what the fleet would choke
@@ -95,19 +132,20 @@ func (r *SubmitRequest) validate() error {
 	return nil
 }
 
-// toJobSpec lowers the external request to a fleet spec. The durable store
-// and resume epochs are wired by launch, not here.
+// toJobSpec lowers the external request to a fleet spec. The durable and
+// remote stores and resume epochs are wired by launch, not here.
 func (r SubmitRequest) toJobSpec() fleet.JobSpec {
 	js := fleet.JobSpec{
-		Name:        r.Name,
-		Priority:    r.Priority,
-		Nodes:       r.Nodes,
-		Tasks:       r.Tasks,
-		Spares:      r.Spares,
-		Iters:       r.Iters,
-		Interval:    time.Duration(r.IntervalMs * float64(time.Millisecond)),
-		FlushEvery:  r.FlushEvery,
-		FlushRetain: r.FlushRetain,
+		Name:         r.Name,
+		Priority:     r.Priority,
+		Nodes:        r.Nodes,
+		Tasks:        r.Tasks,
+		Spares:       r.Spares,
+		Iters:        r.Iters,
+		Interval:     time.Duration(r.IntervalMs * float64(time.Millisecond)),
+		FlushEvery:   r.FlushEvery,
+		FlushRetain:  r.FlushRetain,
+		RemoteRetain: r.RemoteRetain,
 	}
 	switch r.Scheme {
 	case "medium":
@@ -136,6 +174,9 @@ type jobRecord struct {
 	// daemon life (then prior holds the journaled result).
 	job   *fleet.Job
 	prior *fleet.JobResult
+	// remote is this life's resilient remote-tier handle; closed (stopping
+	// its health prober) when the job settles.
+	remote *ckptstore.Resilient
 
 	// Resume accounting for this life (empty for fresh submissions).
 	resumed  bool
@@ -150,6 +191,10 @@ type Server struct {
 	sched *fleet.Scheduler
 	jour  *journal
 	start time.Time
+
+	// newRemote builds a job's remote backend; tests substitute a handle
+	// they can darken and heal on cue.
+	newRemote func(id int) *ckptstore.Remote
 
 	mu     sync.Mutex
 	closed bool
@@ -174,6 +219,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 30 * time.Second
 	}
+	if cfg.Remote.Enabled && cfg.Remote.Every <= 0 {
+		cfg.Remote.Every = 4
+	}
 	jpath := filepath.Join(cfg.DataDir, "journal.jsonl")
 	recs, torn, err := readJournal(jpath)
 	if err != nil {
@@ -187,21 +235,47 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &Server{
+		cfg:   cfg,
+		info:  buildinfo.Get("acrd"),
+		sched: sched,
+		start: time.Now(),
+		jobs:  make(map[int]*jobRecord),
+	}
+	s.newRemote = func(id int) *ckptstore.Remote {
+		rc := s.cfg.Remote
+		return ckptstore.NewRemote(ckptstore.RemoteOptions{
+			Latency:      rc.Latency,
+			PerKB:        rc.PerKB,
+			TimeoutRate:  rc.FaultRate / 2,
+			ThrottleRate: rc.FaultRate / 2,
+			Seed:         rc.Seed + int64(id),
+		})
+	}
+
+	if cfg.Resume {
+		// Replay and audit BEFORE the journal reopens for appends, then
+		// rewrite it compacted: one submit per job plus only the claims the
+		// disk audit confirmed (or the final result). Stale flush claims,
+		// torn tail lines, and superseded resume records all vanish, so the
+		// journal stays O(live state) instead of O(history) across lives.
+		if err := s.replay(recs, torn); err != nil {
+			sched.Close()
+			return nil, err
+		}
+		if err := rewriteJournal(jpath, s.compactedRecords()); err != nil {
+			sched.Close()
+			return nil, err
+		}
+	}
 	jour, err := openJournal(jpath)
 	if err != nil {
 		sched.Close()
 		return nil, err
 	}
-	s := &Server{
-		cfg:   cfg,
-		info:  buildinfo.Get("acrd"),
-		sched: sched,
-		jour:  jour,
-		start: time.Now(),
-		jobs:  make(map[int]*jobRecord),
-	}
+	s.jour = jour
 	if cfg.Resume {
-		if err := s.resume(recs, torn); err != nil {
+		if err := s.readmit(); err != nil {
 			jour.Close()
 			sched.Close()
 			return nil, err
@@ -239,6 +313,9 @@ func (s *Server) ResumeReport() ResumeReport {
 func (s *Server) Submit(req SubmitRequest) (int, error) {
 	if err := req.validate(); err != nil {
 		return 0, err
+	}
+	if req.RemoteEvery > 0 && !s.cfg.Remote.Enabled {
+		return 0, fmt.Errorf("job requests remote_every %d but the daemon's remote tier is disabled (start acrd with -remote)", req.RemoteEvery)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -292,9 +369,25 @@ func (s *Server) jobDir(id int) string {
 	return filepath.Join(s.cfg.DataDir, "jobs", fmt.Sprintf("%04d", id))
 }
 
-// launch opens the job's durable tier, wires the flush tracker, and
-// submits to the fleet. resumeEpochs, when non-nil, warm-starts the job
-// from the newest usable of those epochs.
+// remoteEvery resolves a job's effective remote cadence: the spec's own
+// when positive, the daemon default when the tier is enabled and the spec
+// is silent, zero (tier off) when the spec is negative or the daemon's
+// remote is disabled.
+func (s *Server) remoteEvery(req SubmitRequest) int {
+	switch {
+	case !s.cfg.Remote.Enabled || req.RemoteEvery < 0:
+		return 0
+	case req.RemoteEvery > 0:
+		return req.RemoteEvery
+	default:
+		return s.cfg.Remote.Every
+	}
+}
+
+// launch opens the job's durable tier, wires the flush tracker and (when
+// configured) the resilient remote tier, and submits to the fleet.
+// resumeEpochs, when non-nil, warm-starts the job from the newest usable
+// of those epochs.
 func (s *Server) launch(rec *jobRecord, resumeEpochs []uint64) error {
 	disk, err := ckptstore.NewDisk(rec.dir, nil)
 	if err != nil {
@@ -309,8 +402,30 @@ func (s *Server) launch(rec *jobRecord, resumeEpochs []uint64) error {
 	js := rec.req.toJobSpec()
 	js.FlushStore = tracker
 	js.ResumeEpochs = resumeEpochs
+	if every := s.remoteEvery(rec.req); every > 0 {
+		// The resilient fallback is the job's own tracked disk tier: when
+		// the breaker opens, uploads degrade to local durability (and their
+		// epochs are journaled as flushed by the tracker), so a dark remote
+		// costs redundancy depth, never checkpoints. The fleet's remote
+		// bandwidth arbiter wraps this store at admission.
+		resil := ckptstore.NewResilient(s.newRemote(id), ckptstore.ResilientOptions{
+			Fallback: tracker,
+		})
+		js.RemoteEvery = every
+		js.RemoteStore = resil
+		s.mu.Lock()
+		rec.remote = resil
+		s.mu.Unlock()
+	}
 	job, err := s.sched.Submit(js)
 	if err != nil {
+		s.mu.Lock()
+		remote := rec.remote
+		rec.remote = nil
+		s.mu.Unlock()
+		if remote != nil {
+			remote.Close()
+		}
 		return err
 	}
 	s.mu.Lock()
@@ -327,6 +442,13 @@ func (s *Server) launch(rec *jobRecord, resumeEpochs []uint64) error {
 func (s *Server) watch(rec *jobRecord, job *fleet.Job) {
 	defer s.watchers.Done()
 	res := job.Wait()
+	s.mu.Lock()
+	remote := rec.remote
+	s.mu.Unlock()
+	if remote != nil {
+		// The job has settled; stop the remote tier's health prober.
+		remote.Close()
+	}
 	if !res.Completed && res.Err == fleet.ErrClosed.Error() {
 		return
 	}

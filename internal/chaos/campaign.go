@@ -68,7 +68,7 @@ func RunScenario(scn Scenario, seed int64, watchdog time.Duration, tl *trace.Tim
 		exch = &core.ExchangeConfig{Loss: scn.Loss, Dup: scn.Dup, Reorder: scn.Reorder, Seed: seed}
 	}
 	engine := NewEngine(&scn, seed, tl)
-	ctrl, err := core.New(core.Config{
+	cfg := core.Config{
 		NodesPerReplica: scn.Nodes,
 		TasksPerNode:    scn.Tasks,
 		Spares:          scn.Spares,
@@ -88,7 +88,27 @@ func RunScenario(scn Scenario, seed int64, watchdog time.Duration, tl *trace.Tim
 		Exchange:           exch,
 		Timeline:           tl,
 		Chaos:              engine,
-	})
+	}
+	if scn.RemoteEvery > 0 {
+		// The campaign remote is fault-free on its own (zero latency, zero
+		// rates): every remote failure is scheduled by the engine through
+		// the remote.put/remote.get points and dark mode, so the fault
+		// pattern stays a pure function of the schedule. The Resilient
+		// wrapper runs with no backoff sleeps and a fast probe so a flapping
+		// scenario converges within the run.
+		remote := ckptstore.NewRemote(ckptstore.RemoteOptions{Hook: engine})
+		resil := ckptstore.NewResilient(remote, ckptstore.ResilientOptions{
+			MaxRetries:       1,
+			BreakerThreshold: 3,
+			ProbeInterval:    time.Millisecond,
+			Fallback:         ckptstore.NewMem(),
+		})
+		defer resil.Close()
+		engine.BindRemote(remote)
+		cfg.RemoteStore = resil
+		cfg.RemoteFlushEvery = scn.RemoteEvery
+	}
+	ctrl, err := core.New(cfg)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("chaos: %w", err)
 	}
@@ -444,6 +464,73 @@ func DefaultCampaign() []Scenario {
 				Target:  Target{Replica: 1, Node: 0, Task: -1},
 				Trigger: Trigger{Point: point.CoreCapture, Occurrence: 3},
 			}},
+		},
+		{
+			// The remote tier goes fully dark at the first commit and stays
+			// dark. Every remote upload fails, the breaker trips, later
+			// epochs fail over to the Resilient wrapper's local fallback —
+			// and when both buddies of a node die, recovery must complete
+			// through the LOCAL tiers (durable flush, tier <= 2): a dark
+			// remote may never abort a job.
+			Name: "remote-dark-failover", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			FlushEvery: 2, RemoteEvery: 2,
+			Faults: []Fault{
+				{
+					Kind:    RemoteDark,
+					Target:  Target{Replica: -1, Node: -1, Task: -1},
+					Trigger: Trigger{Point: point.CoreCommit, Occurrence: 1},
+				},
+				{
+					Kind:    BuddyDoubleCrash,
+					Target:  Target{Replica: 0, Node: 1, Task: -1},
+					Trigger: Trigger{Point: point.CorePostConsensus, Occurrence: 3},
+				},
+			},
+		},
+		{
+			// No local durable tier at all: when both buddies of a node die,
+			// the ladder's only escalation target is the remote object store
+			// (tier 3). The first remote read is force-failed in flight, so
+			// the restore also proves the Resilient retry path end to end.
+			Name: "remote-tier-recovery", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			RemoteEvery: 2,
+			Faults: []Fault{
+				{
+					Kind:    RemoteOpFail,
+					Target:  Target{Replica: -1, Node: -1, Task: -1},
+					Trigger: Trigger{Point: point.RemoteGet, Occurrence: 1},
+				},
+				{
+					Kind:    BuddyDoubleCrash,
+					Target:  Target{Replica: 0, Node: 1, Task: -1},
+					Trigger: Trigger{Point: point.CorePostConsensus, Occurrence: 3},
+				},
+			},
+		},
+		{
+			// A flapping remote: one in-flight upload force-failed (absorbed
+			// by a retry), then a bounded outage long enough to trip the
+			// breaker. Probes burn the remaining outage budget, the breaker
+			// re-closes, and later epochs land on the remote again — the
+			// job converges with no violations.
+			Name: "remote-flapping-breaker", Nodes: 2, Tasks: 2, Spares: 2, Iters: 60,
+			Scheme: "strong", Comparison: "full", Store: "mem", PaceEvery: 40,
+			RemoteEvery: 1,
+			Faults: []Fault{
+				{
+					Kind:    RemoteOpFail,
+					Target:  Target{Replica: -1, Node: -1, Task: -1},
+					Trigger: Trigger{Point: point.RemotePut, Occurrence: 1},
+				},
+				{
+					Kind:    RemoteDark,
+					Target:  Target{Replica: -1, Node: -1, Task: -1},
+					Trigger: Trigger{Point: point.CoreCommit, Occurrence: 2},
+					Count:   8,
+				},
+			},
 		},
 		{
 			// At-rest corruption on the disk tier followed by a crash: the

@@ -60,6 +60,23 @@ func TestScenarioValidation(t *testing.T) {
 				Trigger: Trigger{Point: point.CoreCapture, Occurrence: 1},
 			}
 		}},
+		{"remote fault without remote tier", func(s *Scenario) {
+			s.Faults[0] = Fault{
+				Kind:    RemoteDark,
+				Target:  Target{Replica: -1, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.CoreCommit, Occurrence: 1},
+			}
+		}},
+		{"remote op fail off remote point", func(s *Scenario) {
+			s.RemoteEvery = 1
+			s.Faults[0] = Fault{
+				Kind:    RemoteOpFail,
+				Target:  Target{Replica: -1, Node: -1, Task: -1},
+				Trigger: Trigger{Point: point.CoreCommit, Occurrence: 1},
+			}
+		}},
+		{"count on non-dark fault", func(s *Scenario) { s.Faults[0].Count = 3 }},
+		{"negative remote every", func(s *Scenario) { s.RemoteEvery = -1 }},
 		{"tracker blind off capture point", func(s *Scenario) {
 			s.PadFloats = 8
 			s.Faults[0] = Fault{
@@ -253,6 +270,108 @@ func TestGoldenPadFaultFree(t *testing.T) {
 	}
 	if res.Report.Outcome != OutcomeOK {
 		t.Fatalf("fault-free pad run outcome %q, violations %v", res.Report.Outcome, res.Report.Violations)
+	}
+}
+
+// TestRemoteDarkNeverAbortsJob: the ISSUE's headline robustness claim. A
+// fully dark remote must cost nothing but the remote tier itself: the job
+// completes golden through the local ladder (tier <= 2), the breaker trips,
+// and the epochs the remote refused land on the Resilient fallback.
+func TestRemoteDarkNeverAbortsJob(t *testing.T) {
+	var scn Scenario
+	for _, s := range DefaultCampaign() {
+		if s.Name == "remote-dark-failover" {
+			scn = s
+		}
+	}
+	if scn.Name == "" {
+		t.Fatal("default campaign lost the remote-dark scenario")
+	}
+	res, err := RunScenario(scn, 2, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeOK {
+		t.Fatalf("dark remote aborted the job: outcome %q, violations %v",
+			res.Report.Outcome, res.Report.Violations)
+	}
+	if res.Stats.TierRecoveries[3] != 0 {
+		t.Fatalf("recovery touched the dark remote tier: %v", res.Stats.TierRecoveries)
+	}
+	if got := res.Stats.TierRecoveries[1] + res.Stats.TierRecoveries[2]; got == 0 {
+		t.Fatalf("buddy double crash never climbed to a local durable tier: %v", res.Stats.TierRecoveries)
+	}
+	if res.Stats.Remote.Trips == 0 {
+		t.Fatalf("breaker never tripped against a dark remote: %+v", res.Stats.Remote)
+	}
+	if res.Stats.Remote.Failovers == 0 {
+		t.Fatalf("no epoch failed over to the local fallback: %+v", res.Stats.Remote)
+	}
+	if res.Stats.RemoteFlushErrors == 0 {
+		t.Fatalf("dark remote produced no flush errors: %+v", res.Stats)
+	}
+}
+
+// TestRemoteTierRecovery: with no local durable tier, a buddy double crash
+// must climb all the way to tier 3 and restore from the remote object
+// store, absorbing a force-failed read with a retry on the way.
+func TestRemoteTierRecovery(t *testing.T) {
+	var scn Scenario
+	for _, s := range DefaultCampaign() {
+		if s.Name == "remote-tier-recovery" {
+			scn = s
+		}
+	}
+	if scn.Name == "" {
+		t.Fatal("default campaign lost the remote-tier-recovery scenario")
+	}
+	res, err := RunScenario(scn, 2, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeOK {
+		t.Fatalf("outcome %q, violations %v", res.Report.Outcome, res.Report.Violations)
+	}
+	if res.Stats.TierRecoveries[3] == 0 {
+		t.Fatalf("recovery never reached the remote tier: %v", res.Stats.TierRecoveries)
+	}
+	if res.Stats.Remote.Retries == 0 {
+		t.Fatalf("force-failed remote read was not retried: %+v", res.Stats.Remote)
+	}
+}
+
+// TestRemoteFlappingBreakerConverges: a bounded outage trips the breaker;
+// background probes burn the outage budget, the breaker re-closes, and
+// remote flushes resume — trip AND re-close both observable in the stats.
+func TestRemoteFlappingBreakerConverges(t *testing.T) {
+	var scn Scenario
+	for _, s := range DefaultCampaign() {
+		if s.Name == "remote-flapping-breaker" {
+			scn = s
+		}
+	}
+	if scn.Name == "" {
+		t.Fatal("default campaign lost the remote-flapping scenario")
+	}
+	res, err := RunScenario(scn, 2, 0, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Report.Outcome != OutcomeOK {
+		t.Fatalf("outcome %q, violations %v", res.Report.Outcome, res.Report.Violations)
+	}
+	rs := res.Stats.Remote
+	if rs.Trips == 0 {
+		t.Fatalf("outage never tripped the breaker: %+v", rs)
+	}
+	if rs.Recloses == 0 {
+		t.Fatalf("breaker never re-closed after the outage healed: %+v", rs)
+	}
+	if rs.State != "closed" {
+		t.Fatalf("breaker finished %q, want closed: %+v", rs.State, rs)
+	}
+	if res.Stats.RemoteFlushedEpochs == 0 {
+		t.Fatalf("no epoch ever landed on the remote tier: %+v", res.Stats)
 	}
 }
 

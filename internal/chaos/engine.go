@@ -64,6 +64,10 @@ type Engine struct {
 	rng *rand.Rand
 	// ctrl is bound before the run starts and only read afterwards.
 	ctrl *core.Controller
+	// remote is the run's simulated object store, bound when the scenario
+	// enables the remote tier (RemoteEvery > 0); RemoteDark faults act on
+	// it.
+	remote *ckptstore.Remote
 
 	coverage  map[point.ID]int
 	progressN int
@@ -106,6 +110,11 @@ func NewEngine(scn *Scenario, seed int64, tl *trace.Timeline) *Engine {
 // Bind attaches the controller the engine acts on (kills, pacing, store
 // access). Must be called before the controller runs.
 func (e *Engine) Bind(ctrl *core.Controller) { e.ctrl = ctrl }
+
+// BindRemote attaches the simulated remote store RemoteDark faults darken.
+// Must be called before the controller runs when the scenario has remote
+// faults.
+func (e *Engine) BindRemote(rm *ckptstore.Remote) { e.remote = rm }
 
 // Fire implements point.Hook. It never blocks under the engine mutex:
 // actions that sleep or re-enter the controller are collected and run after
@@ -241,6 +250,27 @@ func (e *Engine) execute(f *armedFault, id point.ID, info *point.Info) (func(), 
 		info.Drop = true
 		e.mark("inject frame drop n%d/t%d@e%d chunk %d", info.Node, info.Task, info.Epoch, info.Iter)
 		return nil, true
+	case RemoteOpFail:
+		// Inline: the remote reads Info.Drop right after the hook returns
+		// and fails the operation with ErrRemoteUnavailable before touching
+		// the object map.
+		info.Drop = true
+		e.mark("inject remote op fail at %s e%d", id, info.Epoch)
+		return nil, true
+	case RemoteDark:
+		rm := e.remote
+		if rm == nil {
+			return nil, false
+		}
+		count := f.Count
+		if count <= 0 {
+			e.mark("inject remote dark (until end of run) at %s", id)
+			return func() { rm.SetDark(true) }, true
+		}
+		e.mark("inject remote dark for %d ops at %s", count, id)
+		// Deferred: SetDarkFor fires point.RemoteDark, which re-enters this
+		// hook.
+		return func() { rm.SetDarkFor(count) }, true
 	case TrackerBlind:
 		// Mute the task's dirty-write marks in BOTH replicas so the
 		// buddies keep lying identically: a one-sided blind would make the

@@ -77,6 +77,18 @@ const (
 	StoreWrite ID = "ckptstore.write"
 	// StoreRead fires after a checkpoint is materialized by Store.Get.
 	StoreRead ID = "ckptstore.read"
+	// RemotePut fires before the simulated remote object store accepts an
+	// upload (ckptstore.Remote.Put). Info carries the key; a hook may set
+	// Info.Drop to force-fail this one operation with a transient error.
+	RemotePut ID = "remote.put"
+	// RemoteGet fires before the simulated remote object store serves a
+	// download (ckptstore.Remote.Get). Info carries the key; a hook may set
+	// Info.Drop to force-fail this one operation with a transient error.
+	RemoteGet ID = "remote.get"
+	// RemoteDark fires when the simulated remote transitions into or out of
+	// dark mode (total unavailability). Info.Iter is the remaining dark op
+	// budget on entry (0 = dark until further notice) and -1 on recovery.
+	RemoteDark ID = "remote.dark"
 )
 
 // All returns the complete point catalog, sorted by ID.
@@ -87,6 +99,7 @@ func All() []ID {
 		CoreRecovery, CoreRestart, CoreCommit,
 		CoreFlush, CoreFold, NetFrame,
 		StoreWrite, StoreRead,
+		RemotePut, RemoteGet, RemoteDark,
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -116,7 +129,9 @@ type Info struct {
 	// StoreRead. Nil elsewhere.
 	Payload any
 	// Drop is set by hooks at NetFrame to force-drop the frame before it
-	// reaches the link model (exchange loss injection). Ignored elsewhere.
+	// reaches the link model (exchange loss injection), and at RemotePut /
+	// RemoteGet to force-fail the remote operation with a transient error.
+	// Ignored elsewhere.
 	Drop bool
 }
 

@@ -64,12 +64,25 @@ const (
 	// Requires PadFloats >= 2 (scalar fields self-detect; only a bulk
 	// field can go stale).
 	TrackerBlind FaultKind = "tracker_blind"
+	// RemoteOpFail force-fails one remote-store operation in flight via
+	// Info.Drop (point.RemotePut / point.RemoteGet) — a deterministic
+	// transient the Resilient wrapper must absorb with a retry. Requires
+	// Scenario.RemoteEvery > 0.
+	RemoteOpFail FaultKind = "remote_op_fail"
+	// RemoteDark takes the remote tier fully dark: every later remote
+	// operation fails with ErrRemoteUnavailable until Fault.Count ops have
+	// been burned (Count <= 0 keeps it dark for the rest of the run). The
+	// ladder's local tiers and the Resilient fallback must absorb the
+	// outage — a dark remote may never abort a job. Requires
+	// Scenario.RemoteEvery > 0.
+	RemoteDark FaultKind = "remote_dark"
 )
 
 // validKind reports whether k is a known fault kind.
 func validKind(k FaultKind) bool {
 	switch k {
-	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay, FrameDrop, TrackerBlind:
+	case MsgBitFlip, CkptCorrupt, Crash, BuddyDoubleCrash, HeartbeatDelay, FrameDrop, TrackerBlind,
+		RemoteOpFail, RemoteDark:
 		return true
 	}
 	return false
@@ -115,6 +128,10 @@ type Fault struct {
 	Both bool `json:"both,omitempty"`
 	// Delay is the heartbeat stall for HeartbeatDelay.
 	Delay Duration `json:"delay,omitempty"`
+	// Count (RemoteDark only) is the failed-op budget of the outage: the
+	// remote self-heals after Count operations fail dark. <= 0 keeps the
+	// remote dark for the rest of the run.
+	Count int `json:"count,omitempty"`
 }
 
 // Duration is a time.Duration that marshals as a string ("8ms") so
@@ -168,6 +185,13 @@ type Scenario struct {
 	// every K-th commit is flushed to an owned disk tier, the escalation
 	// target for buddy-pair double faults. Zero disables it.
 	FlushEvery int `json:"flush_every,omitempty"`
+	// RemoteEvery enables the remote checkpoint tier
+	// (core.Config.RemoteFlushEvery): every K-th commit is uploaded to a
+	// simulated object store wrapped in the Resilient retry/breaker layer
+	// with a local fallback, and recovery gains the tier-3 rung. The
+	// campaign remote runs with zero latency and zero probabilistic fault
+	// rates; all remote faults are scheduled through the engine.
+	RemoteEvery int `json:"remote_every,omitempty"`
 	// Degraded enables spare-exhaustion folding (core.Config.Degraded).
 	Degraded bool `json:"degraded,omitempty"`
 	// Loss / Dup / Reorder enable the hardened checkpoint exchange with
@@ -229,6 +253,9 @@ func (s *Scenario) Validate() error {
 	if s.FlushEvery < 0 {
 		return fmt.Errorf("chaos: negative FlushEvery")
 	}
+	if s.RemoteEvery < 0 {
+		return fmt.Errorf("chaos: negative RemoteEvery")
+	}
 	if s.PadFloats < 0 || s.PadFloats == 1 {
 		return fmt.Errorf("chaos: PadFloats must be 0 or >= 2 (the final element is a never-written sentinel)")
 	}
@@ -254,6 +281,17 @@ func (s *Scenario) Validate() error {
 		}
 		if f.Kind == FrameDrop && f.Trigger.Point != point.NetFrame {
 			return fmt.Errorf("chaos: fault %d: %s triggers only at %s", i, FrameDrop, point.NetFrame)
+		}
+		if f.Kind == RemoteOpFail || f.Kind == RemoteDark {
+			if s.RemoteEvery <= 0 {
+				return fmt.Errorf("chaos: fault %d: %s needs RemoteEvery > 0 (no remote tier to fault)", i, f.Kind)
+			}
+		}
+		if f.Kind == RemoteOpFail && f.Trigger.Point != point.RemotePut && f.Trigger.Point != point.RemoteGet {
+			return fmt.Errorf("chaos: fault %d: %s triggers only at %s or %s", i, RemoteOpFail, point.RemotePut, point.RemoteGet)
+		}
+		if f.Count != 0 && f.Kind != RemoteDark {
+			return fmt.Errorf("chaos: fault %d: Count applies only to %s", i, RemoteDark)
 		}
 		if f.Kind == TrackerBlind {
 			if f.Trigger.Point != point.CoreCapture {
@@ -308,11 +346,12 @@ func ParseScenario(data []byte) (Scenario, error) {
 func (s *Scenario) resolveFaults(rng *rand.Rand) []Fault {
 	out := make([]Fault, len(s.Faults))
 	for i, f := range s.Faults {
-		if f.Trigger.Point == point.NetFrame {
-			// Frame-level faults keep wildcard targets: a -1 field matches
-			// any frame dimension (matches treats the exchange's context
-			// wildcards symmetrically), so "the Nth frame, whatever it is"
-			// stays expressible and consumes no rng draws.
+		if f.Trigger.Point == point.NetFrame || f.Kind == RemoteOpFail || f.Kind == RemoteDark {
+			// Frame-level and remote faults keep wildcard targets: a -1
+			// field matches any firing dimension (matches treats the
+			// context wildcards symmetrically), so "the Nth frame/remote
+			// op, whatever it is" stays expressible and consumes no rng
+			// draws — remote faults victimize the shared store, not a node.
 			if f.Trigger.Occurrence <= 0 {
 				f.Trigger.Occurrence = 1
 			}

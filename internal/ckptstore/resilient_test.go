@@ -1,0 +1,364 @@
+package ckptstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptStore wraps a Mem with a programmable failure schedule: each
+// Put/Get consumes the next scripted error (nil = let the op through).
+// When the schedule is exhausted, `down` decides: healthy pass-through or
+// unconditional ErrRemoteUnavailable.
+type scriptStore struct {
+	mem *Mem
+
+	mu     sync.Mutex
+	script []error
+	down   bool
+	puts   int // Put attempts observed, scripted failures included
+	gets   int
+}
+
+func newScriptStore(script ...error) *scriptStore {
+	return &scriptStore{mem: NewMem(), script: script}
+}
+
+func (s *scriptStore) next() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.script) > 0 {
+		err := s.script[0]
+		s.script = s.script[1:]
+		return err
+	}
+	if s.down {
+		return ErrRemoteUnavailable
+	}
+	return nil
+}
+
+func (s *scriptStore) setDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+func (s *scriptStore) Put(k Key, ck *Checkpoint) error {
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	if err := s.next(); err != nil {
+		return err
+	}
+	return s.mem.Put(k, ck)
+}
+
+func (s *scriptStore) Get(k Key) (*Checkpoint, error) {
+	s.mu.Lock()
+	s.gets++
+	s.mu.Unlock()
+	if err := s.next(); err != nil {
+		return nil, err
+	}
+	return s.mem.Get(k)
+}
+
+func (s *scriptStore) Compare(a, b Key) (CompareResult, error) { return s.mem.Compare(a, b) }
+func (s *scriptStore) Evict(olderThan uint64) int              { return s.mem.Evict(olderThan) }
+func (s *scriptStore) Counters() Counters                      { return s.mem.Counters() }
+func (s *scriptStore) Name() string                            { return "script" }
+
+func (s *scriptStore) putAttempts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts
+}
+
+// Retry policy vs seeded fault schedules, table-driven: each case scripts
+// the inner store's failures and pins the resulting outcome and counter
+// state.
+func TestResilientRetrySchedules(t *testing.T) {
+	permanent := errors.New("disk on fire")
+	cases := []struct {
+		name        string
+		script      []error
+		maxRetries  int
+		wantErr     error // nil = success
+		wantAttempt int
+		wantRetries int64
+	}{
+		{
+			name:        "clean first try",
+			script:      []error{nil},
+			wantAttempt: 1,
+		},
+		{
+			name:        "timeout then success",
+			script:      []error{ErrRemoteTimeout, nil},
+			wantAttempt: 2,
+			wantRetries: 1,
+		},
+		{
+			name:        "throttle timeout success",
+			script:      []error{ErrRemoteThrottled, ErrRemoteTimeout, nil},
+			wantAttempt: 3,
+			wantRetries: 2,
+		},
+		{
+			name:        "budget exhausted",
+			script:      []error{ErrRemoteTimeout, ErrRemoteTimeout, ErrRemoteTimeout, ErrRemoteTimeout},
+			wantErr:     ErrRemoteTimeout,
+			wantAttempt: 4, // first try + MaxRetries(3)
+			wantRetries: 3,
+		},
+		{
+			name:        "retries disabled",
+			script:      []error{ErrRemoteTimeout, nil},
+			maxRetries:  -1,
+			wantErr:     ErrRemoteTimeout,
+			wantAttempt: 1,
+		},
+		{
+			name:        "permanent error not retried",
+			script:      []error{permanent, nil},
+			wantErr:     permanent,
+			wantAttempt: 1,
+		},
+	}
+	ck := remoteCk(t, 10)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inner := newScriptStore(tc.script...)
+			// BreakerThreshold -1: retry behavior in isolation.
+			r := NewResilient(inner, ResilientOptions{MaxRetries: tc.maxRetries, BreakerThreshold: -1})
+			defer r.Close()
+			err := r.Put(Key{Epoch: 1}, ck)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err: got %v, want %v", err, tc.wantErr)
+			}
+			if got := inner.putAttempts(); got != tc.wantAttempt {
+				t.Fatalf("inner attempts: got %d, want %d", got, tc.wantAttempt)
+			}
+			if st := r.ResilientStats(); st.Retries != tc.wantRetries {
+				t.Fatalf("retries counter: got %d, want %d", st.Retries, tc.wantRetries)
+			}
+		})
+	}
+}
+
+// An op whose backoff budget overruns OpDeadline must fail with the typed,
+// errors.Is-able deadline error rather than the raw transient.
+func TestResilientDeadlineTyped(t *testing.T) {
+	inner := newScriptStore(ErrRemoteTimeout, ErrRemoteTimeout, ErrRemoteTimeout, ErrRemoteTimeout)
+	r := NewResilient(inner, ResilientOptions{
+		BaseBackoff:      30 * time.Millisecond,
+		OpDeadline:       5 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	defer r.Close()
+	err := r.Put(Key{Epoch: 1}, remoteCk(t, 11))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+	if st := r.ResilientStats(); st.Deadlines != 1 {
+		t.Fatalf("deadlines counter: got %d, want 1", st.Deadlines)
+	}
+}
+
+// Idempotent re-Put: a second Put of the same checkpoint root is a no-op,
+// but a failed upload must NOT record the root — the retry after a torn
+// write has to overwrite the partial object.
+func TestResilientPutDedupe(t *testing.T) {
+	ck := remoteCk(t, 12)
+	k := Key{Epoch: 1}
+
+	inner := newScriptStore()
+	r := NewResilient(inner, ResilientOptions{BreakerThreshold: -1})
+	defer r.Close()
+	if err := r.Put(k, ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(k, ck); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.putAttempts(); got != 1 {
+		t.Fatalf("dedupe leaked a Put: %d inner attempts", got)
+	}
+	if st := r.ResilientStats(); st.DedupedPuts != 1 {
+		t.Fatalf("deduped counter: got %d, want 1", st.DedupedPuts)
+	}
+	// A different payload under the same key is not a duplicate.
+	if err := r.Put(k, remoteCk(t, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.putAttempts(); got != 2 {
+		t.Fatalf("changed root should write through: %d inner attempts", got)
+	}
+
+	// Failure path: all attempts fail, so no root is recorded and the
+	// next Put writes through instead of deduping.
+	inner2 := newScriptStore(ErrRemoteTimeout, ErrRemoteTimeout, ErrRemoteTimeout, ErrRemoteTimeout, nil)
+	r2 := NewResilient(inner2, ResilientOptions{BreakerThreshold: -1})
+	defer r2.Close()
+	if err := r2.Put(k, ck); !errors.Is(err, ErrRemoteTimeout) {
+		t.Fatalf("scripted failure: got %v", err)
+	}
+	if err := r2.Put(k, ck); err != nil {
+		t.Fatalf("re-put after failed upload: %v", err)
+	}
+	if st := r2.ResilientStats(); st.DedupedPuts != 0 {
+		t.Fatal("failed upload must not seed the dedupe index")
+	}
+}
+
+// Breaker lifecycle: trip after N consecutive failed ops, fail Puts over
+// to the fallback while open, half-open via the background probe, and
+// re-close once the inner store heals.
+func TestResilientBreakerLifecycle(t *testing.T) {
+	inner := newScriptStore()
+	inner.setDown(true)
+	fb := NewMem()
+	r := NewResilient(inner, ResilientOptions{
+		MaxRetries:       -1,
+		BreakerThreshold: 3,
+		ProbeInterval:    2 * time.Millisecond,
+		Fallback:         fb,
+	})
+	defer r.Close()
+	ck := remoteCk(t, 14)
+
+	// Two failures: breaker still closed, errors surface.
+	for i := 1; i <= 2; i++ {
+		if err := r.Put(Key{Epoch: uint64(i)}, ck); !errors.Is(err, ErrRemoteUnavailable) {
+			t.Fatalf("put %d: got %v, want ErrRemoteUnavailable", i, err)
+		}
+	}
+	if r.State() != BreakerClosed {
+		t.Fatalf("breaker tripped early: %v", r.State())
+	}
+	// Third failure trips it — and the tripping Put itself lands on the
+	// fallback rather than losing the epoch.
+	if err := r.Put(Key{Epoch: 3}, ck); err != nil {
+		t.Fatalf("tripping put should fail over: %v", err)
+	}
+	if _, err := fb.Get(Key{Epoch: 3}); err != nil {
+		t.Fatalf("epoch 3 missing from fallback: %v", err)
+	}
+	st := r.ResilientStats()
+	if st.Trips != 1 || st.Failovers != 1 {
+		t.Fatalf("after trip: %+v", st)
+	}
+
+	// While open (inner still down, probes keep failing): Puts and Gets
+	// ride the fallback.
+	if err := r.Put(Key{Epoch: 4}, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(Key{Epoch: 4}); err != nil {
+		t.Fatalf("open-breaker get via fallback: %v", err)
+	}
+
+	// Heal the inner store; a probe must re-close the breaker.
+	inner.setDown(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.State() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-closed; stats %+v", r.ResilientStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st = r.ResilientStats()
+	if st.Recloses != 1 || st.Probes == 0 {
+		t.Fatalf("after heal: %+v", st)
+	}
+	if st.State != "closed" {
+		t.Fatalf("state string: %q", st.State)
+	}
+	// Closed again: traffic flows to the inner store.
+	if err := r.Put(Key{Epoch: 5}, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inner.mem.Get(Key{Epoch: 5}); err != nil {
+		t.Fatalf("post-reclose put did not reach inner store: %v", err)
+	}
+}
+
+// With no fallback configured, an open breaker fails fast with the typed
+// ErrBreakerOpen.
+func TestResilientBreakerOpenNoFallback(t *testing.T) {
+	inner := newScriptStore()
+	inner.setDown(true)
+	r := NewResilient(inner, ResilientOptions{
+		MaxRetries:       -1,
+		BreakerThreshold: 1,
+		ProbeInterval:    time.Hour, // keep it open for the test's duration
+	})
+	defer r.Close()
+	ck := remoteCk(t, 15)
+	if err := r.Put(Key{Epoch: 1}, ck); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("tripping put: got %v, want ErrBreakerOpen", err)
+	}
+	if err := r.Put(Key{Epoch: 2}, ck); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open put: got %v, want ErrBreakerOpen", err)
+	}
+	if _, err := r.Get(Key{Epoch: 1}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open get: got %v, want ErrBreakerOpen", err)
+	}
+}
+
+// ResilientStatsOf must find the reporter through wrapper layers exposing
+// Inner().
+func TestResilientStatsOfUnwraps(t *testing.T) {
+	r := NewResilient(NewMem(), ResilientOptions{})
+	defer r.Close()
+	wrapped := WithHook(r, nil)
+	st, ok := ResilientStatsOf(wrapped)
+	if !ok {
+		t.Fatal("ResilientStatsOf failed to unwrap Hooked")
+	}
+	if st.State != "closed" {
+		t.Fatalf("state: %q", st.State)
+	}
+	if _, ok := ResilientStatsOf(NewMem()); ok {
+		t.Fatal("bare Mem should not report resilient stats")
+	}
+}
+
+// A Resilient over a Remote: the remote's Probe capability drives the
+// half-open check, and dark mode heals through it.
+func TestResilientOverRemoteDarkOutage(t *testing.T) {
+	remote := NewRemote(RemoteOptions{})
+	fb := NewMem()
+	r := NewResilient(remote, ResilientOptions{
+		MaxRetries:       -1,
+		BreakerThreshold: 2,
+		ProbeInterval:    2 * time.Millisecond,
+		Fallback:         fb,
+	})
+	defer r.Close()
+	ck := remoteCk(t, 16)
+
+	remote.SetDark(true)
+	for i := 1; i <= 2; i++ {
+		_ = r.Put(Key{Epoch: uint64(i)}, ck)
+	}
+	if r.State() == BreakerClosed {
+		t.Fatal("breaker should be open after consecutive dark failures")
+	}
+	remote.SetDark(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.State() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-closed over healed remote; stats %+v", r.ResilientStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.Put(Key{Epoch: 3}, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Get(Key{Epoch: 3}); err != nil {
+		t.Fatalf("post-heal put did not reach the remote: %v", err)
+	}
+}

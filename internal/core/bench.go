@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"acr/internal/ckptstore"
 	"acr/internal/pup"
 	"acr/internal/runtime"
 )
@@ -132,6 +133,15 @@ type BenchSpec struct {
 	// Only the round op is measured.
 	LinkLatencyMs int     `json:"link_latency_ms,omitempty"`
 	LinkLossPct   float64 `json:"link_loss_pct,omitempty"`
+	// RemoteLatencyMs > 0 selects the remote-flush axis: every committed
+	// round additionally uploads its epoch to a simulated object store
+	// with this per-op latency (no fault injection — the axis isolates
+	// latency absorption, not resilience). The "serial" leg uploads
+	// synchronously on the commit path (SyncRemoteFlush) and pays the
+	// store's latency per round; the "fast" leg is the default background
+	// remote writer, which overlaps uploads with computation. Only the
+	// round op is measured.
+	RemoteLatencyMs int `json:"remote_latency_ms,omitempty"`
 }
 
 // linked reports whether the spec runs on the pipeline (lossy-link) axis.
@@ -151,6 +161,10 @@ func DefaultBenchSpecs(quick bool) []BenchSpec {
 		// steady-state frame count low enough that capture and compare
 		// meaningfully overlap the flight time too.
 		{Name: "2x4nodes-8tasks-2MB-link2ms-dirty25", Nodes: 4, Tasks: 2, Particles: 32768, Dirty: 25, LinkLatencyMs: 2, LinkLossPct: 1},
+		// The remote-flush case: every round uploads 4 task checkpoints to
+		// a 2ms-latency object store. The sync leg pays ~8ms of upload per
+		// round inline; the async leg hides it behind the next rounds.
+		{Name: "2x2nodes-4tasks-96KB-remote2ms", Nodes: 2, Tasks: 2, Particles: 2048, RemoteLatencyMs: 2},
 	}
 	if !quick {
 		specs = append(specs,
@@ -348,6 +362,19 @@ func benchDirtyFactory(floats, dirtyPct int, tracked bool) runtime.Factory {
 // default commit path through the same kind of lossy link; the serial
 // flag only selects the barrier schedule versus the per-task pipeline.
 func benchController(spec BenchSpec, serial bool) (*Controller, error) {
+	if spec.RemoteLatencyMs > 0 {
+		return New(Config{
+			NodesPerReplica: spec.Nodes,
+			TasksPerNode:    spec.Tasks,
+			Factory:         benchFactory(spec.Particles),
+			Comparison:      ChecksumCompare,
+			RemoteStore: ckptstore.NewRemote(ckptstore.RemoteOptions{
+				Latency: time.Duration(spec.RemoteLatencyMs) * time.Millisecond,
+			}),
+			RemoteFlushEvery: 1,
+			SyncRemoteFlush:  serial,
+		})
+	}
 	if spec.linked() {
 		factory := benchFactory(spec.Particles)
 		if spec.Dirty > 0 {
@@ -538,7 +565,7 @@ func RunCheckpointBench(quick bool, count, maxProcs int, only string, logf func(
 			continue
 		}
 		for _, o := range ops {
-			if (spec.Dirty > 0 || spec.linked()) && o.name != "round" {
+			if (spec.Dirty > 0 || spec.linked() || spec.RemoteLatencyMs > 0) && o.name != "round" {
 				continue
 			}
 			serial, serialPhases, err := best(spec, o, true)

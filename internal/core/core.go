@@ -233,6 +233,29 @@ type Config struct {
 	// FlushEvery > 0 selects a controller-owned ckptstore.Disk in a
 	// temporary directory, removed at Run end.
 	FlushStore ckptstore.Store
+	// RemoteStore, when non-nil, attaches a remote checkpoint tier — tier 3
+	// of the recovery ladder, below buddy memory and the local durable
+	// flush. Every RemoteFlushEvery-th committed epoch is cloned and
+	// written to it; recovery walks its complete epochs newest-first only
+	// after every local tier failed. The store is used as given (wrap it in
+	// ckptstore.NewResilient for retry/backoff/breaker hardening against an
+	// unreliable backend); a dark or failing remote costs remote flush
+	// errors, never job progress.
+	RemoteStore ckptstore.Store
+	// RemoteFlushEvery is the remote tier's flush cadence in committed
+	// epochs. Zero with RemoteStore set inherits max(FlushEvery, 1) —
+	// remote bandwidth is usually the scarcer resource, so a sparser
+	// explicit cadence is typical.
+	RemoteFlushEvery int
+	// RemoteRetain bounds how many complete remote epochs are kept
+	// (older ones evicted after each successful remote flush); <= 0
+	// selects 2.
+	RemoteRetain int
+	// SyncRemoteFlush forces remote uploads to run inline on the commit
+	// path instead of on the background writer. Chaos runs and the pinned
+	// serial commit path already imply it; the knob exists for benchmarks
+	// that baseline the cost of absorbing remote latency synchronously.
+	SyncRemoteFlush bool
 	// ResumeEpochs, when non-empty, warm-starts the job from durable
 	// checkpoints instead of factory state: Run restores both replicas
 	// from the newest usable epoch in the list (read from ResumeStore,
@@ -316,6 +339,23 @@ func (c *Config) validate() error {
 	}
 	if c.FlushEvery > 0 && c.FlushRetain <= 0 {
 		c.FlushRetain = 2
+	}
+	if c.RemoteFlushEvery < 0 {
+		return fmt.Errorf("core: negative RemoteFlushEvery")
+	}
+	if c.RemoteFlushEvery > 0 && c.RemoteStore == nil {
+		return fmt.Errorf("core: RemoteFlushEvery set but no RemoteStore")
+	}
+	if c.RemoteStore != nil {
+		if c.RemoteFlushEvery == 0 {
+			c.RemoteFlushEvery = c.FlushEvery
+			if c.RemoteFlushEvery <= 0 {
+				c.RemoteFlushEvery = 1
+			}
+		}
+		if c.RemoteRetain <= 0 {
+			c.RemoteRetain = 2
+		}
 	}
 	if len(c.ResumeEpochs) > 0 && c.ResumeStore == nil && c.FlushEvery <= 0 {
 		return fmt.Errorf("core: ResumeEpochs set but no durable store to resume from (set ResumeStore or FlushEvery)")
@@ -406,8 +446,9 @@ type Stats struct {
 	LocalizedChunks []int `json:"localized_chunks"`
 	// TierRecoveries counts replica restores per escalation-ladder tier:
 	// [0] buddy in-memory checkpoint at the committed epoch, [1] durable
-	// flush of the committed epoch, [2] an older complete durable epoch.
-	TierRecoveries [3]int `json:"tier_recoveries"`
+	// flush of the committed epoch, [2] an older complete durable epoch,
+	// [3] a remote-tier epoch (every local tier exhausted first).
+	TierRecoveries [4]int `json:"tier_recoveries"`
 	// RollbackDepths records, per ladder restore, how many committed
 	// epochs the restore point lies behind the newest commit (0 for
 	// tiers 0 and 1); MaxRollbackDepth is its maximum.
@@ -419,6 +460,13 @@ type Stats struct {
 	FlushedEpochs   int `json:"flushed_epochs"`
 	FlushErrors     int `json:"flush_errors"`
 	BuddyPairLosses int `json:"buddy_pair_losses"`
+	// RemoteFlushedEpochs / RemoteFlushErrors count remote-tier (tier 3)
+	// flush completions and failures; Remote is the resilient remote
+	// wrapper's retry/breaker/failover counter snapshot (zero when
+	// Config.RemoteStore is nil or unwrapped).
+	RemoteFlushedEpochs int                      `json:"remote_flushed_epochs"`
+	RemoteFlushErrors   int                      `json:"remote_flush_errors"`
+	Remote              ckptstore.ResilientStats `json:"remote"`
 	// Folds counts spare-exhaustion folds onto a survivor; Expands counts
 	// folded nodes later re-expanded onto freed spares; DegradedNodes is
 	// how many logical nodes were still folded at run end.
@@ -465,6 +513,17 @@ type Controller struct {
 	// commitsSinceFlush counts commits toward the next flush.
 	commitLog         []uint64
 	commitsSinceFlush int
+
+	// remoteStore is the remote checkpoint tier (tier 3 of the ladder);
+	// nil when Config.RemoteStore is nil. The remote flush machinery
+	// mirrors the local flush machinery above.
+	remoteStore        ckptstore.Store
+	remoteMu           sync.Mutex
+	remoteEpochs       []uint64
+	remoteWG           sync.WaitGroup
+	remoteCount        atomic.Int64
+	remoteErrs         atomic.Int64
+	commitsSinceRemote int
 
 	// exch is the hardened exchange protocol driver; nil when
 	// Config.Exchange is nil.
@@ -583,6 +642,11 @@ func New(cfg Config) (*Controller, error) {
 		}
 		ctrl.flushStore = ckptstore.WithHook(fs, cfg.Chaos)
 	}
+	// The remote tier is used as configured, without the store-level
+	// corruption hook: it fires its own remote.put / remote.get points
+	// (ckptstore.Remote), and interposing StoreWrite here would shift the
+	// occurrence counts existing at-rest corruption scenarios trigger on.
+	ctrl.remoteStore = cfg.RemoteStore
 	if cfg.Exchange != nil {
 		ctrl.exch = newExchanger(ctrl, *cfg.Exchange)
 	}
@@ -651,6 +715,7 @@ func (c *Controller) Run() (Stats, error) {
 	}
 	c.machine.Stop()
 	c.flushWG.Wait()
+	c.remoteWG.Wait()
 	if c.ownedFlush != nil {
 		if cerr := c.ownedFlush.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("core: close durable flush tier: %w", cerr)
@@ -671,6 +736,13 @@ func (c *Controller) Run() (Stats, error) {
 	}
 	c.stats.FlushedEpochs = int(c.flushedCount.Load())
 	c.stats.FlushErrors = int(c.flushErrs.Load())
+	c.stats.RemoteFlushedEpochs = int(c.remoteCount.Load())
+	c.stats.RemoteFlushErrors = int(c.remoteErrs.Load())
+	if c.remoteStore != nil {
+		if rs, ok := ckptstore.ResilientStatsOf(c.remoteStore); ok {
+			c.stats.Remote = rs
+		}
+	}
 	c.stats.DegradedNodes = c.machine.FoldedCount()
 	c.stats.Expands = int(c.machine.ExpandCount())
 	if c.exch != nil {

@@ -24,9 +24,16 @@ import (
 //	tier 1  the durable flush of the committed epoch
 //	tier 2  the newest complete older durable epoch (bounded rework:
 //	        the rollback depth is recorded per restore)
+//	tier 3  the newest complete epoch on the remote tier
+//	        (Config.RemoteStore) — the last resort when the machine lost
+//	        both in-memory copies AND the local durable tier is unusable
 //
 // ErrUnrecoverable is reserved for a genuinely empty ladder — every tier
-// exhausted — instead of the first in-memory miss.
+// exhausted — instead of the first in-memory miss. The remote tier is
+// deliberately below every local tier: it is the slowest and least
+// reliable path, so recovery only pays its cost (and its failure modes)
+// when nothing local survives, and a dark remote can never abort a job
+// that still has a local tier to climb to.
 
 // flushClone carries one cloned task checkpoint to the durable writer.
 type flushClone struct {
@@ -70,6 +77,43 @@ func (c *Controller) maybeFlush(epoch uint64) {
 	c.flushWG.Add(1)
 	go func() {
 		defer c.flushWG.Done()
+		write()
+	}()
+}
+
+// maybeFlushRemote is maybeFlush's remote-tier counterpart, running on
+// the same commit path with its own cadence (Config.RemoteFlushEvery) and
+// retention. A remote flush failure is booked and traced but never
+// propagates: the remote tier is best-effort by design — local tiers
+// carry the recovery guarantee.
+func (c *Controller) maybeFlushRemote(epoch uint64) {
+	if c.remoteStore == nil {
+		return
+	}
+	c.commitsSinceRemote++
+	if c.commitsSinceRemote < c.cfg.RemoteFlushEvery {
+		return
+	}
+	c.commitsSinceRemote = 0
+	clones, err := c.cloneEpoch(epoch)
+	if err != nil {
+		c.remoteErrs.Add(1)
+		c.mark(trace.Remote, fmt.Sprintf("remote flush of epoch %d aborted: %v", epoch, err))
+		return
+	}
+	write := func() {
+		if err := c.writeRemote(epoch, clones); err != nil {
+			c.remoteErrs.Add(1)
+			c.mark(trace.Remote, fmt.Sprintf("remote flush of epoch %d failed: %v", epoch, err))
+		}
+	}
+	if c.cfg.Chaos != nil || c.cfg.SerialCommitPath || c.cfg.SyncRemoteFlush {
+		write()
+		return
+	}
+	c.remoteWG.Add(1)
+	go func() {
+		defer c.remoteWG.Done()
 		write()
 	}()
 }
@@ -158,6 +202,48 @@ func (c *Controller) writeFlush(epoch uint64, clones []flushClone) error {
 	return nil
 }
 
+// writeRemote lands one cloned epoch on the remote tier and registers it
+// in the remote-epoch index. A resilient wrapper under us may be
+// degrading Puts to its local fallback — that still counts as landed: the
+// epoch is readable back through the same wrapper.
+func (c *Controller) writeRemote(epoch uint64, clones []flushClone) error {
+	for _, cl := range clones {
+		if err := c.remoteStore.Put(c.key(cl.rep, cl.n, cl.t, epoch), cl.ck); err != nil {
+			return err
+		}
+	}
+	c.remoteMu.Lock()
+	i := sort.Search(len(c.remoteEpochs), func(i int) bool { return c.remoteEpochs[i] >= epoch })
+	if i == len(c.remoteEpochs) || c.remoteEpochs[i] != epoch {
+		c.remoteEpochs = append(c.remoteEpochs, 0)
+		copy(c.remoteEpochs[i+1:], c.remoteEpochs[i:])
+		c.remoteEpochs[i] = epoch
+	}
+	if keep := c.cfg.RemoteRetain; len(c.remoteEpochs) > keep {
+		oldest := c.remoteEpochs[len(c.remoteEpochs)-keep]
+		c.remoteEpochs = append(c.remoteEpochs[:0], c.remoteEpochs[len(c.remoteEpochs)-keep:]...)
+		c.remoteStore.Evict(oldest)
+	}
+	c.remoteMu.Unlock()
+	c.remoteCount.Add(1)
+	c.mark(trace.Remote, fmt.Sprintf("epoch %d flushed to remote tier (%s)", epoch, c.remoteStore.Name()))
+	return nil
+}
+
+// remoteEpochsNewestFirst snapshots the complete remote epochs at or below
+// the committed epoch, newest first — the ladder's tier-3 candidates.
+func (c *Controller) remoteEpochsNewestFirst() []uint64 {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
+	out := make([]uint64, 0, len(c.remoteEpochs))
+	for i := len(c.remoteEpochs) - 1; i >= 0; i-- {
+		if e := c.remoteEpochs[i]; e <= c.committedEpoch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // durableEpochsNewestFirst snapshots the complete durable epochs at or
 // below the committed epoch, newest first — the ladder's tier-1/tier-2
 // candidates.
@@ -208,7 +294,7 @@ func (c *Controller) restartFromCommitted(rep int) error {
 		c.recordLadderRestore(0, c.committedEpoch)
 		return nil
 	}
-	if c.flushStore == nil {
+	if c.flushStore == nil && c.remoteStore == nil {
 		// Wrap err0 too: an at-rest corruption verdict (ckptstore.ErrCorrupt)
 		// must stay visible to errors.Is even when the ladder has no lower
 		// tier — detection succeeded even though recovery cannot.
@@ -221,20 +307,39 @@ func (c *Controller) restartFromCommitted(rep int) error {
 	c.flushWG.Wait()
 	c.mark(trace.Restart, fmt.Sprintf("replica %d escalating past committed epoch %d: %v", rep, c.committedEpoch, err0))
 	var lastErr error
-	for _, epoch := range c.durableEpochsNewestFirst() {
-		if err := c.machine.RestartReplicaFromStore(rep, epoch, c.flushStore); err != nil {
-			lastErr = err
-			c.mark(trace.Restart, fmt.Sprintf("replica %d: durable epoch %d unusable: %v", rep, epoch, err))
-			continue
+	if c.flushStore != nil {
+		for _, epoch := range c.durableEpochsNewestFirst() {
+			if err := c.machine.RestartReplicaFromStore(rep, epoch, c.flushStore); err != nil {
+				lastErr = err
+				c.mark(trace.Restart, fmt.Sprintf("replica %d: durable epoch %d unusable: %v", rep, epoch, err))
+				continue
+			}
+			tier := 1
+			if epoch != c.committedEpoch {
+				tier = 2
+			}
+			c.recordLadderRestore(tier, epoch)
+			c.mark(trace.Restart, fmt.Sprintf("replica %d restored from durable epoch %d (tier %d, rollback depth %d)",
+				rep, epoch, tier, c.stats.RollbackDepths[len(c.stats.RollbackDepths)-1]))
+			return nil
 		}
-		tier := 1
-		if epoch != c.committedEpoch {
-			tier = 2
+	}
+	// Tier 3: the remote tier, last — the slowest, least reliable path.
+	// A dark or flaky remote only adds skipped candidates here; it can
+	// never make recovery worse than the local-only ladder.
+	if c.remoteStore != nil {
+		c.remoteWG.Wait()
+		for _, epoch := range c.remoteEpochsNewestFirst() {
+			if err := c.machine.RestartReplicaFromStore(rep, epoch, c.remoteStore); err != nil {
+				lastErr = err
+				c.mark(trace.Restart, fmt.Sprintf("replica %d: remote epoch %d unusable: %v", rep, epoch, err))
+				continue
+			}
+			c.recordLadderRestore(3, epoch)
+			c.mark(trace.Restart, fmt.Sprintf("replica %d restored from remote epoch %d (tier 3, rollback depth %d)",
+				rep, epoch, c.stats.RollbackDepths[len(c.stats.RollbackDepths)-1]))
+			return nil
 		}
-		c.recordLadderRestore(tier, epoch)
-		c.mark(trace.Restart, fmt.Sprintf("replica %d restored from durable epoch %d (tier %d, rollback depth %d)",
-			rep, epoch, tier, c.stats.RollbackDepths[len(c.stats.RollbackDepths)-1]))
-		return nil
 	}
 	if lastErr == nil {
 		lastErr = err0

@@ -40,7 +40,7 @@ type progressCounters struct {
 	sdcDetected    atomic.Int64
 	rollbacks      atomic.Int64
 	folds          atomic.Int64
-	tierRecoveries [3]atomic.Int64
+	tierRecoveries [4]atomic.Int64
 	resumedEpoch   atomic.Uint64
 }
 
@@ -54,11 +54,22 @@ type Progress struct {
 	Rollbacks      int64    `json:"rollbacks"`
 	FlushedEpochs  int64    `json:"flushed_epochs"`
 	FlushErrors    int64    `json:"flush_errors"`
-	TierRecoveries [3]int64 `json:"tier_recoveries"`
+	TierRecoveries [4]int64 `json:"tier_recoveries"`
 	Folds          int64    `json:"folds"`
 	Expands        int64    `json:"expands"`
 	DegradedNodes  int      `json:"degraded_nodes"`
 	ResumedEpoch   uint64   `json:"resumed_epoch"`
+	// Remote-tier counters: flush completions/failures plus the resilient
+	// wrapper's live retry/breaker/failover accounting. All zero when the
+	// job has no remote tier; RemoteBreakerOpen is 1 while the breaker is
+	// open or half-open.
+	RemoteFlushedEpochs int64 `json:"remote_flushed_epochs"`
+	RemoteFlushErrors   int64 `json:"remote_flush_errors"`
+	RemoteRetries       int64 `json:"remote_retries"`
+	RemoteTrips         int64 `json:"remote_breaker_trips"`
+	RemoteRecloses      int64 `json:"remote_breaker_recloses"`
+	RemoteFailovers     int64 `json:"remote_failovers"`
+	RemoteBreakerOpen   int64 `json:"remote_breaker_open"`
 }
 
 // Progress returns a live snapshot of the job's counters. Safe to call from
@@ -79,6 +90,19 @@ func (c *Controller) Progress() Progress {
 	p.Expands = c.machine.ExpandCount()
 	p.DegradedNodes = c.machine.FoldedCount()
 	p.ResumedEpoch = c.prog.resumedEpoch.Load()
+	p.RemoteFlushedEpochs = c.remoteCount.Load()
+	p.RemoteFlushErrors = c.remoteErrs.Load()
+	if c.remoteStore != nil {
+		if rs, ok := ckptstore.ResilientStatsOf(c.remoteStore); ok {
+			p.RemoteRetries = rs.Retries
+			p.RemoteTrips = rs.Trips
+			p.RemoteRecloses = rs.Recloses
+			p.RemoteFailovers = rs.Failovers
+			if rs.State != ckptstore.BreakerClosed.String() {
+				p.RemoteBreakerOpen = 1
+			}
+		}
+	}
 	return p
 }
 
@@ -93,6 +117,20 @@ func (c *Controller) DurableEpochs() []uint64 {
 	c.flushMu.Lock()
 	defer c.flushMu.Unlock()
 	return append([]uint64(nil), c.flushedEpochs...)
+}
+
+// RemoteStore exposes the remote checkpoint tier (nil when
+// Config.RemoteStore was not set). The acrd inventory endpoints enumerate
+// it through ckptstore.Enumerator; ckptstore.ResilientStatsOf reads the
+// breaker counters off it.
+func (c *Controller) RemoteStore() ckptstore.Store { return c.remoteStore }
+
+// RemoteEpochs returns the ladder's current remote-epoch index, ascending.
+// Safe to call from any goroutine.
+func (c *Controller) RemoteEpochs() []uint64 {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
+	return append([]uint64(nil), c.remoteEpochs...)
 }
 
 // runOp ships an operation onto the controller goroutine and waits for it

@@ -555,6 +555,7 @@ func (c *Controller) commit(epoch uint64, began time.Time) {
 	c.mark(trace.Checkpoint, fmt.Sprintf("checkpoint %d committed (epoch %d)", c.stats.Checkpoints, epoch))
 	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
 	c.maybeFlush(epoch)
+	c.maybeFlushRemote(epoch)
 	c.markStore()
 }
 
@@ -571,6 +572,7 @@ func (c *Controller) commitTrusted(epoch uint64, began time.Time) {
 	c.store.Evict(epoch)
 	c.fire(point.CoreCommit, point.Info{Replica: -1, Node: -1, Task: -1, Epoch: epoch})
 	c.maybeFlush(epoch)
+	c.maybeFlushRemote(epoch)
 	c.markStore()
 }
 

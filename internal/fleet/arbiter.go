@@ -176,6 +176,11 @@ func (s *arbitratedStore) Counters() ckptstore.Counters { return s.inner.Counter
 
 func (s *arbitratedStore) Name() string { return "arb(" + s.inner.Name() + ")" }
 
+// Inner exposes the wrapped store so layered unwrappers (e.g.
+// ckptstore.ResilientStatsOf walking down to a Resilient) can see through
+// the arbitration wrapper.
+func (s *arbitratedStore) Inner() ckptstore.Store { return s.inner }
+
 // Keys forwards enumeration to the inner store when it supports it, so the
 // acrd inventory endpoints see through the arbitration wrapper.
 func (s *arbitratedStore) Keys() []ckptstore.Key {

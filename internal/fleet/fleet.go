@@ -54,6 +54,14 @@ type Config struct {
 	BytesPerSec float64
 	// TransferSlots bounds concurrent disk-tier transfers; <= 0 unlimited.
 	TransferSlots int
+	// RemoteBytesPerSec is the shared remote-tier (object store) upload
+	// budget, metered by a second arbiter so remote flush traffic queues
+	// against its own budget instead of competing with local disk flushes;
+	// <= 0 disables throttling (the arbiter still counts traffic).
+	RemoteBytesPerSec float64
+	// RemoteTransferSlots bounds concurrent remote-tier transfers; <= 0
+	// unlimited.
+	RemoteTransferSlots int
 	// Timeline, if non-nil, receives fleet-level events (admissions,
 	// grants, preemptions) as trace.Fleet annotations.
 	Timeline *trace.Timeline
@@ -95,6 +103,19 @@ type JobSpec struct {
 	// durable epochs in FlushStore (core.Config.ResumeEpochs) instead of
 	// factory state. Requires FlushEvery > 0.
 	ResumeEpochs []uint64 `json:"resume_epochs,omitempty"`
+	// RemoteEvery > 0 uploads every K-th committed epoch to the remote
+	// checkpoint tier (core.Config.RemoteFlushEvery), routed through the
+	// fleet's remote-bandwidth arbiter.
+	RemoteEvery int `json:"remote_every,omitempty"`
+	// RemoteRetain bounds the epochs the remote tier keeps
+	// (core.Config.RemoteRetain); <= 0 selects the core default.
+	RemoteRetain int `json:"remote_retain,omitempty"`
+	// RemoteStore overrides the job's remote tier (still routed through
+	// the remote arbiter). Nil with RemoteEvery > 0 selects a job-private
+	// simulated remote hardened by the Resilient wrapper with an
+	// in-memory fallback. A daemon passes its own Resilient-wrapped
+	// remote here.
+	RemoteStore ckptstore.Store `json:"-"`
 }
 
 // JobResult is one job's final accounting.
@@ -128,8 +149,9 @@ type FleetStats struct {
 	MaxQueueWait time.Duration `json:"max_queue_wait_ns"`
 	DegradedTime time.Duration `json:"degraded_ns"`
 
-	Arbiter ArbiterStats `json:"arbiter"`
-	Jobs    []JobResult  `json:"jobs"`
+	Arbiter       ArbiterStats `json:"arbiter"`
+	RemoteArbiter ArbiterStats `json:"remote_arbiter"`
+	Jobs          []JobResult  `json:"jobs"`
 }
 
 // Job is the handle Submit returns.
@@ -209,8 +231,9 @@ type event struct {
 // Scheduler multiplexes jobs over the shared pools. All scheduling state is
 // owned by one goroutine; public methods communicate with it via channels.
 type Scheduler struct {
-	cfg Config
-	arb *Arbiter
+	cfg       Config
+	arb       *Arbiter
+	remoteArb *Arbiter
 
 	events  chan event
 	stop    chan struct{}
@@ -242,6 +265,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:        cfg,
 		arb:        NewArbiter(cfg.BytesPerSec, cfg.TransferSlots),
+		remoteArb:  NewArbiter(cfg.RemoteBytesPerSec, cfg.RemoteTransferSlots),
 		events:     make(chan event, 64),
 		stop:       make(chan struct{}),
 		stopped:    make(chan struct{}),
@@ -256,6 +280,9 @@ func New(cfg Config) (*Scheduler, error) {
 
 // Arbiter exposes the fleet's I/O arbiter (for stats and custom stores).
 func (s *Scheduler) Arbiter() *Arbiter { return s.arb }
+
+// RemoteArbiter exposes the fleet's remote-tier bandwidth arbiter.
+func (s *Scheduler) RemoteArbiter() *Arbiter { return s.remoteArb }
 
 func (s *Scheduler) mark(format string, args ...any) {
 	if s.cfg.Timeline == nil {
@@ -359,6 +386,7 @@ func (s *Scheduler) Stats() FleetStats {
 	defer s.mu.Unlock()
 	out := s.stats
 	out.Arbiter = s.arb.Stats()
+	out.RemoteArbiter = s.remoteArb.Stats()
 	out.Jobs = make([]JobResult, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		out.Jobs = append(out.Jobs, j.res)
@@ -465,6 +493,21 @@ func (s *Scheduler) admit(j *Job) error {
 		}
 		cc.FlushStore = s.arb.Wrap(fs)
 		cc.ResumeEpochs = spec.ResumeEpochs
+	}
+	if spec.RemoteEvery > 0 {
+		cc.RemoteFlushEvery = spec.RemoteEvery
+		cc.RemoteRetain = spec.RemoteRetain
+		rs := spec.RemoteStore
+		if rs == nil {
+			// Job-private simulated remote behind the full resilience
+			// stack: retries, breaker, and a local fallback so a remote
+			// outage degrades the tier instead of failing the job.
+			rs = ckptstore.NewResilient(
+				ckptstore.NewRemote(ckptstore.RemoteOptions{}),
+				ckptstore.ResilientOptions{Fallback: ckptstore.NewMem()},
+			)
+		}
+		cc.RemoteStore = s.remoteArb.Wrap(rs)
 	}
 	ctrl, err := core.New(cc)
 	if err != nil {

@@ -203,3 +203,39 @@ func TestBurstCampaign(t *testing.T) {
 		t.Fatalf("completed = %d, want %d", report.Stats.Completed, spec.Jobs)
 	}
 }
+
+// TestRemoteTierThroughFleet: a job with the remote tier enabled routes
+// its uploads through the fleet's remote-bandwidth arbiter, and the
+// resilient wrapper's stats surface through the arbitration layer into the
+// job's final core.Stats.
+func TestRemoteTierThroughFleet(t *testing.T) {
+	s, err := New(Config{Nodes: 4, RemoteBytesPerSec: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j := mustSubmit(t, s, JobSpec{
+		Name: "remote", Nodes: 2, Tasks: 1, Iters: 4000,
+		FlushEvery: 2, RemoteEvery: 2,
+	})
+	stats := drain(t, s)
+	if stats.Completed != 1 || stats.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d: %+v", stats.Completed, stats.Failed, stats.Jobs)
+	}
+	if errs := VerifyRing(j); len(errs) > 0 {
+		t.Fatalf("golden violation: %v", errs)
+	}
+	res := j.Wait()
+	if res.Stats.RemoteFlushedEpochs == 0 {
+		t.Fatalf("no epochs reached the remote tier: %+v", res.Stats)
+	}
+	if res.Stats.Remote.State != "closed" {
+		t.Fatalf("remote breaker state %q, want closed (stats not unwrapped through the arbiter?)", res.Stats.Remote.State)
+	}
+	if stats.RemoteArbiter.WriteBytes == 0 {
+		t.Fatalf("remote arbiter metered no upload traffic: %+v", stats.RemoteArbiter)
+	}
+	if stats.Arbiter.WriteBytes == 0 {
+		t.Fatalf("local flush arbiter metered no traffic: %+v", stats.Arbiter)
+	}
+}

@@ -49,6 +49,11 @@ const (
 	// commit path (internal/core): busy-vs-wall time per capture /
 	// exchange / compare stage. Annotates without drawing.
 	Pipeline
+	// Remote carries remote checkpoint tier telemetry (internal/ckptstore's
+	// Remote/Resilient pair and the core tier-3 flush path): remote flush
+	// completions and failures, breaker trips and re-closes, failovers to
+	// the local fallback. Annotates without drawing.
+	Remote
 )
 
 // Glyph returns the timeline character for the kind.
@@ -99,13 +104,15 @@ func (k Kind) String() string {
 		return "fleet"
 	case Pipeline:
 		return "pipeline"
+	case Remote:
+		return "remote"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // ParseKind inverts Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := Work; k <= Pipeline; k++ {
+	for k := Work; k <= Remote; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -190,7 +197,7 @@ func (tl *Timeline) Render(horizon float64, width int) string {
 		return 1
 	}
 	for _, e := range tl.Events() {
-		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net || e.Kind == Fleet || e.Kind == Pipeline {
+		if e.Kind == Work || e.Kind == Progress || e.Kind == Store || e.Kind == Net || e.Kind == Fleet || e.Kind == Pipeline || e.Kind == Remote {
 			continue
 		}
 		col := int(e.Time / horizon * float64(width))
